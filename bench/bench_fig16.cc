@@ -1,0 +1,99 @@
+// Reproduces paper Fig. 16 (Sec. 5.5.4): LimeQO and LimeQO+ with and
+// without the censored techniques. Without them, timed-out executions are
+// recorded as if the timeout were the true latency (the Balsa-style naive
+// treatment for ALS; training on non-censored data with plain MSE for the
+// TCNN), which misleads the model and slows convergence.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+namespace limeqo::bench {
+namespace {
+
+void Run() {
+  PrintBanner("Figure 16",
+              "Censored techniques ablation for LimeQO and LimeQO+",
+              "Cells are workload latency as % of default, averaged over 3 "
+              "seeds.");
+
+  const std::vector<double> fractions = {0.5, 1.0, 2.0};
+  const int kSeeds = 3;
+
+  {
+    const double kScale = 0.20;
+    std::printf("\nLimeQO on CEB:\n");
+    TablePrinter table({"Arm", "0.5x", "1x", "2x"});
+    for (bool censored : {true, false}) {
+      std::vector<double> sums(fractions.size(), 0.0);
+      double optimal_pct = 0.0;
+      for (int s = 0; s < kSeeds; ++s) {
+        StatusOr<simdb::SimulatedDatabase> db = workloads::MakeWorkload(
+            workloads::WorkloadId::kCeb, kScale, 42 + s);
+        LIMEQO_CHECK(db.ok());
+        core::SimDbBackend backend(&*db);
+        std::unique_ptr<core::ExplorationPolicy> policy =
+            MakeLimeQoPolicy(5, censored);
+        core::OfflineExplorer explorer(&backend, policy.get(),
+                                       core::ExplorerOptions{});
+        double spent = 0.0;
+        for (size_t i = 0; i < fractions.size(); ++i) {
+          explorer.Explore(fractions[i] * db->DefaultTotal() - spent);
+          spent = fractions[i] * db->DefaultTotal();
+          sums[i] += 100.0 * explorer.WorkloadLatency() / db->DefaultTotal();
+        }
+        optimal_pct = 100.0 * db->OptimalTotal() / db->DefaultTotal();
+      }
+      std::vector<std::string> row = {censored ? "LimeQO (censored)"
+                                               : "LimeQO (w/o censored)"};
+      for (double s : sums) row.push_back(FormatDouble(s / kSeeds, 0) + "%");
+      table.AddRow(row);
+      if (censored) {
+        std::printf("(optimal = %.0f%% of default)\n", optimal_pct);
+      }
+    }
+    table.Print(std::cout);
+  }
+
+  {
+    const double kScale = 0.03;
+    std::printf("\nLimeQO+ on CEB:\n");
+    TablePrinter table({"Arm", "0.5x", "1x", "2x"});
+    for (bool censored : {true, false}) {
+      std::vector<double> sums(fractions.size(), 0.0);
+      for (int s = 0; s < kSeeds; ++s) {
+        StatusOr<simdb::SimulatedDatabase> db = workloads::MakeWorkload(
+            workloads::WorkloadId::kCeb, kScale, 52 + s);
+        LIMEQO_CHECK(db.ok());
+        core::SimDbBackend backend(&*db);
+        std::unique_ptr<core::ExplorationPolicy> policy =
+            MakeLimeQoPlusPolicy(&backend, 5, censored);
+        core::OfflineExplorer explorer(&backend, policy.get(),
+                                       core::ExplorerOptions{});
+        double spent = 0.0;
+        for (size_t i = 0; i < fractions.size(); ++i) {
+          explorer.Explore(fractions[i] * db->DefaultTotal() - spent);
+          spent = fractions[i] * db->DefaultTotal();
+          sums[i] += 100.0 * explorer.WorkloadLatency() / db->DefaultTotal();
+        }
+      }
+      std::vector<std::string> row = {censored ? "LimeQO+ (censored)"
+                                               : "LimeQO+ (w/o censored)"};
+      for (double s : sums) row.push_back(FormatDouble(s / kSeeds, 0) + "%");
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+  }
+  std::printf(
+      "\nShape target (paper): the censored arms converge faster and with "
+      "less variance; LimeQO+ with censoring needs ~1.8x less exploration "
+      "to reach the halved workload.\n");
+}
+
+}  // namespace
+}  // namespace limeqo::bench
+
+int main() { limeqo::bench::Run(); }

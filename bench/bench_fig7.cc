@@ -1,0 +1,64 @@
+// Reproduces paper Fig. 7: cumulative model overhead (wall-clock time spent
+// in prediction/selection, not query execution) as a function of offline
+// exploration time, LimeQO (ALS) vs LimeQO+ (transductive TCNN). The
+// paper's headline: after 6 hours of exploration LimeQO's overhead is ~10 s
+// while LimeQO+'s is ~3600 s on CPU — linear methods are >= 360x cheaper.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+namespace limeqo::bench {
+namespace {
+
+void Run() {
+  const double kScale = 0.04;
+  StatusOr<simdb::SimulatedDatabase> db =
+      workloads::MakeWorkload(workloads::WorkloadId::kCeb, kScale, 42);
+  LIMEQO_CHECK(db.ok());
+  PrintBanner("Figure 7",
+              "Cumulative model overhead vs exploration time on CEB",
+              "Both arms on the same n=" + std::to_string(db->num_queries()) +
+                  " instance so overheads are directly comparable.");
+
+  const std::vector<double> fractions = {0.5, 1.0, 1.5, 2.0};
+  TablePrinter table(
+      {"Technique", "0.5x", "1x", "1.5x", "2x", "overhead/exploration"});
+  double limeqo_overhead = 0.0;
+  double plus_overhead = 0.0;
+  for (Technique t : {Technique::kLimeQo, Technique::kLimeQoPlus}) {
+    core::SimDbBackend backend(&*db);
+    std::unique_ptr<core::ExplorationPolicy> policy = MakePolicy(t, &backend);
+    core::OfflineExplorer explorer(&backend, policy.get(),
+                                   core::ExplorerOptions{});
+    std::vector<std::string> row = {TechniqueName(t)};
+    double spent = 0.0;
+    for (double f : fractions) {
+      explorer.Explore(f * db->DefaultTotal() - spent);
+      spent = f * db->DefaultTotal();
+      row.push_back(FormatDouble(explorer.overhead_seconds(), 2) + "s");
+    }
+    row.push_back(FormatDouble(
+        100.0 * explorer.overhead_seconds() / explorer.offline_seconds(), 2) +
+        "%");
+    table.AddRow(row);
+    if (t == Technique::kLimeQo) {
+      limeqo_overhead = explorer.overhead_seconds();
+    } else {
+      plus_overhead = explorer.overhead_seconds();
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nMeasured LimeQO+ / LimeQO overhead ratio: %.0fx  (paper: ~360x on "
+      "CPU, ~66x on an A100 GPU).\n",
+      plus_overhead / limeqo_overhead);
+}
+
+}  // namespace
+}  // namespace limeqo::bench
+
+int main() { limeqo::bench::Run(); }

@@ -1,0 +1,55 @@
+// Reproduces paper Fig. 8: Greedy vs LimeQO after an ETL query is added to
+// the Stack workload. The ETL query (a scan dumped to CSV, 576.5 s in the
+// paper) is hint-insensitive: no hint can speed it up. Greedy keeps probing
+// it — it is the longest-running query — while LimeQO's model predicts no
+// benefit and spends the budget elsewhere.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+namespace limeqo::bench {
+namespace {
+
+void Run() {
+  const double kScale = 0.10;
+  PrintBanner("Figure 8",
+              "Greedy vs LimeQO on Stack after adding a 576.5 s ETL query",
+              "Stack at scale " + FormatDouble(kScale, 2) +
+                  "; the ETL latency is scaled by the same factor.");
+
+  const std::vector<double> fractions = {0.5, 1.0, 1.5, 2.0};
+  TablePrinter table({"Technique", "start", "0.5x", "1x", "1.5x", "2x"});
+  double default_total = 0.0;
+  for (Technique t : {Technique::kGreedy, Technique::kLimeQo}) {
+    StatusOr<simdb::SimulatedDatabase> db =
+        workloads::MakeWorkload(workloads::WorkloadId::kStack, kScale, 42);
+    LIMEQO_CHECK(db.ok());
+    const double etl_latency = 576.5 * kScale;
+    db->AppendEtlQuery(etl_latency);
+    default_total = db->DefaultTotal();
+    SweepResult result =
+        RunSweep(&*db, t, BudgetsFromFractions(*db, fractions));
+    std::vector<std::string> row = {TechniqueName(t),
+                                    FormatDuration(default_total)};
+    for (double latency : result.latency_at) {
+      row.push_back(FormatDuration(latency));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nDefault total after adding the ETL query: %s (paper: 1.46h -> "
+      "1.62h at full scale).\nShape target: LimeQO stays strictly below "
+      "Greedy from 0 to 2x default time because it ignores the "
+      "unimprovable ETL query.\n",
+      FormatDuration(default_total).c_str());
+}
+
+}  // namespace
+}  // namespace limeqo::bench
+
+int main() { limeqo::bench::Run(); }

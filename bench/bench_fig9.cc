@@ -1,0 +1,87 @@
+// Reproduces paper Fig. 9: workload shift on CEB. Exploration starts with
+// 70% of the queries; after 2 hours (here: 2/3 of a scaled default-total
+// budget) the remaining 30% arrive as new workload-matrix rows. LimeQO's
+// completed matrix transfers what it learned about the hint space to the
+// new rows and recovers within ~0.5 h; Greedy has no model to transfer.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+namespace limeqo::bench {
+namespace {
+
+struct ShiftResult {
+  std::vector<double> latencies;  // at each grid point
+};
+
+ShiftResult RunWithShift(simdb::SimulatedDatabase* db, Technique t,
+                         const std::vector<double>& grid, double shift_time,
+                         int initial_queries, bool shift) {
+  core::SimDbBackend backend(db);
+  std::unique_ptr<core::ExplorationPolicy> policy = MakePolicy(t, &backend);
+  core::ExplorerOptions options;
+  options.initial_queries = shift ? initial_queries : -1;
+  core::OfflineExplorer explorer(&backend, policy.get(), options);
+  ShiftResult result;
+  bool shifted = !shift;
+  for (double g : grid) {
+    if (!shifted && g >= shift_time) {
+      explorer.AddNewQueries(db->num_queries() - initial_queries);
+      shifted = true;
+    }
+    // The previous chunk's last execution may have overshot this grid
+    // point already; never request a negative budget.
+    explorer.Explore(std::max(0.0, g - explorer.offline_seconds()));
+    result.latencies.push_back(explorer.WorkloadLatency());
+  }
+  return result;
+}
+
+void Run() {
+  const double kScale = 0.15;
+  StatusOr<simdb::SimulatedDatabase> db =
+      workloads::MakeWorkload(workloads::WorkloadId::kCeb, kScale, 42);
+  LIMEQO_CHECK(db.ok());
+  const double d = db->DefaultTotal();
+  const int n70 = (db->num_queries() * 7) / 10;
+  PrintBanner("Figure 9",
+              "Workload shift: 70% of CEB first, +30% new queries later",
+              "n=" + std::to_string(db->num_queries()) + ", new queries at t=" +
+                  FormatDuration(2.0 / 3.0 * d) +
+                  "; cells are workload latency in seconds over the FULL "
+                  "query set's matrix rows present at that time.");
+
+  std::vector<double> grid;
+  for (int i = 1; i <= 9; ++i) grid.push_back(d * i / 4.5);
+  std::vector<std::string> headers = {"Arm"};
+  for (double g : grid) headers.push_back(FormatDouble(g / d, 2) + "x");
+  TablePrinter table(headers);
+
+  for (Technique t : {Technique::kLimeQo, Technique::kGreedy}) {
+    for (bool shift : {true, false}) {
+      ShiftResult r =
+          RunWithShift(&*db, t, grid, 2.0 / 3.0 * d, n70, shift);
+      std::vector<std::string> row = {TechniqueName(t) +
+                                      (shift ? " (with shift)" : "")};
+      for (double latency : r.latencies) {
+        row.push_back(FormatDouble(latency, 0));
+      }
+      table.AddRow(row);
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nShape target (paper): the with-shift LimeQO curve rejoins the "
+      "no-shift curve within ~0.5x after the new queries arrive, while "
+      "with-shift Greedy stays above no-shift Greedy for > 4x.\n");
+}
+
+}  // namespace
+}  // namespace limeqo::bench
+
+int main() { limeqo::bench::Run(); }

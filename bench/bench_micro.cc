@@ -1,0 +1,133 @@
+// Google-benchmark micro-benchmarks for the per-step costs behind the
+// paper's overhead analysis (Figs. 7 and 13): one ALS completion, one SVD,
+// one TCNN training epoch + full inference pass, and one GP fit. These are
+// the primitives whose cost ratio produces the paper's "linear methods are
+// 360x cheaper" headline.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include <memory>
+#include <vector>
+
+#include "bayesqo/gaussian_process.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/als.h"
+#include "linalg/svd.h"
+#include "nn/tcnn.h"
+#include "nn/tcnn_predictor.h"
+#include "plan/featurize.h"
+
+namespace limeqo::bench {
+namespace {
+
+/// Builds a workload matrix at the given scale with defaults plus a 10%
+/// random fill, the regime ALS sees during exploration.
+core::WorkloadMatrix MakeMatrix(const simdb::SimulatedDatabase& db,
+                                double fill) {
+  core::WorkloadMatrix w(db.num_queries(), db.num_hints());
+  Rng rng(5);
+  for (int i = 0; i < db.num_queries(); ++i) {
+    w.Observe(i, 0, db.TrueLatency(i, 0));
+    for (int j = 1; j < db.num_hints(); ++j) {
+      if (rng.Bernoulli(fill)) w.Observe(i, j, db.TrueLatency(i, j));
+    }
+  }
+  return w;
+}
+
+const simdb::SimulatedDatabase& Db(workloads::WorkloadId id, double scale) {
+  static simdb::SimulatedDatabase& job = *new simdb::SimulatedDatabase(
+      std::move(workloads::MakeWorkload(workloads::WorkloadId::kJob, 1.0, 42))
+          .value());
+  static simdb::SimulatedDatabase& ceb = *new simdb::SimulatedDatabase(
+      std::move(workloads::MakeWorkload(workloads::WorkloadId::kCeb, 0.25, 42))
+          .value());
+  (void)scale;
+  return id == workloads::WorkloadId::kJob ? job : ceb;
+}
+
+void BM_AlsCompleteJob(benchmark::State& state) {
+  const simdb::SimulatedDatabase& db = Db(workloads::WorkloadId::kJob, 1.0);
+  core::WorkloadMatrix w = MakeMatrix(db, 0.1);
+  core::AlsCompleter als;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(als.Complete(w));
+  }
+}
+BENCHMARK(BM_AlsCompleteJob)->Unit(benchmark::kMillisecond);
+
+void BM_AlsCompleteCebQuarter(benchmark::State& state) {
+  const simdb::SimulatedDatabase& db = Db(workloads::WorkloadId::kCeb, 0.25);
+  core::WorkloadMatrix w = MakeMatrix(db, 0.1);
+  core::AlsCompleter als;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(als.Complete(w));
+  }
+}
+BENCHMARK(BM_AlsCompleteCebQuarter)->Unit(benchmark::kMillisecond);
+
+void BM_SvdJobMatrix(benchmark::State& state) {
+  const simdb::SimulatedDatabase& db = Db(workloads::WorkloadId::kJob, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::SingularValues(db.true_matrix()));
+  }
+}
+BENCHMARK(BM_SvdJobMatrix)->Unit(benchmark::kMillisecond);
+
+void BM_TcnnTrainEpoch(benchmark::State& state) {
+  const simdb::SimulatedDatabase& db = Db(workloads::WorkloadId::kJob, 1.0);
+  nn::TcnnOptions options = BenchTcnnOptions();
+  options.max_epochs = 1;
+  nn::TcnnModel model(db.num_queries(), db.num_hints(), options);
+  std::vector<std::unique_ptr<plan::FlatPlan>> flats;
+  std::vector<nn::TcnnSample> samples;
+  Rng rng(9);
+  for (int s = 0; s < 128; ++s) {
+    const int i = static_cast<int>(rng.NextUint64Below(db.num_queries()));
+    const int j = static_cast<int>(rng.NextUint64Below(db.num_hints()));
+    flats.push_back(
+        std::make_unique<plan::FlatPlan>(plan::FlattenPlan(db.Plan(i, j))));
+    samples.push_back(nn::TcnnSample{flats.back().get(), i, j,
+                                     std::log1p(db.TrueLatency(i, j)),
+                                     false});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Train(samples));
+  }
+}
+BENCHMARK(BM_TcnnTrainEpoch)->Unit(benchmark::kMillisecond);
+
+void BM_TcnnInference(benchmark::State& state) {
+  const simdb::SimulatedDatabase& db = Db(workloads::WorkloadId::kJob, 1.0);
+  nn::TcnnModel model(db.num_queries(), db.num_hints(), BenchTcnnOptions());
+  plan::FlatPlan flat = plan::FlattenPlan(db.Plan(0, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(flat, 0, 1));
+  }
+}
+BENCHMARK(BM_TcnnInference)->Unit(benchmark::kMicrosecond);
+
+void BM_GaussianProcessFit(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> x(6);
+    for (double& v : x) v = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    xs.push_back(x);
+    ys.push_back(rng.Uniform(0.1, 10.0));
+  }
+  for (auto _ : state) {
+    bayesqo::GaussianProcess gp{bayesqo::GpOptions{}};
+    benchmark::DoNotOptimize(gp.Fit(xs, ys));
+  }
+}
+BENCHMARK(BM_GaussianProcessFit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace limeqo::bench
+
+BENCHMARK_MAIN();

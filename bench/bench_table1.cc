@@ -1,0 +1,60 @@
+// Reproduces paper Table 1: the four evaluation workloads with their query
+// counts, total Default latency (PostgreSQL's default hint) and Optimal
+// latency (oracle best hint per query). The simulated instances are
+// calibrated to the published totals; the match verifies the calibration.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+namespace limeqo::bench {
+namespace {
+
+void Run() {
+  PrintBanner("Table 1", "Workload statistics: Default vs Optimal totals",
+              "Full-scale simulated instances (scale = 1.0).");
+  TablePrinter table({"Workload", "Dataset", "Size", "#Queries",
+                      "Default(paper)", "Default(sim)", "Optimal(paper)",
+                      "Optimal(sim)", "Headroom(paper)", "Headroom(sim)"});
+  for (const workloads::WorkloadSpec& spec : workloads::AllWorkloadSpecs()) {
+    if (spec.id == workloads::WorkloadId::kStack2017) continue;
+    StatusOr<simdb::SimulatedDatabase> db =
+        workloads::MakeWorkload(spec.id, /*scale=*/1.0, /*seed=*/42);
+    LIMEQO_CHECK(db.ok());
+    table.AddRow({spec.name, spec.dataset, spec.size_label,
+                  std::to_string(spec.num_queries),
+                  FormatDuration(spec.default_total_seconds),
+                  FormatDuration(db->DefaultTotal()),
+                  FormatDuration(spec.optimal_total_seconds),
+                  FormatDuration(db->OptimalTotal()),
+                  FormatDouble(spec.default_total_seconds /
+                               spec.optimal_total_seconds),
+                  FormatDouble(db->DefaultTotal() / db->OptimalTotal())});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExhaustive exploration cost (sum of all %d plans per query):\n",
+      simdb::kNumHints);
+  for (const workloads::WorkloadSpec& spec : workloads::AllWorkloadSpecs()) {
+    if (spec.id != workloads::WorkloadId::kCeb &&
+        spec.id != workloads::WorkloadId::kStack) {
+      continue;
+    }
+    StatusOr<simdb::SimulatedDatabase> db =
+        workloads::MakeWorkload(spec.id, 1.0, 42);
+    LIMEQO_CHECK(db.ok());
+    double total = 0.0;
+    for (int i = 0; i < db->num_queries(); ++i) {
+      for (int j = 0; j < db->num_hints(); ++j) total += db->TrueLatency(i, j);
+    }
+    std::printf("  %-6s %.1f days (paper: CEB 12 days, Stack > 16 days)\n",
+                spec.name.c_str(), total / 86400.0);
+  }
+}
+
+}  // namespace
+}  // namespace limeqo::bench
+
+int main() { limeqo::bench::Run(); }

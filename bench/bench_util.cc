@@ -1,0 +1,173 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/als.h"
+#include "nn/tcnn_predictor.h"
+
+namespace limeqo::bench {
+
+std::string TechniqueName(Technique t) {
+  switch (t) {
+    case Technique::kQoAdvisor:
+      return "QO-Advisor";
+    case Technique::kBaoCache:
+      return "Bao-Cache";
+    case Technique::kRandom:
+      return "Random";
+    case Technique::kGreedy:
+      return "Greedy";
+    case Technique::kLimeQo:
+      return "LimeQO";
+    case Technique::kLimeQoPlus:
+      return "LimeQO+";
+    case Technique::kTcnn:
+      return "TCNN";
+  }
+  return "?";
+}
+
+const std::vector<Technique>& Fig5Techniques() {
+  static const std::vector<Technique>& techniques =
+      *new std::vector<Technique>({
+          Technique::kQoAdvisor,
+          Technique::kBaoCache,
+          Technique::kRandom,
+          Technique::kGreedy,
+          Technique::kLimeQo,
+          Technique::kLimeQoPlus,
+      });
+  return techniques;
+}
+
+bool IsNeural(Technique t) {
+  return t == Technique::kBaoCache || t == Technique::kLimeQoPlus ||
+         t == Technique::kTcnn;
+}
+
+nn::TcnnOptions BenchTcnnOptions() {
+  nn::TcnnOptions options;
+  options.conv_channels = {16, 8};
+  options.fc_hidden = {16};
+  options.max_epochs = 15;
+  return options;
+}
+
+std::unique_ptr<core::ExplorationPolicy> MakePolicy(
+    Technique t, const core::WorkloadBackend* backend) {
+  switch (t) {
+    case Technique::kQoAdvisor:
+      return std::make_unique<core::QoAdvisorPolicy>(backend);
+    case Technique::kBaoCache: {
+      nn::TcnnOptions options = BenchTcnnOptions();
+      options.use_embeddings = false;  // Bao's plain TCNN
+      return std::make_unique<core::BaoCachePolicy>(
+          std::make_unique<nn::TcnnPredictor>(backend, options, "Bao-TCNN"));
+    }
+    case Technique::kRandom:
+      return std::make_unique<core::RandomPolicy>();
+    case Technique::kGreedy:
+      return std::make_unique<core::GreedyPolicy>();
+    case Technique::kLimeQo:
+      return MakeLimeQoPolicy(/*rank=*/5, /*censored=*/true);
+    case Technique::kLimeQoPlus:
+      return MakeLimeQoPlusPolicy(backend, /*rank=*/5, /*censored=*/true);
+    case Technique::kTcnn: {
+      nn::TcnnOptions options = BenchTcnnOptions();
+      options.use_embeddings = false;
+      return std::make_unique<core::ModelGuidedPolicy>(
+          std::make_unique<nn::TcnnPredictor>(backend, options, "TCNN"),
+          "TCNN");
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<core::ExplorationPolicy> MakeLimeQoPolicy(int rank,
+                                                          bool censored) {
+  core::AlsOptions options;
+  options.rank = rank;
+  // The paper's Sec. 5.5.4 ablation removes Algorithm 2's lines 5 and 10,
+  // "ignoring the timeout matrix" — censored observations are dropped.
+  options.censored_mode = censored ? core::CensoredMode::kCensored
+                                   : core::CensoredMode::kIgnore;
+  return std::make_unique<core::ModelGuidedPolicy>(
+      std::make_unique<core::CompleterPredictor>(
+          std::make_unique<core::AlsCompleter>(options)),
+      "LimeQO");
+}
+
+std::unique_ptr<core::ExplorationPolicy> MakeLimeQoPlusPolicy(
+    const core::WorkloadBackend* backend, int rank, bool censored) {
+  nn::TcnnOptions options = BenchTcnnOptions();
+  options.use_embeddings = true;
+  options.embedding_dim = rank;
+  options.censored_loss = censored;
+  return std::make_unique<core::ModelGuidedPolicy>(
+      std::make_unique<nn::TcnnPredictor>(backend, options, "LimeQO+"),
+      "LimeQO+");
+}
+
+SweepResult RunSweep(simdb::SimulatedDatabase* db, Technique t,
+                     const std::vector<double>& budgets,
+                     const core::ExplorerOptions& options) {
+  SweepResult result;
+  result.technique = t;
+  core::SimDbBackend backend(db);
+  std::unique_ptr<core::ExplorationPolicy> policy = MakePolicy(t, &backend);
+  core::ExplorerOptions effective = options;
+  if (IsNeural(t)) {
+    // Neural predictors retrain on every policy call; larger batches keep
+    // the bench suite's wall time reasonable without changing the policy.
+    effective.batch_size = std::max(effective.batch_size, 50);
+  }
+  core::OfflineExplorer explorer(&backend, policy.get(), effective);
+  double spent = 0.0;
+  for (double budget : budgets) {
+    const double chunk = budget - spent;
+    LIMEQO_CHECK(chunk >= 0.0);
+    std::vector<core::TrajectoryPoint> points = explorer.Explore(chunk);
+    result.trajectory.insert(result.trajectory.end(), points.begin(),
+                             points.end());
+    result.latency_at.push_back(explorer.WorkloadLatency());
+    spent = budget;
+  }
+  result.overhead_seconds = explorer.overhead_seconds();
+  return result;
+}
+
+std::vector<double> BudgetsFromFractions(
+    const simdb::SimulatedDatabase& db, const std::vector<double>& fractions) {
+  std::vector<double> budgets;
+  budgets.reserve(fractions.size());
+  for (double f : fractions) budgets.push_back(f * db.DefaultTotal());
+  return budgets;
+}
+
+std::vector<double> ResampleTrajectory(
+    const std::vector<core::TrajectoryPoint>& trajectory,
+    const std::vector<double>& grid) {
+  std::vector<double> values;
+  values.reserve(grid.size());
+  size_t idx = 0;
+  double last = trajectory.empty() ? 0.0 : trajectory.front().workload_latency;
+  for (double g : grid) {
+    while (idx < trajectory.size() && trajectory[idx].offline_seconds <= g) {
+      last = trajectory[idx].workload_latency;
+      ++idx;
+    }
+    values.push_back(last);
+  }
+  return values;
+}
+
+void PrintBanner(const std::string& figure, const std::string& description,
+                 const std::string& scale_note) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  if (!scale_note.empty()) std::printf("%s\n", scale_note.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace limeqo::bench

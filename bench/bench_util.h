@@ -1,0 +1,92 @@
+#ifndef LIMEQO_BENCH_BENCH_UTIL_H_
+#define LIMEQO_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/explorer.h"
+#include "core/policy.h"
+#include "core/simdb_backend.h"
+#include "nn/tcnn.h"
+#include "simdb/database.h"
+#include "workloads/workloads.h"
+
+namespace limeqo::bench {
+
+/// The six techniques compared throughout the paper's Sec. 5 (Fig. 5/6)
+/// plus the pure-TCNN ablation arm of Sec. 5.5.1.
+enum class Technique {
+  kQoAdvisor = 0,
+  kBaoCache,
+  kRandom,
+  kGreedy,
+  kLimeQo,
+  kLimeQoPlus,
+  kTcnn,
+};
+
+/// Display name matching the paper's legends.
+std::string TechniqueName(Technique t);
+
+/// All six Fig. 5 techniques in legend order.
+const std::vector<Technique>& Fig5Techniques();
+
+/// True for techniques whose predictor is a neural network (these dominate
+/// bench wall time; benches run them on subsampled workloads).
+bool IsNeural(Technique t);
+
+/// A reduced-size TCNN configuration for bench runs: same architecture
+/// family as the paper's model, fewer channels/epochs so a full bench suite
+/// completes in minutes. The configuration is printed by every bench that
+/// uses it.
+nn::TcnnOptions BenchTcnnOptions();
+
+/// Builds the exploration policy for `t` against `backend`.
+std::unique_ptr<core::ExplorationPolicy> MakePolicy(
+    Technique t, const core::WorkloadBackend* backend);
+
+/// Builds a LimeQO (ALS) policy with a specific rank / censored setting,
+/// for the Sec. 5.5 ablations.
+std::unique_ptr<core::ExplorationPolicy> MakeLimeQoPolicy(
+    int rank, bool censored);
+
+/// Builds a LimeQO+ policy with a specific embedding rank / censored
+/// setting.
+std::unique_ptr<core::ExplorationPolicy> MakeLimeQoPlusPolicy(
+    const core::WorkloadBackend* backend, int rank, bool censored);
+
+/// Result of one exploration run: workload latency (seconds) after each
+/// cumulative budget checkpoint, plus the final trajectory.
+struct SweepResult {
+  Technique technique;
+  /// Latency after each checkpoint in `budgets` (cumulative seconds).
+  std::vector<double> latency_at;
+  double overhead_seconds = 0.0;
+  std::vector<core::TrajectoryPoint> trajectory;
+};
+
+/// Runs `technique` on a fresh copy of the exploration state against `db`
+/// and records latency at each cumulative budget checkpoint.
+SweepResult RunSweep(simdb::SimulatedDatabase* db, Technique t,
+                     const std::vector<double>& budgets,
+                     const core::ExplorerOptions& options = {});
+
+/// Shorthand: budgets = fractions * db->DefaultTotal() (cumulative).
+std::vector<double> BudgetsFromFractions(const simdb::SimulatedDatabase& db,
+                                         const std::vector<double>& fractions);
+
+/// Resamples a trajectory onto `grid` (cumulative offline seconds),
+/// carrying the last latency forward.
+std::vector<double> ResampleTrajectory(
+    const std::vector<core::TrajectoryPoint>& trajectory,
+    const std::vector<double>& grid);
+
+/// Prints the standard bench banner: what paper artifact this reproduces
+/// and which workload scale is in use.
+void PrintBanner(const std::string& figure, const std::string& description,
+                 const std::string& scale_note);
+
+}  // namespace limeqo::bench
+
+#endif  // LIMEQO_BENCH_BENCH_UTIL_H_

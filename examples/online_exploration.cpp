@@ -1,0 +1,60 @@
+// Online exploration (the paper's Sec. 6 future-work direction): instead of
+// dedicating offline idle time, let a small, regret-bounded fraction of
+// production servings try the model's predicted-best unverified plans. The
+// workload matrix fills in from traffic the system was going to serve
+// anyway; cumulative slowdown versus the verified plans is capped by an
+// explicit regret budget.
+//
+//   build/examples/online_exploration
+
+#include <cstdio>
+#include <memory>
+
+#include "core/als.h"
+#include "core/online_explorer.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using namespace limeqo;
+
+  StatusOr<simdb::SimulatedDatabase> db =
+      workloads::MakeWorkload(workloads::WorkloadId::kJob, 1.0, 11);
+  if (!db.ok()) return 1;
+  const int n = db->num_queries();
+
+  // The serving-side state: the workload matrix (defaults observed from
+  // normal operation) and a linear completion model.
+  core::WorkloadMatrix matrix(n, db->num_hints());
+  for (int q = 0; q < n; ++q) matrix.Observe(q, 0, db->TrueLatency(q, 0));
+  core::CompleterPredictor predictor(std::make_unique<core::AlsCompleter>());
+
+  core::OnlineExplorationOptions options;
+  options.epsilon = 0.10;               // at most 10% of servings explore
+  options.min_predicted_ratio = 0.10;   // only clearly promising plans
+  options.regret_budget_seconds = 30.0; // hard cap on total extra time
+  core::OnlineExplorationOptimizer optimizer(&matrix, &predictor, options);
+
+  std::printf("JOB: %d queries, default pass %.0f s, optimal %.0f s\n", n,
+              db->DefaultTotal(), db->OptimalTotal());
+
+  // Serve twelve full passes over the workload (a "day" of dashboard
+  // refreshes each) and watch served time fall as exploration verifies
+  // faster plans.
+  for (int pass = 1; pass <= 12; ++pass) {
+    double served = 0.0;
+    for (int q = 0; q < n; ++q) {
+      const int hint = optimizer.ChooseHint(q);
+      const double latency = db->TrueLatency(q, hint);
+      served += latency;
+      optimizer.ReportLatency(q, hint, latency);
+    }
+    if (pass == 1 || pass % 3 == 0) {
+      std::printf(
+          "pass %2d: served %.0f s   (explorations so far: %d, regret "
+          "spent: %.1f / %.0f s)\n",
+          pass, served, optimizer.explorations(), optimizer.regret_spent(),
+          options.regret_budget_seconds);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: explore a repetitive workload offline with LimeQO and print
+// the no-regression hint selections.
+//
+//   build/examples/quickstart
+//
+// Walks through the whole public API surface in ~60 lines: build a
+// (simulated) workload, wrap it in a backend, run Algorithm 1 with the
+// censored ALS predictor for half the workload's default runtime, and read
+// out the verified best hints.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "core/als.h"
+#include "core/explorer.h"
+#include "core/online.h"
+#include "core/policy.h"
+#include "core/report.h"
+#include "core/simdb_backend.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using namespace limeqo;
+
+  // 1. A repetitive workload. Here: a scaled-down JOB instance; in a real
+  //    deployment this would be your DBMS with its hint interface.
+  StatusOr<simdb::SimulatedDatabase> db =
+      workloads::MakeWorkload(workloads::WorkloadId::kJob, /*scale=*/1.0,
+                              /*seed=*/7);
+  if (!db.ok()) {
+    std::fprintf(stderr, "failed to build workload: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("workload: %d queries x %d hints, default total %.0f s\n",
+              db->num_queries(), db->num_hints(), db->DefaultTotal());
+
+  // 2. The backend abstraction: anything that can run (query, hint) pairs
+  //    with a timeout. See examples/custom_backend.cpp for rolling your own.
+  core::SimDbBackend backend(&*db);
+
+  // 3. LimeQO = Algorithm 1 with a linear (censored non-negative ALS)
+  //    predictive model.
+  core::ModelGuidedPolicy policy(
+      std::make_unique<core::CompleterPredictor>(
+          std::make_unique<core::AlsCompleter>()),
+      "LimeQO");
+
+  // 4. Explore offline for half the default workload time.
+  core::OfflineExplorer explorer(&backend, &policy, core::ExplorerOptions{});
+  explorer.Explore(/*budget_seconds=*/0.5 * db->DefaultTotal());
+
+  std::printf("after %.0f s of offline exploration:\n",
+              explorer.offline_seconds());
+  std::printf("  workload latency %.0f s -> %.0f s (optimal %.0f s)\n",
+              db->DefaultTotal(), explorer.WorkloadLatency(),
+              db->OptimalTotal());
+  std::printf("  model overhead: %.2f s\n", explorer.overhead_seconds());
+
+  // 5. The online path: serve each arriving query with its verified best
+  //    hint — never a hint that has not been observed to beat the default.
+  core::OnlineOptimizer online(&explorer.matrix());
+  int improved = 0;
+  for (int q = 0; q < db->num_queries(); ++q) {
+    if (online.HasVerifiedPlan(q)) ++improved;
+  }
+  std::printf("  %d/%d queries now have a verified faster plan\n", improved,
+              db->num_queries());
+
+  // 6. An operator-facing audit of what exploration achieved.
+  std::printf("\n");
+  core::PrintReport(core::BuildReport(explorer.matrix()), std::cout,
+                    /*top=*/5);
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "bayesqo/bayesqo.h"
+
+#include <cmath>
+#include <limits>
+
+namespace limeqo::bayesqo {
+
+PerQueryBayesOpt::PerQueryBayesOpt(core::WorkloadBackend* backend,
+                                   HintFeatureFn features,
+                                   const BayesQoOptions& options)
+    : backend_(backend),
+      features_(std::move(features)),
+      options_(options),
+      matrix_(backend->num_queries(), backend->num_hints()),
+      rng_(options.seed) {
+  LIMEQO_CHECK(backend != nullptr);
+  LIMEQO_CHECK(features_ != nullptr);
+  LIMEQO_CHECK(options.per_query_budget_seconds > 0.0);
+  // Default plans are known from online execution (zero offline cost).
+  for (int i = 0; i < matrix_.num_queries(); ++i) {
+    const core::BackendResult r = backend_->Execute(i, 0, 0.0);
+    matrix_.Observe(i, 0, r.observed_latency);
+  }
+}
+
+std::vector<core::TrajectoryPoint> PerQueryBayesOpt::Run() {
+  std::vector<core::TrajectoryPoint> trajectory;
+  auto record = [&]() {
+    core::TrajectoryPoint p;
+    p.offline_seconds = offline_seconds_;
+    p.workload_latency = matrix_.CurrentWorkloadLatency();
+    p.complete_cells = matrix_.NumComplete();
+    p.censored_cells = matrix_.NumCensored();
+    trajectory.push_back(p);
+  };
+  record();
+  for (int i = 0; i < matrix_.num_queries(); ++i) {
+    OptimizeQuery(i);
+    record();
+  }
+  return trajectory;
+}
+
+void PerQueryBayesOpt::OptimizeQuery(int query) {
+  const double budget_end =
+      offline_seconds_ + options_.per_query_budget_seconds;
+  while (offline_seconds_ < budget_end) {
+    // Fit the surrogate on everything observed for this query (complete and
+    // censored: a censored observation still carries "at least this slow").
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    std::vector<int> unexplored;
+    for (int j = 0; j < matrix_.num_hints(); ++j) {
+      if (matrix_.IsUnobserved(query, j)) {
+        unexplored.push_back(j);
+      } else {
+        x.push_back(features_(j));
+        y.push_back(std::log1p(matrix_.observed(query, j)));
+      }
+    }
+    if (unexplored.empty()) return;  // whole row explored
+
+    // The surrogate update and acquisition search consume budget too.
+    offline_seconds_ += options_.surrogate_overhead_seconds;
+    if (offline_seconds_ >= budget_end) return;
+
+    GaussianProcess gp(options_.gp);
+    const Status fit = gp.Fit(x, y);
+    int choice = unexplored[0];
+    if (fit.ok()) {
+      // Maximize expected improvement below the current best latency.
+      const double best_y = std::log1p(matrix_.RowMinObserved(query));
+      double best_ei = -1.0;
+      for (int j : unexplored) {
+        const double ei = gp.ExpectedImprovement(features_(j), best_y);
+        if (ei > best_ei) {
+          best_ei = ei;
+          choice = j;
+        }
+      }
+    } else {
+      // Singular kernel (degenerate inputs): fall back to a random hint.
+      choice = unexplored[rng_.NextUint64Below(unexplored.size())];
+    }
+
+    // Execute with a timeout at the current best (no point running longer)
+    // and never beyond the remaining per-query budget.
+    double timeout = 0.0;
+    if (options_.use_timeouts) {
+      timeout = matrix_.RowMinObserved(query);
+    }
+    const double remaining = budget_end - offline_seconds_;
+    timeout = timeout > 0.0 ? std::min(timeout, remaining) : remaining;
+
+    const core::BackendResult r = backend_->Execute(query, choice, timeout);
+    offline_seconds_ += r.observed_latency;
+    if (r.timed_out) {
+      matrix_.ObserveCensored(query, choice, r.observed_latency);
+    } else {
+      matrix_.Observe(query, choice, r.observed_latency);
+    }
+  }
+}
+
+}  // namespace limeqo::bayesqo

@@ -1,0 +1,71 @@
+#ifndef LIMEQO_BAYESQO_BAYESQO_H_
+#define LIMEQO_BAYESQO_BAYESQO_H_
+
+#include <functional>
+#include <vector>
+
+#include "bayesqo/gaussian_process.h"
+#include "core/backend.h"
+#include "core/explorer.h"
+#include "core/workload_matrix.h"
+
+namespace limeqo::bayesqo {
+
+/// Options for the BayesQO-style baseline (paper Sec. 5.6): each query gets
+/// its own Bayesian-optimization loop over its hint set with a fixed
+/// per-query time allocation — in contrast to LimeQO, which allocates
+/// exploration time across the whole workload.
+struct BayesQoOptions {
+  /// Fixed optimization time per query (3 s in the paper's Fig. 18 setup).
+  double per_query_budget_seconds = 3.0;
+  GpOptions gp;
+  bool use_timeouts = true;
+  /// Time charged against the per-query budget for each surrogate update +
+  /// acquisition optimization. The real BayesQO searches an enormous plan
+  /// space with an expensive learned surrogate, and that optimization time
+  /// counts toward its fixed budget; our hint-space GP is much cheaper, so
+  /// this charge models the published system's per-step cost. 0 disables.
+  double surrogate_overhead_seconds = 0.0;
+  uint64_t seed = 5;
+};
+
+/// Maps a hint index to the feature vector the GP surrogate sees (e.g. the
+/// six optimizer knob bits). Supplied by the caller so this module stays
+/// independent of any particular hint encoding.
+using HintFeatureFn = std::function<std::vector<double>(int hint)>;
+
+/// Per-query Bayesian optimization over the hint set.
+///
+/// For each query in turn: observe the default plan (free, it runs online),
+/// then repeatedly fit a GP on (hint features -> log latency), execute the
+/// hint maximizing expected improvement, until the per-query budget is
+/// exhausted. Records the same trajectory points as OfflineExplorer so the
+/// Fig. 18 comparison is apples-to-apples.
+class PerQueryBayesOpt {
+ public:
+  /// The backend must outlive this object.
+  PerQueryBayesOpt(core::WorkloadBackend* backend, HintFeatureFn features,
+                   const BayesQoOptions& options);
+
+  /// Runs the full per-query sweep; returns the trajectory (cumulative
+  /// optimization time vs workload latency).
+  std::vector<core::TrajectoryPoint> Run();
+
+  const core::WorkloadMatrix& matrix() const { return matrix_; }
+  double offline_seconds() const { return offline_seconds_; }
+
+ private:
+  /// Optimizes one query; returns when its budget is exhausted.
+  void OptimizeQuery(int query);
+
+  core::WorkloadBackend* backend_;
+  HintFeatureFn features_;
+  BayesQoOptions options_;
+  core::WorkloadMatrix matrix_;
+  double offline_seconds_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace limeqo::bayesqo
+
+#endif  // LIMEQO_BAYESQO_BAYESQO_H_

@@ -1,0 +1,94 @@
+#include "bayesqo/gaussian_process.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "linalg/solve.h"
+
+namespace limeqo::bayesqo {
+
+GaussianProcess::GaussianProcess(GpOptions options) : options_(options) {
+  LIMEQO_CHECK(options_.length_scale > 0.0);
+  LIMEQO_CHECK(options_.signal_variance > 0.0);
+  LIMEQO_CHECK(options_.noise_variance > 0.0);
+}
+
+double GaussianProcess::Kernel(const std::vector<double>& a,
+                               const std::vector<double>& b) const {
+  LIMEQO_CHECK(a.size() == b.size());
+  double d2 = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) d2 += (a[i] - b[i]) * (a[i] - b[i]);
+  return options_.signal_variance *
+         std::exp(-d2 / (2.0 * options_.length_scale * options_.length_scale));
+}
+
+Status GaussianProcess::Fit(const std::vector<std::vector<double>>& x,
+                            const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("GP needs matching non-empty x and y");
+  }
+  const size_t n = x.size();
+  train_x_ = x;
+  y_mean_ = 0.0;
+  for (double v : y) y_mean_ += v;
+  y_mean_ /= static_cast<double>(n);
+
+  linalg::Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) k(i, j) = Kernel(x[i], x[j]);
+    k(i, i) += options_.noise_variance;
+  }
+  StatusOr<linalg::Matrix> chol = linalg::Cholesky(k);
+  if (!chol.ok()) return chol.status();
+  l_ = std::move(chol).value();
+
+  // alpha = K^-1 (y - mean) via the Cholesky factor.
+  linalg::Matrix rhs(n, 1);
+  for (size_t i = 0; i < n; ++i) rhs(i, 0) = y[i] - y_mean_;
+  StatusOr<linalg::Matrix> solved = linalg::SolveSpd(k, rhs);
+  if (!solved.ok()) return solved.status();
+  alpha_.resize(n);
+  for (size_t i = 0; i < n; ++i) alpha_[i] = (*solved)(i, 0);
+  fitted_ = true;
+  return Status::Ok();
+}
+
+GpPosterior GaussianProcess::Predict(const std::vector<double>& x) const {
+  LIMEQO_CHECK(fitted_);
+  const size_t n = train_x_.size();
+  std::vector<double> k_star(n);
+  for (size_t i = 0; i < n; ++i) k_star[i] = Kernel(train_x_[i], x);
+
+  GpPosterior post;
+  post.mean = y_mean_;
+  for (size_t i = 0; i < n; ++i) post.mean += k_star[i] * alpha_[i];
+
+  // v = L^-1 k_star via forward substitution; var = k(x,x) - v.v.
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = k_star[i];
+    for (size_t j = 0; j < i; ++j) s -= l_(i, j) * v[j];
+    v[i] = s / l_(i, i);
+  }
+  double vv = 0.0;
+  for (size_t i = 0; i < n; ++i) vv += v[i] * v[i];
+  post.variance = std::max(Kernel(x, x) - vv, 0.0);
+  return post;
+}
+
+double GaussianProcess::ExpectedImprovement(const std::vector<double>& x,
+                                            double best_y) const {
+  const GpPosterior post = Predict(x);
+  const double sigma = std::sqrt(post.variance);
+  if (sigma < 1e-12) return std::max(best_y - post.mean, 0.0);
+  const double z = (best_y - post.mean) / sigma;
+  return (best_y - post.mean) * NormalCdf(z) + sigma * NormalPdf(z);
+}
+
+double NormalPdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::numbers::sqrt2); }
+
+}  // namespace limeqo::bayesqo

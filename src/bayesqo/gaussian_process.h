@@ -1,0 +1,71 @@
+#ifndef LIMEQO_BAYESQO_GAUSSIAN_PROCESS_H_
+#define LIMEQO_BAYESQO_GAUSSIAN_PROCESS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace limeqo::bayesqo {
+
+/// Options for the RBF-kernel Gaussian process surrogate.
+struct GpOptions {
+  /// RBF length scale (inputs are 0/1 knob vectors, so ~1 knob flip).
+  double length_scale = 1.5;
+  /// Signal variance sigma_f^2.
+  double signal_variance = 1.0;
+  /// Observation noise added to the kernel diagonal.
+  double noise_variance = 1e-4;
+};
+
+/// Posterior mean and variance at one test point.
+struct GpPosterior {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+/// Minimal Gaussian-process regressor used by the BayesQO baseline
+/// (Sec. 5.6): RBF kernel, exact inference via Cholesky. The training sets
+/// here are tiny (at most the number of hints), so exact O(n^3) inference
+/// is more than fast enough.
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(GpOptions options = {});
+
+  /// Fits to the (x, y) pairs; x rows are feature vectors. Targets are
+  /// internally centered on their mean. Returns an error when the kernel
+  /// matrix is numerically singular.
+  Status Fit(const std::vector<std::vector<double>>& x,
+             const std::vector<double>& y);
+
+  /// Posterior at a test point. Must be fitted first.
+  GpPosterior Predict(const std::vector<double>& x) const;
+
+  /// Expected improvement of a *minimization* objective below `best_y` at
+  /// the test point. Non-negative; larger is more promising.
+  double ExpectedImprovement(const std::vector<double>& x,
+                             double best_y) const;
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  double Kernel(const std::vector<double>& a,
+                const std::vector<double>& b) const;
+
+  GpOptions options_;
+  std::vector<std::vector<double>> train_x_;
+  std::vector<double> alpha_;  // K^-1 (y - mean)
+  linalg::Matrix l_;           // Cholesky factor of K
+  double y_mean_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Standard normal probability density.
+double NormalPdf(double z);
+
+/// Standard normal cumulative distribution.
+double NormalCdf(double z);
+
+}  // namespace limeqo::bayesqo
+
+#endif  // LIMEQO_BAYESQO_GAUSSIAN_PROCESS_H_

@@ -1,0 +1,96 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace limeqo {
+
+double Sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return Sum(v) / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double ss = 0.0;
+  for (double x : v) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(v.size() - 1));
+}
+
+double Min(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return *std::min_element(v.begin(), v.end());
+}
+
+double Max(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return *std::max_element(v.begin(), v.end());
+}
+
+double Median(std::vector<double> v) { return Quantile(std::move(v), 0.5); }
+
+double Quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  LIMEQO_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(v.begin(), v.end());
+  double pos = q * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double MeanSquaredError(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  LIMEQO_CHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return s / static_cast<double>(a.size());
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  LIMEQO_CHECK(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  double ma = Mean(a), mb = Mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va == 0.0 || vb == 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace limeqo

@@ -1,0 +1,65 @@
+#ifndef LIMEQO_COMMON_STATS_H_
+#define LIMEQO_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace limeqo {
+
+/// Small descriptive-statistics helpers used by benchmarks and tests.
+/// All functions tolerate empty input by returning 0.
+
+/// Sum of the elements.
+double Sum(const std::vector<double>& v);
+
+/// Arithmetic mean.
+double Mean(const std::vector<double>& v);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 elements.
+double StdDev(const std::vector<double>& v);
+
+/// Smallest element; 0 if empty.
+double Min(const std::vector<double>& v);
+
+/// Largest element; 0 if empty.
+double Max(const std::vector<double>& v);
+
+/// Median (average of middle two for even sizes). Copies the input.
+double Median(std::vector<double> v);
+
+/// q-th quantile for q in [0,1] with linear interpolation. Copies the input.
+double Quantile(std::vector<double> v, double q);
+
+/// Mean squared error between two equal-length vectors.
+double MeanSquaredError(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Pearson correlation coefficient; 0 when either side has zero variance.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Running mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1); 0 for fewer than 2 observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace limeqo
+
+#endif  // LIMEQO_COMMON_STATS_H_

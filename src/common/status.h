@@ -1,0 +1,139 @@
+#ifndef LIMEQO_COMMON_STATUS_H_
+#define LIMEQO_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace limeqo {
+
+/// Error codes used across the library. Mirrors the usual database-library
+/// convention (absl::Status / arrow::Status) without the dependency.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Human-readable name of a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight status object: either OK, or an error code plus message.
+/// Library code returns Status instead of throwing exceptions (Google style).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or an error keeps call sites terse:
+  ///   StatusOr<int> F() { return 42; }
+  ///   StatusOr<int> G() { return Status::InvalidArgument("nope"); }
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(), value_(std::move(value)) {}
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::cerr << "StatusOr accessed with error: " << status_ << "\n";
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+}  // namespace internal
+
+/// Aborts the process when a programmer-error invariant is violated.
+/// Used for preconditions that indicate bugs, never for data errors.
+#define LIMEQO_CHECK(expr)                                       \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::limeqo::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                            \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define LIMEQO_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::limeqo::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace limeqo
+
+#endif  // LIMEQO_COMMON_STATUS_H_

@@ -1,0 +1,44 @@
+#ifndef LIMEQO_COMMON_TABLE_PRINTER_H_
+#define LIMEQO_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace limeqo {
+
+/// Renders aligned ASCII tables, used by the benchmark binaries to print the
+/// rows/series corresponding to each paper table/figure.
+///
+///   TablePrinter t({"technique", "0.75h", "1.5h"});
+///   t.AddRow({"LimeQO", "2.1", "1.45"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same number of cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the formatted table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Number of data rows added so far.
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+std::string FormatDouble(double v, int decimals = 2);
+
+/// Formats seconds as a compact human-readable duration, e.g. "1.50h",
+/// "90.0s". Values >= 3600 use hours, otherwise seconds.
+std::string FormatDuration(double seconds);
+
+}  // namespace limeqo
+
+#endif  // LIMEQO_COMMON_TABLE_PRINTER_H_

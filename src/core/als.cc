@@ -1,0 +1,365 @@
+#include "core/als.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/solve.h"
+
+namespace limeqo::core {
+namespace {
+
+// Latencies below this are clamped before the log transform.
+constexpr double kEpsLatency = 1e-6;
+
+/// The effective fit problem after censored-mode handling and (optionally)
+/// the log-ratio transform: `values` are fit targets for cells with
+/// mask == 1, `thresholds` are censoring lower bounds for cells with
+/// censored == 1, in the same space as `values`.
+struct FitProblem {
+  linalg::Matrix values;
+  linalg::Matrix mask;
+  linalg::Matrix thresholds;
+  linalg::Matrix censored;  // 1 where a censoring threshold applies
+  /// kLogRatio bias terms; empty in kRaw.
+  std::vector<double> row_bias;
+  std::vector<double> col_bias;
+};
+
+/// Applies the censored mode: kNaiveObserved moves censored cells into the
+/// mask; kIgnore leaves them unobserved with no clamp.
+FitProblem BuildProblem(const WorkloadMatrix& w, CensoredMode mode) {
+  FitProblem p;
+  p.values = w.values();
+  p.mask = w.mask();
+  p.thresholds = w.timeouts();
+  p.censored = linalg::Matrix(w.num_queries(), w.num_hints());
+  for (int i = 0; i < w.num_queries(); ++i) {
+    for (int j = 0; j < w.num_hints(); ++j) {
+      if (w.state(i, j) != CellState::kCensored) continue;
+      switch (mode) {
+        case CensoredMode::kCensored:
+          p.censored(i, j) = 1.0;
+          break;
+        case CensoredMode::kNaiveObserved:
+          p.mask(i, j) = 1.0;  // pretend the timeout was the true latency
+          p.values(i, j) = p.thresholds(i, j);
+          break;
+        case CensoredMode::kIgnore:
+          break;  // fully unobserved
+      }
+    }
+  }
+  return p;
+}
+
+double SafeLog(double v) { return std::log(std::max(v, kEpsLatency)); }
+
+/// Rewrites `p` in place into log-ratio space: x = log(v) - b_i - c_j with
+/// b_i the row's observed default log latency (fallback: row mean, then
+/// global mean) and c_j a shrunk per-hint mean residual.
+void ToLogRatioSpace(FitProblem* p, double bias_shrinkage) {
+  const size_t n = p->values.rows();
+  const size_t k = p->values.cols();
+  p->row_bias.assign(n, 0.0);
+
+  double global_sum = 0.0;
+  int global_count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      if (p->mask(i, j) > 0.0) {
+        global_sum += SafeLog(p->values(i, j));
+        ++global_count;
+      }
+    }
+  }
+  const double global_mean =
+      global_count > 0 ? global_sum / global_count : 0.0;
+
+  for (size_t i = 0; i < n; ++i) {
+    if (p->mask(i, 0) > 0.0) {
+      p->row_bias[i] = SafeLog(p->values(i, 0));
+      continue;
+    }
+    double sum = 0.0;
+    int count = 0;
+    for (size_t j = 0; j < k; ++j) {
+      if (p->mask(i, j) > 0.0) {
+        sum += SafeLog(p->values(i, j));
+        ++count;
+      }
+    }
+    p->row_bias[i] = count > 0 ? sum / count : global_mean;
+  }
+
+  // Residuals after the row bias; then shrunk per-hint biases. Censored
+  // cells contribute their threshold (a lower bound on the hint's true
+  // latency): this is conservative Tobit-style evidence that the hint is
+  // *not fast* on that row, and it is exactly the information the initial
+  // all-defaults matrix lacks — without it, a hint that keeps timing out
+  // retains a neutral bias and keeps attracting probes.
+  p->col_bias.assign(k, 0.0);
+  std::vector<double> col_sum(k, 0.0);
+  std::vector<int> col_count(k, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      if (p->mask(i, j) > 0.0) {
+        col_sum[j] += SafeLog(p->values(i, j)) - p->row_bias[i];
+        ++col_count[j];
+      } else if (p->censored(i, j) > 0.0) {
+        col_sum[j] += SafeLog(p->thresholds(i, j)) - p->row_bias[i];
+        ++col_count[j];
+      }
+    }
+  }
+  for (size_t j = 0; j < k; ++j) {
+    p->col_bias[j] = col_sum[j] / (col_count[j] + bias_shrinkage);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      if (p->mask(i, j) > 0.0) {
+        p->values(i, j) =
+            SafeLog(p->values(i, j)) - p->row_bias[i] - p->col_bias[j];
+      } else {
+        p->values(i, j) = 0.0;
+      }
+      if (p->censored(i, j) > 0.0) {
+        p->thresholds(i, j) =
+            SafeLog(p->thresholds(i, j)) - p->row_bias[i] - p->col_bias[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AlsCompleter::AlsCompleter(AlsOptions options) : options_(options) {
+  LIMEQO_CHECK(options_.rank > 0);
+  LIMEQO_CHECK(options_.lambda > 0.0);
+  LIMEQO_CHECK(options_.iterations > 0);
+}
+
+StatusOr<linalg::Matrix> AlsCompleter::Complete(const WorkloadMatrix& w) {
+  if (w.NumComplete() == 0) {
+    return Status::FailedPrecondition(
+        "ALS needs at least one complete observation");
+  }
+  const size_t n = static_cast<size_t>(w.num_queries());
+  const size_t k = static_cast<size_t>(w.num_hints());
+  const size_t r = static_cast<size_t>(options_.rank);
+  const bool log_space = options_.fit_space == FitSpace::kLogRatio;
+
+  FitProblem in = BuildProblem(w, options_.censored_mode);
+  if (log_space) ToLogRatioSpace(&in, options_.bias_shrinkage);
+
+  // Carve a validation split out of the complete observations. Validation
+  // cells are removed from the fit mask but still pass through as observed
+  // values in the final output.
+  //
+  // Only cells from rows with at least two *distinct* observed values
+  // qualify: workload matrices contain large plan-equivalence classes whose
+  // cells share one latency, and most rows start with only the default
+  // class observed. A validation set drawn from such constant rows is
+  // trivially easy and biases early stopping toward factors that predict
+  // "the row constant" everywhere, erasing the signal of the few genuinely
+  // distinct observations. (Exact equality is intentional: equivalence
+  // classes share bit-identical values by construction.)
+  Rng val_rng(options_.seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<std::pair<size_t, size_t>> validation;
+  if (options_.early_stopping && w.NumComplete() >= 20) {
+    for (size_t i = 0; i < n; ++i) {
+      double first_value = 0.0;
+      bool have_first = false;
+      bool diverse = false;
+      for (size_t j = 0; j < k && !diverse; ++j) {
+        if (in.mask(i, j) <= 0.0 ||
+            w.state(static_cast<int>(i), static_cast<int>(j)) !=
+                CellState::kComplete) {
+          continue;
+        }
+        if (!have_first) {
+          first_value = w.values()(i, j);
+          have_first = true;
+        } else if (w.values()(i, j) != first_value) {
+          diverse = true;
+        }
+      }
+      if (!diverse) continue;
+      for (size_t j = 0; j < k; ++j) {
+        if (in.mask(i, j) > 0.0 &&
+            w.state(static_cast<int>(i), static_cast<int>(j)) ==
+                CellState::kComplete &&
+            val_rng.Bernoulli(options_.validation_fraction)) {
+          validation.emplace_back(i, j);
+          in.mask(i, j) = 0.0;
+        }
+      }
+    }
+  }
+
+  // Initialize the factors (Algorithm 2 line 1). In raw space, positive
+  // random values scaled per row so the initial prediction for query i is
+  // near its mean observed latency: latencies span orders of magnitude, so
+  // a row-aware warm start matters. In log-ratio space the biases already
+  // absorb the scale, so small signed factors around zero are correct.
+  Rng rng(options_.seed);
+  q_ = linalg::Matrix(n, r);
+  h_ = linalg::Matrix(k, r);
+  if (log_space) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t c = 0; c < r; ++c) q_(i, c) = rng.Uniform(-0.1, 0.1);
+    }
+    for (size_t j = 0; j < k; ++j) {
+      for (size_t c = 0; c < r; ++c) h_(j, c) = rng.Uniform(-0.1, 0.1);
+    }
+  } else {
+    double global_mean = 0.0;
+    int count_obs = 0;
+    std::vector<double> row_mean(n, 0.0);
+    std::vector<int> row_count(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        if (in.mask(i, j) > 0.0) {
+          row_mean[i] += in.values(i, j);
+          ++row_count[i];
+          global_mean += in.values(i, j);
+          ++count_obs;
+        }
+      }
+    }
+    global_mean = std::max(global_mean / std::max(count_obs, 1), 1e-6);
+    for (size_t i = 0; i < n; ++i) {
+      row_mean[i] =
+          row_count[i] > 0 ? row_mean[i] / row_count[i] : global_mean;
+    }
+    const double spread_lo = 0.6, spread_hi = 1.4;
+    for (size_t i = 0; i < n; ++i) {
+      // With h entries ~ O(1), a row scale of row_mean / r makes the
+      // initial dot product q_i . h_j land near row_mean[i].
+      const double scale = std::max(row_mean[i], 1e-6) / r;
+      for (size_t c = 0; c < r; ++c) {
+        q_(i, c) = scale * rng.Uniform(spread_lo, spread_hi);
+      }
+    }
+    for (size_t j = 0; j < k; ++j) {
+      for (size_t c = 0; c < r; ++c) {
+        h_(j, c) = rng.Uniform(spread_lo, spread_hi);
+      }
+    }
+  }
+
+  // Fills W-hat = M .* W + (1 - M) .* (Q H^T) and applies the censored
+  // clamp (Algorithm 2 lines 3-5 / 8-10).
+  const bool clamp = options_.censored_mode == CensoredMode::kCensored;
+  auto fill = [&]() {
+    linalg::Matrix w_hat = q_ * h_.Transposed();
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        if (in.mask(i, j) > 0.0) {
+          w_hat(i, j) = in.values(i, j);
+        } else if (clamp && in.censored(i, j) > 0.0 &&
+                   w_hat(i, j) < in.thresholds(i, j)) {
+          w_hat(i, j) = in.thresholds(i, j);  // censored technique
+        }
+      }
+    }
+    return w_hat;
+  };
+
+  const bool non_negative = options_.non_negative && !log_space;
+  linalg::Matrix best_q = q_;
+  linalg::Matrix best_h = h_;
+  double best_val_rmse = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    // Q update (Algorithm 2 lines 3-7).
+    linalg::Matrix w_hat = fill();
+    StatusOr<linalg::Matrix> q_new =
+        linalg::RidgeSolve(w_hat, h_, options_.lambda);
+    if (!q_new.ok()) return q_new.status();
+    q_ = std::move(q_new).value();
+    if (non_negative) q_.ClampMin(0.0);
+
+    // H update (Algorithm 2 lines 8-12).
+    w_hat = fill();
+    StatusOr<linalg::Matrix> h_new =
+        linalg::RidgeSolve(w_hat.Transposed(), q_, options_.lambda);
+    if (!h_new.ok()) return h_new.status();
+    h_ = std::move(h_new).value();
+    if (non_negative) h_.ClampMin(0.0);
+
+    if (!validation.empty()) {
+      double se = 0.0;
+      for (const auto& [i, j] : validation) {
+        double pred = 0.0;
+        for (size_t c = 0; c < r; ++c) pred += q_(i, c) * h_(j, c);
+        const double d = pred - in.values(i, j);
+        se += d * d;
+      }
+      const double val_rmse = std::sqrt(se / validation.size());
+      if (val_rmse < best_val_rmse) {
+        best_val_rmse = val_rmse;
+        best_q = q_;
+        best_h = h_;
+      }
+    }
+  }
+  if (!validation.empty()) {
+    q_ = std::move(best_q);
+    h_ = std::move(best_h);
+    // Validation cells are observed values; restore them for the output.
+    for (const auto& [i, j] : validation) in.mask(i, j) = 1.0;
+  }
+
+  // Final fill (Algorithm 2 line 13): observed entries pass through, the
+  // rest are the factored predictions, mapped back to seconds in log-ratio
+  // space. Predicted log ratios are clamped to the *observed* ratio
+  // envelope (with a small margin): a sparse low-rank fit occasionally
+  // extrapolates a cell to a speedup far beyond anything ever measured,
+  // and such phantom predictions would dominate Algorithm 1's
+  // improvement-ratio ranking and send exploration chasing artifacts.
+  double lo_ratio = 0.0, hi_ratio = 0.0;
+  if (log_space) {
+    bool any = false;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        if (w.mask()(i, j) <= 0.0) continue;
+        const double x = SafeLog(w.values()(i, j)) - in.row_bias[i];
+        if (!any || x < lo_ratio) lo_ratio = x;
+        if (!any || x > hi_ratio) hi_ratio = x;
+        any = true;
+      }
+    }
+    constexpr double kEnvelopeMargin = 0.2;  // ~ +/- 22% beyond observed
+    lo_ratio -= kEnvelopeMargin;
+    hi_ratio += kEnvelopeMargin;
+  }
+  linalg::Matrix result = fill();
+  if (log_space) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        if (in.mask(i, j) > 0.0) {
+          // Exact raw passthrough of whatever the fit treated as observed:
+          // the measured latency, or the timeout under kNaiveObserved.
+          result(i, j) = w.mask()(i, j) > 0.0 ? w.values()(i, j)
+                                              : w.timeouts()(i, j);
+        } else {
+          const double log_ratio = std::clamp(
+              result(i, j) + in.col_bias[j], lo_ratio, hi_ratio);
+          result(i, j) = std::exp(log_ratio + in.row_bias[i]);
+          // The censored floor survives the envelope clamp (Algorithm 2
+          // lines 4-5: never predict below a known lower bound).
+          if (clamp && in.censored(i, j) > 0.0) {
+            result(i, j) = std::max(result(i, j), w.timeouts()(i, j));
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace limeqo::core

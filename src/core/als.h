@@ -1,0 +1,100 @@
+#ifndef LIMEQO_CORE_ALS_H_
+#define LIMEQO_CORE_ALS_H_
+
+#include <cstdint>
+
+#include "core/completer.h"
+
+namespace limeqo::core {
+
+/// How timed-out (censored) observations are fed to the model. The paper's
+/// contribution is kCensored; the other modes exist for the Sec. 5.5.4
+/// ablation and for reproducing the naive prior-work behaviour.
+enum class CensoredMode {
+  /// Paper Algorithm 2: censored cells are unobserved for the least-squares
+  /// fit, but predictions below the censoring threshold are clamped up to it
+  /// before each factor update (lines 4-5 and 9-10).
+  kCensored = 0,
+  /// Balsa-style: treat the timeout value as if it were the true latency
+  /// (misleads the model, see paper Sec. 1 "Trouble with timeouts").
+  kNaiveObserved,
+  /// Discard censored observations entirely.
+  kIgnore,
+};
+
+/// The space the alternating-least-squares fit operates in.
+enum class FitSpace {
+  /// Paper Algorithm 2 verbatim: fit raw latencies with non-negative
+  /// factors. Works well once the matrix is reasonably filled (Fig. 17's
+  /// p >= 0.1 on JOB), but at exploration-time fills (1-5%) the Frobenius
+  /// objective is dominated by the longest queries and worst plans.
+  kRaw = 0,
+  /// Fit log(latency / row default) after removing a shrunk per-hint bias
+  /// (the classic collaborative-filtering baseline-plus-residual model).
+  /// Row normalization removes the orders-of-magnitude base-latency spread,
+  /// the log compresses the bad-plan tail, and the per-hint bias captures
+  /// the dominant "some hints are globally good" effect from only a handful
+  /// of observations — exactly the structure Fig. 14's leading singular
+  /// value reflects. Predictions are mapped back to seconds, so callers are
+  /// unaffected. This is the default for exploration.
+  kLogRatio,
+};
+
+/// Options for the censored, non-negative alternating-least-squares matrix
+/// completion of paper Algorithm 2. Defaults are the paper's experimental
+/// settings (r = 5, lambda = 0.2, t = 50).
+struct AlsOptions {
+  int rank = 5;
+  double lambda = 0.2;
+  int iterations = 50;
+  /// Non-negativity projection of the factors (Algorithm 2 lines 7/12).
+  /// Only meaningful in FitSpace::kRaw; the log-ratio space is signed by
+  /// construction (its predictions are positive after the exp transform).
+  bool non_negative = true;
+  FitSpace fit_space = FitSpace::kLogRatio;
+  /// Shrinkage pseudo-count for the per-hint bias in kLogRatio: the bias of
+  /// a hint observed c times is weighted c / (c + shrinkage).
+  double bias_shrinkage = 5.0;
+  CensoredMode censored_mode = CensoredMode::kCensored;
+  /// Seed for the random factor initialization.
+  uint64_t seed = 7;
+  /// Validation-based early stopping. Filled-matrix ALS (Algorithm 2) can
+  /// drift at very low observation densities: imputed entries feed back
+  /// into the least-squares fit and slowly self-reinforce. Holding out a
+  /// small fraction of the observed cells and keeping the factor pair with
+  /// the best held-out error turns that drift into a benign early stop.
+  /// Disabled automatically when there are too few observations to split.
+  bool early_stopping = true;
+  /// Fraction of observed cells held out when early_stopping is on.
+  double validation_fraction = 0.1;
+};
+
+/// Censored non-negative ALS (paper Algorithm 2).
+///
+/// Solves  min_{Q,H} || M .* (W - Q H^T) ||_F^2 + lambda (||Q||_F^2 +
+/// ||H||_F^2)  by alternating ridge least-squares updates of Q and H, with
+/// censored clamping and non-negativity projection between updates.
+class AlsCompleter : public Completer {
+ public:
+  explicit AlsCompleter(AlsOptions options = {});
+
+  StatusOr<linalg::Matrix> Complete(const WorkloadMatrix& w) override;
+
+  std::string name() const override { return "ALS"; }
+
+  const AlsOptions& options() const { return options_; }
+
+  /// The factor matrices from the most recent Complete() call (n x r and
+  /// k x r). Exposed for diagnostics and tests.
+  const linalg::Matrix& query_factors() const { return q_; }
+  const linalg::Matrix& hint_factors() const { return h_; }
+
+ private:
+  AlsOptions options_;
+  linalg::Matrix q_;
+  linalg::Matrix h_;
+};
+
+}  // namespace limeqo::core
+
+#endif  // LIMEQO_CORE_ALS_H_

@@ -1,0 +1,63 @@
+#ifndef LIMEQO_CORE_BACKEND_H_
+#define LIMEQO_CORE_BACKEND_H_
+
+#include <vector>
+
+#include "plan/plan_node.h"
+
+namespace limeqo::core {
+
+/// Result of one offline execution performed through a backend.
+struct BackendResult {
+  /// Seconds of execution observed. When timed_out is true this equals the
+  /// timeout threshold (the true latency is at least this much).
+  double observed_latency = 0.0;
+  bool timed_out = false;
+};
+
+/// The only contract LimeQO requires of the system under optimization
+/// (paper Sec. 3): a set of queries, each with a finite set of alternative
+/// plans (hints) whose latency can be measured, optionally cut off by a
+/// timeout. Cost estimates and plan trees are *optional* extras consumed
+/// only by the baselines (QO-Advisor) and the neural methods (Bao,
+/// LimeQO+); a backend may decline to provide them.
+class WorkloadBackend {
+ public:
+  virtual ~WorkloadBackend() = default;
+
+  virtual int num_queries() const = 0;
+  virtual int num_hints() const = 0;
+
+  /// Executes query `query` under hint `hint`. If timeout_seconds > 0 the
+  /// execution is cut off once it has run that long.
+  virtual BackendResult Execute(int query, int hint,
+                                double timeout_seconds) = 0;
+
+  /// Optimizer cost estimate, or a negative value when unavailable.
+  virtual double OptimizerCost(int query, int hint) const {
+    (void)query;
+    (void)hint;
+    return -1.0;
+  }
+
+  /// Physical plan tree, or nullptr when unavailable.
+  virtual const plan::PlanNode* Plan(int query, int hint) const {
+    (void)query;
+    (void)hint;
+    return nullptr;
+  }
+
+  /// Hints whose plan is identical to (query, hint)'s plan — detectable by
+  /// comparing EXPLAIN output, no execution needed. Executing one member of
+  /// the class measures them all, so LimeQO fills those workload-matrix
+  /// cells for free. Always contains `hint` itself; the base implementation
+  /// returns only {hint} (no plan-identity information available).
+  virtual std::vector<int> EquivalentHints(int query, int hint) const {
+    (void)query;
+    return {hint};
+  }
+};
+
+}  // namespace limeqo::core
+
+#endif  // LIMEQO_CORE_BACKEND_H_

@@ -1,0 +1,31 @@
+#ifndef LIMEQO_CORE_COMPLETER_H_
+#define LIMEQO_CORE_COMPLETER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/workload_matrix.h"
+#include "linalg/matrix.h"
+
+namespace limeqo::core {
+
+/// A matrix-completion algorithm: estimates the full workload matrix W-hat
+/// from the partial observations in a WorkloadMatrix. Implementations:
+/// AlsCompleter (the paper's Algorithm 2), SvtCompleter and
+/// NuclearNormCompleter (the Sec. 5.5.5 comparison baselines).
+class Completer {
+ public:
+  virtual ~Completer() = default;
+
+  /// Produces the estimate W-hat. Observed (complete) entries are passed
+  /// through unchanged; unobserved entries are predictions. Returns an error
+  /// when the input has no complete observations to learn from.
+  virtual StatusOr<linalg::Matrix> Complete(const WorkloadMatrix& w) = 0;
+
+  /// Display name for reports, e.g. "ALS".
+  virtual std::string name() const = 0;
+};
+
+}  // namespace limeqo::core
+
+#endif  // LIMEQO_CORE_COMPLETER_H_

@@ -1,0 +1,148 @@
+#include "core/explorer.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace limeqo::core {
+namespace {
+
+double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+OfflineExplorer::OfflineExplorer(WorkloadBackend* backend,
+                                 ExplorationPolicy* policy,
+                                 const ExplorerOptions& options)
+    : backend_(backend),
+      policy_(policy),
+      options_(options),
+      matrix_(options.initial_queries > 0 ? options.initial_queries
+                                          : backend->num_queries(),
+              backend->num_hints()),
+      rng_(options.seed) {
+  LIMEQO_CHECK(backend != nullptr && policy != nullptr);
+  LIMEQO_CHECK(options.batch_size > 0);
+  LIMEQO_CHECK(options.timeout_alpha > 1.0);
+  LIMEQO_CHECK(matrix_.num_queries() <= backend->num_queries());
+  // Default plans are known from normal (online) operation: observe them
+  // at zero offline cost. Hints that produce the *same plan* as the default
+  // (detectable from EXPLAIN output, no execution needed) share its
+  // latency, so those cells are revealed too.
+  for (int i = 0; i < matrix_.num_queries(); ++i) {
+    ObserveDefaultClass(i);
+  }
+}
+
+void OfflineExplorer::ObserveDefaultClass(int query) {
+  const BackendResult r =
+      backend_->Execute(query, 0, /*timeout_seconds=*/0.0);
+  for (int j : backend_->EquivalentHints(query, 0)) {
+    matrix_.Observe(query, j, r.observed_latency);
+  }
+}
+
+std::vector<TrajectoryPoint> OfflineExplorer::Explore(double budget_seconds) {
+  LIMEQO_CHECK(budget_seconds >= 0.0);
+  const double deadline = offline_seconds_ + budget_seconds;
+  std::vector<TrajectoryPoint> trajectory;
+  trajectory.push_back(RecordPoint());
+  while (offline_seconds_ < deadline) {
+    const double t0 = WallSeconds();
+    StatusOr<std::vector<Candidate>> batch =
+        policy_->SelectBatch(matrix_, options_.batch_size, &rng_);
+    overhead_seconds_ += WallSeconds() - t0;
+    if (!batch.ok() || batch->empty()) break;  // nothing left to explore
+    for (const Candidate& c : *batch) {
+      if (offline_seconds_ >= deadline) break;
+      ExecuteCandidate(c);
+    }
+    trajectory.push_back(RecordPoint());
+  }
+  return trajectory;
+}
+
+void OfflineExplorer::ExecuteCandidate(const Candidate& candidate) {
+  const int q = candidate.query;
+  const int h = candidate.hint;
+  LIMEQO_CHECK(q >= 0 && q < matrix_.num_queries());
+  LIMEQO_CHECK(h >= 0 && h < matrix_.num_hints());
+
+  // Timeout rule (Algorithm 1 line 10 / Eq. 4): never run a candidate
+  // longer than the current best known plan for that query; additionally
+  // cap at alpha times the model's prediction when one is available.
+  double timeout = 0.0;  // 0 = no timeout
+  if (options_.use_timeouts) {
+    double limit = matrix_.RowMinObserved(q);
+    if (candidate.predicted_latency > 0.0) {
+      limit = std::min(limit,
+                       candidate.predicted_latency * options_.timeout_alpha);
+    }
+    if (std::isfinite(limit)) timeout = limit;
+  }
+
+  const BackendResult r = backend_->Execute(q, h, timeout);
+  // The exploration clock advances by the time actually spent (Eq. 3): the
+  // full latency on completion, the timeout value on a cut-off.
+  offline_seconds_ += r.observed_latency;
+  if (r.timed_out) {
+    // The whole plan-equivalence class shares the lower bound.
+    for (int j : backend_->EquivalentHints(q, h)) {
+      matrix_.ObserveCensored(q, j, r.observed_latency);
+    }
+  } else {
+    // One execution measures every hint with the identical plan.
+    for (int j : backend_->EquivalentHints(q, h)) {
+      matrix_.Observe(q, j, r.observed_latency);
+    }
+  }
+}
+
+void OfflineExplorer::AddNewQueries(int count) {
+  LIMEQO_CHECK(count > 0);
+  const int first = matrix_.AppendQueries(count);
+  LIMEQO_CHECK(matrix_.num_queries() <= backend_->num_queries());
+  for (int i = first; i < matrix_.num_queries(); ++i) {
+    ObserveDefaultClass(i);
+  }
+}
+
+void OfflineExplorer::ResetAfterDataShift() {
+  for (int i = 0; i < matrix_.num_queries(); ++i) {
+    int best = matrix_.BestObservedHint(i);
+    if (best < 0) best = 0;
+    for (int j = 0; j < matrix_.num_hints(); ++j) matrix_.Clear(i, j);
+    // The previous best hint keeps serving the online path, so its latency
+    // on the new data is observed for free (and so is its plan class).
+    const BackendResult r =
+        backend_->Execute(i, best, /*timeout_seconds=*/0.0);
+    for (int j : backend_->EquivalentHints(i, best)) {
+      matrix_.Observe(i, j, r.observed_latency);
+    }
+  }
+}
+
+std::vector<int> OfflineExplorer::BestHints() const {
+  std::vector<int> hints(matrix_.num_queries(), 0);
+  for (int i = 0; i < matrix_.num_queries(); ++i) {
+    const int best = matrix_.BestObservedHint(i);
+    hints[i] = best >= 0 ? best : 0;
+  }
+  return hints;
+}
+
+TrajectoryPoint OfflineExplorer::RecordPoint() const {
+  TrajectoryPoint p;
+  p.offline_seconds = offline_seconds_;
+  p.workload_latency = matrix_.CurrentWorkloadLatency();
+  p.overhead_seconds = overhead_seconds_;
+  p.complete_cells = matrix_.NumComplete();
+  p.censored_cells = matrix_.NumCensored();
+  return p;
+}
+
+}  // namespace limeqo::core

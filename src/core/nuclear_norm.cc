@@ -1,0 +1,65 @@
+#include "core/nuclear_norm.h"
+
+#include <cmath>
+
+#include "linalg/svd.h"
+
+namespace limeqo::core {
+
+NuclearNormCompleter::NuclearNormCompleter(NuclearNormOptions options)
+    : options_(options) {
+  LIMEQO_CHECK(options_.mu_fraction > 0.0 && options_.mu_fraction < 1.0);
+  LIMEQO_CHECK(options_.mu_decay > 0.0 && options_.mu_decay < 1.0);
+  LIMEQO_CHECK(options_.inner_iterations > 0);
+}
+
+StatusOr<linalg::Matrix> NuclearNormCompleter::Complete(
+    const WorkloadMatrix& w) {
+  if (w.NumComplete() == 0) {
+    return Status::FailedPrecondition(
+        "nuclear norm completion needs at least one complete observation");
+  }
+  const size_t n = static_cast<size_t>(w.num_queries());
+  const size_t k = static_cast<size_t>(w.num_hints());
+  const linalg::Matrix& values = w.values();
+  const linalg::Matrix& mask = w.mask();
+
+  const linalg::Matrix zero_filled = values.Hadamard(mask);
+  std::vector<double> sv = linalg::SingularValues(zero_filled);
+  if (sv.empty() || sv[0] <= 0.0) {
+    return Status::FailedPrecondition("all observed entries are zero");
+  }
+  const double mu_final = options_.mu_fraction * sv[0];
+
+  linalg::Matrix x = zero_filled;
+  // Continuation: geometric decay of the shrinkage level toward mu_final.
+  double mu = sv[0] * options_.mu_decay;
+  while (true) {
+    for (int iter = 0; iter < options_.inner_iterations; ++iter) {
+      // Proximal step: fill observed entries, shrink singular values.
+      linalg::Matrix filled = x;
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < k; ++j) {
+          if (mask(i, j) > 0.0) filled(i, j) = values(i, j);
+        }
+      }
+      linalg::Matrix next = linalg::SvdSoftThreshold(filled, mu);
+      const double change = (next - x).FrobeniusNorm() /
+                            std::max(x.FrobeniusNorm(), 1e-12);
+      x = std::move(next);
+      if (change < options_.tolerance) break;
+    }
+    if (mu <= mu_final) break;
+    mu = std::max(mu * options_.mu_decay, mu_final);
+  }
+
+  x.ClampMin(0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      if (mask(i, j) > 0.0) x(i, j) = values(i, j);
+    }
+  }
+  return x;
+}
+
+}  // namespace limeqo::core

@@ -1,0 +1,40 @@
+#ifndef LIMEQO_CORE_NUCLEAR_NORM_H_
+#define LIMEQO_CORE_NUCLEAR_NORM_H_
+
+#include "core/completer.h"
+
+namespace limeqo::core {
+
+/// Options for the nuclear-norm-regularized completion (soft-impute).
+struct NuclearNormOptions {
+  /// Final shrinkage level, as a fraction of the largest singular value of
+  /// the zero-filled observation matrix.
+  double mu_fraction = 0.01;
+  /// Continuation: start with a large mu and decay geometrically.
+  double mu_decay = 0.7;
+  int inner_iterations = 20;
+  double tolerance = 1e-4;
+};
+
+/// Nuclear norm minimization via soft-impute (paper Sec. 5.5.5,
+/// [Candes & Recht 2009; Mazumder et al. 2010]).
+///
+/// Solves  min_X 0.5 || M .* (W - X) ||_F^2 + mu ||X||_*  with the
+/// proximal iteration  X <- shrink(M .* W + (1 - M) .* X, mu), using
+/// continuation on mu. More accurate than SVT on sparse data but much more
+/// expensive — the trade-off Fig. 17 illustrates.
+class NuclearNormCompleter : public Completer {
+ public:
+  explicit NuclearNormCompleter(NuclearNormOptions options = {});
+
+  StatusOr<linalg::Matrix> Complete(const WorkloadMatrix& w) override;
+
+  std::string name() const override { return "NUC"; }
+
+ private:
+  NuclearNormOptions options_;
+};
+
+}  // namespace limeqo::core
+
+#endif  // LIMEQO_CORE_NUCLEAR_NORM_H_

@@ -1,0 +1,49 @@
+#ifndef LIMEQO_CORE_ONLINE_H_
+#define LIMEQO_CORE_ONLINE_H_
+
+#include "core/workload_matrix.h"
+
+namespace limeqo::core {
+
+/// The online path of the system model (paper Fig. 2): when a query
+/// arrives, the DBMS' optimizer asks LimeQO whether a better plan than the
+/// default has been *verified* offline; LimeQO replies with that plan's
+/// hint or with the default.
+///
+/// No-regressions guarantee: a non-default hint is only served when its
+/// complete (non-censored) observed latency strictly beats the observed
+/// default latency. Absent data shift, served plans are therefore never
+/// slower than the default optimizer's choice.
+class OnlineOptimizer {
+ public:
+  /// Does not own the matrix; it must outlive the optimizer.
+  explicit OnlineOptimizer(const WorkloadMatrix* matrix) : matrix_(matrix) {
+    LIMEQO_CHECK(matrix != nullptr);
+  }
+
+  /// Hint to execute `query` with: the best verified hint, else 0 (default).
+  int ChooseHint(int query) const {
+    const WorkloadMatrix& w = *matrix_;
+    if (!w.IsComplete(query, 0)) return 0;  // default never measured: serve it
+    const double default_latency = w.observed(query, 0);
+    int best = 0;
+    double best_latency = default_latency;
+    for (int j = 1; j < w.num_hints(); ++j) {
+      if (w.IsComplete(query, j) && w.observed(query, j) < best_latency) {
+        best_latency = w.observed(query, j);
+        best = j;
+      }
+    }
+    return best;
+  }
+
+  /// True when a non-default plan has been verified for this query.
+  bool HasVerifiedPlan(int query) const { return ChooseHint(query) != 0; }
+
+ private:
+  const WorkloadMatrix* matrix_;
+};
+
+}  // namespace limeqo::core
+
+#endif  // LIMEQO_CORE_ONLINE_H_

@@ -1,0 +1,108 @@
+#ifndef LIMEQO_CORE_ONLINE_EXPLORER_H_
+#define LIMEQO_CORE_ONLINE_EXPLORER_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "core/online.h"
+#include "core/predictor.h"
+#include "core/workload_matrix.h"
+
+namespace limeqo::core {
+
+/// Options for bounded online exploration.
+struct OnlineExplorationOptions {
+  /// Fraction of servings allowed to explore an unverified plan.
+  double epsilon = 0.05;
+  /// Only explore plans whose predicted improvement ratio over the current
+  /// verified best exceeds this (Eq. 6 applied online).
+  double min_predicted_ratio = 0.2;
+  /// Hard cap on cumulative regret: total extra seconds (vs the verified
+  /// best plan) that online exploration may ever cost the workload. Once
+  /// exhausted, behaviour is identical to the plain OnlineOptimizer.
+  double regret_budget_seconds = 60.0;
+  /// Prediction refresh cadence: the completion model is re-run after this
+  /// many matrix updates (predictions go stale as cells fill in).
+  int refresh_every = 32;
+  /// Per-serving risk gate: only explore a query whose verified-plan
+  /// latency is at most this fraction of the *remaining* regret budget. A
+  /// single bad probe can cost several multiples of the baseline latency,
+  /// so without the gate one long query can blow the entire budget (and
+  /// overshoot it) in a single serving; with it, exploration concentrates
+  /// on queries it can afford and the budget drains gradually.
+  double max_baseline_budget_fraction = 0.125;
+  /// When an exploration-eligible serving has no model candidate clearing
+  /// min_predicted_ratio, serve a *random* unobserved hint instead (the
+  /// online analogue of Algorithm 1's lines 8-9). Without this the online
+  /// path can never bootstrap: an all-defaults matrix yields flat
+  /// predictions, flat predictions yield no candidates, and no candidate
+  /// ever gets observed. Risk remains bounded by the regret budget.
+  bool random_fallback = true;
+  uint64_t seed = 31;
+};
+
+/// Online exploration over the hint space (the paper's Sec. 6 future-work
+/// direction, "complementing the offline exploration"): the online path
+/// occasionally serves the model's predicted-best *unverified* plan instead
+/// of the verified one, so repetitive production traffic itself fills in
+/// workload-matrix cells at zero offline cost.
+///
+/// The no-regressions guarantee of the offline design is deliberately
+/// relaxed here — but boundedly: exploration happens on at most an epsilon
+/// fraction of servings, only for plans the low-rank model predicts to be
+/// substantially faster, and the *cumulative* slowdown versus the verified
+/// plan can never exceed regret_budget_seconds. With epsilon = 0 or an
+/// exhausted budget this class behaves exactly like OnlineOptimizer.
+///
+/// Protocol per arriving query:
+///   int hint = opt.ChooseHint(query);
+///   double latency = Execute(query, hint);   // caller runs the plan
+///   opt.ReportLatency(query, hint, latency);
+class OnlineExplorationOptimizer {
+ public:
+  /// Neither pointer is owned; both must outlive this object. The matrix is
+  /// mutated by ReportLatency.
+  OnlineExplorationOptimizer(WorkloadMatrix* matrix, Predictor* predictor,
+                             const OnlineExplorationOptions& options);
+
+  /// The hint to serve `query` with: usually the verified best, sometimes
+  /// (bounded by the options) the model's predicted-best unverified hint.
+  int ChooseHint(int query);
+
+  /// Feeds the observed latency of a served plan back into the workload
+  /// matrix and charges any regret of an exploratory serving against the
+  /// budget.
+  void ReportLatency(int query, int hint, double latency);
+
+  /// Cumulative extra time spent by exploratory servings that turned out
+  /// slower than the verified plan.
+  double regret_spent() const { return regret_spent_; }
+
+  /// True once the regret budget is exhausted (no further exploration).
+  bool budget_exhausted() const {
+    return regret_spent_ >= options_.regret_budget_seconds;
+  }
+
+  /// Number of exploratory servings made so far.
+  int explorations() const { return explorations_; }
+
+ private:
+  /// Re-runs the predictor if predictions are stale. Returns false when no
+  /// prediction is available (e.g. an empty matrix).
+  bool RefreshPredictions();
+
+  WorkloadMatrix* matrix_;
+  Predictor* predictor_;
+  OnlineExplorationOptions options_;
+  OnlineOptimizer verified_;
+  linalg::Matrix predictions_;
+  bool have_predictions_ = false;
+  int updates_since_refresh_ = 0;
+  double regret_spent_ = 0.0;
+  int explorations_ = 0;
+  Rng rng_;
+};
+
+}  // namespace limeqo::core
+
+#endif  // LIMEQO_CORE_ONLINE_EXPLORER_H_

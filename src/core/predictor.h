@@ -1,0 +1,45 @@
+#ifndef LIMEQO_CORE_PREDICTOR_H_
+#define LIMEQO_CORE_PREDICTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "core/completer.h"
+#include "core/workload_matrix.h"
+
+namespace limeqo::core {
+
+/// The predictive model plugged into Algorithm 1 (the `pred` argument):
+/// given the partially observed workload matrix, produce an estimate W-hat
+/// of every entry. Implemented by CompleterPredictor (linear methods,
+/// LimeQO) and by nn::TcnnPredictor (neural methods, LimeQO+ / Bao / TCNN).
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  virtual StatusOr<linalg::Matrix> Predict(const WorkloadMatrix& w) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Adapts a matrix-completion algorithm into a Predictor.
+class CompleterPredictor : public Predictor {
+ public:
+  explicit CompleterPredictor(std::unique_ptr<Completer> completer)
+      : completer_(std::move(completer)) {
+    LIMEQO_CHECK(completer_ != nullptr);
+  }
+
+  StatusOr<linalg::Matrix> Predict(const WorkloadMatrix& w) override {
+    return completer_->Complete(w);
+  }
+
+  std::string name() const override { return completer_->name(); }
+
+ private:
+  std::unique_ptr<Completer> completer_;
+};
+
+}  // namespace limeqo::core
+
+#endif  // LIMEQO_CORE_PREDICTOR_H_

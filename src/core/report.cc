@@ -1,0 +1,106 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/table_printer.h"
+
+namespace limeqo::core {
+
+WorkloadReport BuildReport(const WorkloadMatrix& w) {
+  WorkloadReport report;
+  report.num_queries = w.num_queries();
+  report.num_hints = w.num_hints();
+  report.fill_fraction = w.FillFraction();
+  report.censored_cells = w.NumCensored();
+  report.queries.reserve(w.num_queries());
+
+  for (int i = 0; i < w.num_queries(); ++i) {
+    QueryReport q;
+    q.query = i;
+    const bool has_default = w.IsComplete(i, 0);
+    q.default_latency = has_default
+                            ? w.observed(i, 0)
+                            : std::numeric_limits<double>::quiet_NaN();
+    if (has_default) {
+      report.default_total += q.default_latency;
+    } else {
+      ++report.missing_defaults;
+    }
+
+    const int best = w.BestObservedHint(i);
+    q.best_hint = best >= 0 ? best : 0;
+    q.best_latency = best >= 0 ? w.observed(i, best) : q.default_latency;
+    if (has_default && q.best_latency > 0.0) {
+      q.speedup = q.default_latency / q.best_latency;
+    }
+    if (q.best_hint != 0 && has_default &&
+        q.best_latency < q.default_latency) {
+      ++report.improved_queries;
+    }
+    for (int j = 0; j < w.num_hints(); ++j) {
+      switch (w.state(i, j)) {
+        case CellState::kComplete:
+          ++q.complete_cells;
+          break;
+        case CellState::kCensored:
+          ++q.censored_cells;
+          break;
+        case CellState::kUnobserved:
+          break;
+      }
+    }
+    report.queries.push_back(q);
+  }
+  report.current_total = w.CurrentWorkloadLatency();
+  return report;
+}
+
+void PrintReport(const WorkloadReport& report, std::ostream& os, int top) {
+  os << "workload: " << report.num_queries << " queries x "
+     << report.num_hints << " hints, fill "
+     << FormatDouble(100.0 * report.fill_fraction, 1) << "% ("
+     << report.censored_cells << " censored cells)\n";
+  os << "latency: " << FormatDuration(report.default_total) << " default -> "
+     << FormatDuration(report.current_total) << " with verified hints ("
+     << report.improved_queries << " queries improved)\n";
+  if (report.missing_defaults > 0) {
+    os << "WARNING: " << report.missing_defaults
+       << " queries have no observed default plan\n";
+  }
+
+  std::vector<const QueryReport*> sorted;
+  sorted.reserve(report.queries.size());
+  for (const QueryReport& q : report.queries) sorted.push_back(&q);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const QueryReport* a, const QueryReport* b) {
+              // Rank by absolute seconds saved; NaN defaults sink to the
+              // bottom.
+              const double ga = std::isnan(a->default_latency)
+                                    ? -1.0
+                                    : a->default_latency - a->best_latency;
+              const double gb = std::isnan(b->default_latency)
+                                    ? -1.0
+                                    : b->default_latency - b->best_latency;
+              return ga > gb;
+            });
+
+  TablePrinter table({"query", "default", "best hint", "best", "speedup",
+                      "cells (complete/censored)"});
+  const int rows = std::min<int>(top, static_cast<int>(sorted.size()));
+  for (int r = 0; r < rows; ++r) {
+    const QueryReport& q = *sorted[r];
+    table.AddRow({std::to_string(q.query),
+                  std::isnan(q.default_latency)
+                      ? std::string("-")
+                      : FormatDuration(q.default_latency),
+                  std::to_string(q.best_hint), FormatDuration(q.best_latency),
+                  FormatDouble(q.speedup, 2) + "x",
+                  std::to_string(q.complete_cells) + "/" +
+                      std::to_string(q.censored_cells)});
+  }
+  table.Print(os);
+}
+
+}  // namespace limeqo::core

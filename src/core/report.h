@@ -1,0 +1,55 @@
+#ifndef LIMEQO_CORE_REPORT_H_
+#define LIMEQO_CORE_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/workload_matrix.h"
+
+namespace limeqo::core {
+
+/// Per-query summary of what offline exploration achieved.
+struct QueryReport {
+  int query = 0;
+  /// Observed default-plan latency; NaN when the default was never run.
+  double default_latency = 0.0;
+  /// Best verified hint (0 = default) and its observed latency.
+  int best_hint = 0;
+  double best_latency = 0.0;
+  /// default_latency / best_latency (1.0 = no improvement found).
+  double speedup = 1.0;
+  int complete_cells = 0;
+  int censored_cells = 0;
+};
+
+/// Workload-level summary of the exploration state, for operator
+/// dashboards and post-run audits.
+struct WorkloadReport {
+  int num_queries = 0;
+  int num_hints = 0;
+  /// Sum of observed default latencies over rows with an observed default.
+  double default_total = 0.0;
+  /// Current workload latency P(W~) (Eq. 2).
+  double current_total = 0.0;
+  /// Rows with a verified non-default plan.
+  int improved_queries = 0;
+  /// Rows whose default plan was never observed (should be zero in a
+  /// correctly driven deployment; surfaced because it breaks the
+  /// no-regression reasoning).
+  int missing_defaults = 0;
+  double fill_fraction = 0.0;
+  int censored_cells = 0;
+  std::vector<QueryReport> queries;
+};
+
+/// Builds the report from the current matrix state.
+WorkloadReport BuildReport(const WorkloadMatrix& w);
+
+/// Renders a human-readable summary plus the `top` most-improved queries.
+void PrintReport(const WorkloadReport& report, std::ostream& os,
+                 int top = 10);
+
+}  // namespace limeqo::core
+
+#endif  // LIMEQO_CORE_REPORT_H_

@@ -1,0 +1,94 @@
+#include "core/serialization.h"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace limeqo::core {
+namespace {
+
+constexpr char kMagic[] = "limeqo-workload-matrix";
+constexpr char kVersion[] = "v1";
+
+}  // namespace
+
+Status SaveWorkloadMatrix(const WorkloadMatrix& w, std::ostream& os) {
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << kMagic << ' ' << kVersion << ' ' << w.num_queries() << ' '
+     << w.num_hints() << '\n';
+  for (int i = 0; i < w.num_queries(); ++i) {
+    for (int j = 0; j < w.num_hints(); ++j) {
+      switch (w.state(i, j)) {
+        case CellState::kUnobserved:
+          break;
+        case CellState::kComplete:
+          os << "C " << i << ' ' << j << ' ' << w.observed(i, j) << '\n';
+          break;
+        case CellState::kCensored:
+          os << "X " << i << ' ' << j << ' ' << w.observed(i, j) << '\n';
+          break;
+      }
+    }
+  }
+  if (!os) return Status::Internal("write failed");
+  return Status::Ok();
+}
+
+StatusOr<WorkloadMatrix> LoadWorkloadMatrix(std::istream& is) {
+  std::string magic, version;
+  int n = 0, k = 0;
+  if (!(is >> magic >> version >> n >> k)) {
+    return Status::InvalidArgument("missing or truncated header");
+  }
+  if (magic != kMagic) {
+    return Status::InvalidArgument("bad magic: " + magic);
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported version: " + version);
+  }
+  if (n <= 0 || k <= 0) {
+    return Status::InvalidArgument("non-positive matrix shape");
+  }
+  WorkloadMatrix w(n, k);
+  std::string tag;
+  while (is >> tag) {
+    int i = 0, j = 0;
+    double value = 0.0;
+    if (!(is >> i >> j >> value)) {
+      return Status::InvalidArgument("truncated cell record");
+    }
+    if (i < 0 || i >= n || j < 0 || j >= k) {
+      return Status::InvalidArgument("cell out of range");
+    }
+    if (!std::isfinite(value) || value < 0.0) {
+      return Status::InvalidArgument("non-finite or negative latency");
+    }
+    if (tag == "C") {
+      w.Observe(i, j, value);
+    } else if (tag == "X") {
+      w.ObserveCensored(i, j, value);
+    } else {
+      return Status::InvalidArgument("unknown record tag: " + tag);
+    }
+  }
+  return w;
+}
+
+Status SaveWorkloadMatrixToFile(const WorkloadMatrix& w,
+                                const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return Status::Internal("cannot open for write: " + path);
+  return SaveWorkloadMatrix(w, os);
+}
+
+StatusOr<WorkloadMatrix> LoadWorkloadMatrixFromFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::Internal("cannot open for read: " + path);
+  return LoadWorkloadMatrix(is);
+}
+
+}  // namespace limeqo::core

@@ -1,0 +1,37 @@
+#ifndef LIMEQO_CORE_SERIALIZATION_H_
+#define LIMEQO_CORE_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "core/workload_matrix.h"
+
+namespace limeqo::core {
+
+/// Persistence for the workload matrix, so offline exploration state
+/// survives process restarts (the offline path of Fig. 2 runs in idle
+/// windows over days). The format is line-oriented text:
+///
+///   limeqo-workload-matrix v1 <num_queries> <num_hints>
+///   C <query> <hint> <latency>     # complete observation
+///   X <query> <hint> <threshold>   # censored observation (timeout)
+///
+/// Latencies are written with enough digits to round-trip doubles exactly.
+/// Unobserved cells are implicit.
+
+/// Writes `w` to `os`. Returns a Status for stream failures.
+Status SaveWorkloadMatrix(const WorkloadMatrix& w, std::ostream& os);
+
+/// Reads a matrix written by SaveWorkloadMatrix. Returns InvalidArgument
+/// on malformed input (bad header, out-of-range cells, negative values).
+StatusOr<WorkloadMatrix> LoadWorkloadMatrix(std::istream& is);
+
+/// Convenience wrappers for files.
+Status SaveWorkloadMatrixToFile(const WorkloadMatrix& w,
+                                const std::string& path);
+StatusOr<WorkloadMatrix> LoadWorkloadMatrixFromFile(const std::string& path);
+
+}  // namespace limeqo::core
+
+#endif  // LIMEQO_CORE_SERIALIZATION_H_

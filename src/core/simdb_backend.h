@@ -1,0 +1,44 @@
+#ifndef LIMEQO_CORE_SIMDB_BACKEND_H_
+#define LIMEQO_CORE_SIMDB_BACKEND_H_
+
+#include "core/backend.h"
+#include "simdb/database.h"
+
+namespace limeqo::core {
+
+/// Adapts a simdb::SimulatedDatabase to the WorkloadBackend contract. Does
+/// not own the database; the database must outlive the backend.
+class SimDbBackend : public WorkloadBackend {
+ public:
+  explicit SimDbBackend(simdb::SimulatedDatabase* db) : db_(db) {
+    LIMEQO_CHECK(db != nullptr);
+  }
+
+  int num_queries() const override { return db_->num_queries(); }
+  int num_hints() const override { return db_->num_hints(); }
+
+  BackendResult Execute(int query, int hint,
+                        double timeout_seconds) override {
+    simdb::ExecutionResult r = db_->Execute(query, hint, timeout_seconds);
+    return BackendResult{r.observed_latency, r.timed_out};
+  }
+
+  double OptimizerCost(int query, int hint) const override {
+    return db_->OptimizerCost(query, hint);
+  }
+
+  const plan::PlanNode* Plan(int query, int hint) const override {
+    return &db_->Plan(query, hint);
+  }
+
+  std::vector<int> EquivalentHints(int query, int hint) const override {
+    return db_->EquivalentHints(query, hint);
+  }
+
+ private:
+  simdb::SimulatedDatabase* db_;
+};
+
+}  // namespace limeqo::core
+
+#endif  // LIMEQO_CORE_SIMDB_BACKEND_H_

@@ -1,0 +1,68 @@
+#include "core/svt.h"
+
+#include <cmath>
+
+#include "linalg/svd.h"
+
+namespace limeqo::core {
+
+SvtCompleter::SvtCompleter(SvtOptions options) : options_(options) {
+  LIMEQO_CHECK(options_.delta > 0.0);
+  LIMEQO_CHECK(options_.max_iterations > 0);
+}
+
+StatusOr<linalg::Matrix> SvtCompleter::Complete(const WorkloadMatrix& w) {
+  if (w.NumComplete() == 0) {
+    return Status::FailedPrecondition(
+        "SVT needs at least one complete observation");
+  }
+  const size_t n = static_cast<size_t>(w.num_queries());
+  const size_t k = static_cast<size_t>(w.num_hints());
+  const linalg::Matrix& values = w.values();
+  const linalg::Matrix& mask = w.mask();
+
+  const double tau = options_.tau > 0.0
+                         ? options_.tau
+                         : 5.0 * std::sqrt(static_cast<double>(n * k));
+
+  double observed_norm = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      if (mask(i, j) > 0.0) observed_norm += values(i, j) * values(i, j);
+    }
+  }
+  observed_norm = std::sqrt(observed_norm);
+  if (observed_norm == 0.0) {
+    return Status::FailedPrecondition("all observed entries are zero");
+  }
+
+  linalg::Matrix y = values.Hadamard(mask) * options_.delta;
+  linalg::Matrix z(n, k);
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    z = linalg::SvdSoftThreshold(y, tau);
+    // Residual on the observed set.
+    double resid = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        if (mask(i, j) > 0.0) {
+          const double d = values(i, j) - z(i, j);
+          resid += d * d;
+          y(i, j) += options_.delta * d;
+        }
+      }
+    }
+    if (std::sqrt(resid) / observed_norm < options_.tolerance) break;
+  }
+
+  // Pass observed entries through; predictions must be physically
+  // meaningful (latencies are positive).
+  z.ClampMin(0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      if (mask(i, j) > 0.0) z(i, j) = values(i, j);
+    }
+  }
+  return z;
+}
+
+}  // namespace limeqo::core

@@ -1,0 +1,39 @@
+#ifndef LIMEQO_CORE_SVT_H_
+#define LIMEQO_CORE_SVT_H_
+
+#include "core/completer.h"
+
+namespace limeqo::core {
+
+/// Options for singular value thresholding. With tau <= 0 a standard
+/// heuristic tau = 5 * sqrt(n * k) is used (Cai, Candes, Shen 2010).
+struct SvtOptions {
+  double tau = -1.0;
+  /// Step size; the reference algorithm uses delta in (1, 2).
+  double delta = 1.2;
+  int max_iterations = 200;
+  /// Stops when the relative residual on observed entries drops below this.
+  double tolerance = 1e-3;
+};
+
+/// Singular Value Thresholding (paper Sec. 5.5.5, [Cai et al. 2010]).
+///
+/// Iterates  Z = shrink(Y, tau);  Y += delta * M .* (W - Z)  where shrink
+/// soft-thresholds the singular values. Known to struggle on very sparse
+/// masks, which is exactly the paper's finding (its p = 0.1 point is
+/// missing from Fig. 17).
+class SvtCompleter : public Completer {
+ public:
+  explicit SvtCompleter(SvtOptions options = {});
+
+  StatusOr<linalg::Matrix> Complete(const WorkloadMatrix& w) override;
+
+  std::string name() const override { return "SVT"; }
+
+ private:
+  SvtOptions options_;
+};
+
+}  // namespace limeqo::core
+
+#endif  // LIMEQO_CORE_SVT_H_

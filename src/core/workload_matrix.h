@@ -1,0 +1,106 @@
+#ifndef LIMEQO_CORE_WORKLOAD_MATRIX_H_
+#define LIMEQO_CORE_WORKLOAD_MATRIX_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace limeqo::core {
+
+/// Observation state of one cell of the workload matrix.
+enum class CellState {
+  /// Never executed: latency unknown.
+  kUnobserved = 0,
+  /// Executed to completion: exact latency known.
+  kComplete,
+  /// Execution was cut off at a timeout: only a lower bound is known
+  /// (a censored observation, paper Sec. 4.1).
+  kCensored,
+};
+
+/// The partially observed workload matrix W-tilde of the paper (Fig. 1 and
+/// Eq. 1/5): rows are queries, columns are hints, entries are latencies.
+///
+/// Three aligned matrices are maintained, mirroring Algorithm 2's inputs:
+///  * values():   observed latency for complete cells, the timeout value for
+///                censored cells, 0 for unobserved cells;
+///  * mask():     1 for complete cells, 0 otherwise (M in the paper);
+///  * timeouts(): the censoring threshold for censored cells, 0 otherwise
+///                (T in the paper).
+///
+/// Hint column 0 is the DBMS default plan by convention.
+class WorkloadMatrix {
+ public:
+  WorkloadMatrix(int num_queries, int num_hints);
+
+  int num_queries() const { return static_cast<int>(values_.rows()); }
+  int num_hints() const { return static_cast<int>(values_.cols()); }
+
+  /// Records a completed execution of (query, hint) with the given latency.
+  /// Re-observing a cell overwrites it (e.g. re-running after data shift).
+  void Observe(int query, int hint, double latency);
+
+  /// Records a censored execution: the plan ran for `timeout` seconds
+  /// without finishing, so its true latency is >= timeout.
+  void ObserveCensored(int query, int hint, double timeout);
+
+  /// Forgets an observation (used when data shift invalidates measurements).
+  void Clear(int query, int hint);
+
+  CellState state(int query, int hint) const;
+  bool IsComplete(int query, int hint) const {
+    return state(query, hint) == CellState::kComplete;
+  }
+  bool IsUnobserved(int query, int hint) const {
+    return state(query, hint) == CellState::kUnobserved;
+  }
+
+  /// Observed value: exact latency for complete cells, the lower bound for
+  /// censored cells. Must not be called on unobserved cells.
+  double observed(int query, int hint) const;
+
+  const linalg::Matrix& values() const { return values_; }
+  const linalg::Matrix& mask() const { return mask_; }
+  const linalg::Matrix& timeouts() const { return timeouts_; }
+
+  /// Minimum *complete* observed latency in the row; infinity when the row
+  /// has no complete observation. Censored cells never define the row best:
+  /// their true latency is at least the censoring threshold, which was the
+  /// row minimum at execution time.
+  double RowMinObserved(int query) const;
+
+  /// Hint index achieving RowMinObserved; -1 when no complete observation.
+  int BestObservedHint(int query) const;
+
+  /// Current workload latency P(W-tilde) (paper Eq. 2): sum over rows of the
+  /// best complete observation.
+  double CurrentWorkloadLatency() const;
+
+  /// Number of cells in each state.
+  int NumComplete() const;
+  int NumCensored() const;
+  int NumUnobserved() const;
+
+  /// Fraction of cells with a complete observation.
+  double FillFraction() const;
+
+  /// All unobserved (query, hint) cells.
+  std::vector<std::pair<int, int>> UnobservedCells() const;
+
+  /// Appends `count` new all-unobserved query rows (workload shift,
+  /// Sec. 5.3). Returns the index of the first new row.
+  int AppendQueries(int count);
+
+ private:
+  linalg::Matrix values_;
+  linalg::Matrix mask_;
+  linalg::Matrix timeouts_;
+  std::vector<CellState> states_;  // row-major n*k
+
+  size_t CellIndex(int query, int hint) const;
+};
+
+}  // namespace limeqo::core
+
+#endif  // LIMEQO_CORE_WORKLOAD_MATRIX_H_

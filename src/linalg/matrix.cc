@@ -1,0 +1,195 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/table_printer.h"
+
+namespace limeqo::linalg {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    LIMEQO_CHECK(rows[i].size() == rows[0].size());
+    for (size_t j = 0; j < rows[i].size(); ++j) m(i, j) = rows[i][j];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Random(size_t rows, size_t cols, Rng* rng, double lo,
+                      double hi) {
+  Matrix m(rows, cols);
+  for (double& x : m.data_) x = rng->Uniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::RandomGaussian(size_t rows, size_t cols, Rng* rng, double mean,
+                              double stddev) {
+  Matrix m(rows, cols);
+  for (double& x : m.data_) x = rng->Gaussian(mean, stddev);
+  return m;
+}
+
+std::vector<double> Matrix::Row(size_t i) const {
+  LIMEQO_CHECK(i < rows_);
+  return std::vector<double>(data_.begin() + i * cols_,
+                             data_.begin() + (i + 1) * cols_);
+}
+
+std::vector<double> Matrix::Col(size_t j) const {
+  LIMEQO_CHECK(j < cols_);
+  std::vector<double> out(rows_);
+  for (size_t i = 0; i < rows_; ++i) out[i] = data_[i * cols_ + j];
+  return out;
+}
+
+void Matrix::SetRow(size_t i, const std::vector<double>& row) {
+  LIMEQO_CHECK(i < rows_ && row.size() == cols_);
+  std::copy(row.begin(), row.end(), data_.begin() + i * cols_);
+}
+
+void Matrix::AppendRow(const std::vector<double>& row) {
+  if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+  LIMEQO_CHECK(row.size() == cols_);
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  LIMEQO_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop sequential in both operands.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = data_.data() + i * cols_;
+    double* o_row = out.data_.data() + i * other.cols_;
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.data_.data() + k * other.cols_;
+      for (size_t j = 0; j < other.cols_; ++j) o_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  Matrix out = *this;
+  out += other;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  Matrix out = *this;
+  out -= other;
+  return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix out = *this;
+  out *= scalar;
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  LIMEQO_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  LIMEQO_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Matrix Matrix::Hadamard(const Matrix& other) const {
+  LIMEQO_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+void Matrix::ClampMin(double lo) {
+  for (double& x : data_) x = std::max(x, lo);
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Matrix::SumAll() const {
+  double s = 0.0;
+  for (double x : data_) s += x;
+  return s;
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+double Matrix::RowMin(size_t i) const {
+  LIMEQO_CHECK(i < rows_ && cols_ > 0);
+  double m = (*this)(i, 0);
+  for (size_t j = 1; j < cols_; ++j) m = std::min(m, (*this)(i, j));
+  return m;
+}
+
+size_t Matrix::RowArgMin(size_t i) const {
+  LIMEQO_CHECK(i < rows_ && cols_ > 0);
+  size_t best = 0;
+  for (size_t j = 1; j < cols_; ++j) {
+    if ((*this)(i, j) < (*this)(i, best)) best = j;
+  }
+  return best;
+}
+
+bool Matrix::ApproxEquals(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString(int decimals) const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < rows_; ++i) {
+    os << (i == 0 ? "[" : " [");
+    for (size_t j = 0; j < cols_; ++j) {
+      os << FormatDouble((*this)(i, j), decimals);
+      if (j + 1 < cols_) os << ", ";
+    }
+    os << "]";
+    if (i + 1 < rows_) os << ",\n";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace limeqo::linalg

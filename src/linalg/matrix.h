@@ -1,0 +1,131 @@
+#ifndef LIMEQO_LINALG_MATRIX_H_
+#define LIMEQO_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace limeqo::linalg {
+
+/// Dense row-major matrix of doubles.
+///
+/// This is the numeric workhorse for the matrix-completion algorithms
+/// (ALS / SVT / nuclear norm). It intentionally implements exactly the
+/// operations those algorithms need rather than a general BLAS: products,
+/// transposes, element-wise ops, norms, and a few factorizations (in
+/// solve.h / svd.h). All dimension mismatches are programmer errors and
+/// abort via LIMEQO_CHECK.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix initialized to `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer-like data; all rows must be equal length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  /// Matrix with i.i.d. Uniform[lo, hi) entries.
+  static Matrix Random(size_t rows, size_t cols, Rng* rng, double lo = 0.0,
+                       double hi = 1.0);
+
+  /// Matrix with i.i.d. N(mean, stddev^2) entries.
+  static Matrix RandomGaussian(size_t rows, size_t cols, Rng* rng,
+                               double mean = 0.0, double stddev = 1.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& operator()(size_t i, size_t j) {
+    LIMEQO_CHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(size_t i, size_t j) const {
+    LIMEQO_CHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Raw storage access (row-major). Used by hot loops.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Returns row i as a vector.
+  std::vector<double> Row(size_t i) const;
+
+  /// Returns column j as a vector.
+  std::vector<double> Col(size_t j) const;
+
+  /// Overwrites row i.
+  void SetRow(size_t i, const std::vector<double>& row);
+
+  /// Appends a row at the bottom (used when new queries join the workload).
+  void AppendRow(const std::vector<double>& row);
+
+  /// Transpose.
+  Matrix Transposed() const;
+
+  /// Matrix product this * other.
+  Matrix operator*(const Matrix& other) const;
+
+  /// Element-wise sum / difference / scaling.
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(double scalar) const;
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  /// Element-wise (Hadamard) product.
+  Matrix Hadamard(const Matrix& other) const;
+
+  /// Applies f to every element in place.
+  template <typename F>
+  void Apply(F f) {
+    for (double& x : data_) x = f(x);
+  }
+
+  /// Clamps all entries to be >= lo (in place). Non-negativity projection.
+  void ClampMin(double lo);
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Sum of all entries.
+  double SumAll() const;
+
+  /// Largest absolute entry.
+  double MaxAbs() const;
+
+  /// Minimum value in row i.
+  double RowMin(size_t i) const;
+
+  /// Column index of the minimum value in row i (first on ties).
+  size_t RowArgMin(size_t i) const;
+
+  /// True if same shape and all entries within `tol`.
+  bool ApproxEquals(const Matrix& other, double tol = 1e-9) const;
+
+  /// Debug rendering, e.g. "[[1, 2], [3, 4]]".
+  std::string ToString(int decimals = 3) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// scalar * M.
+inline Matrix operator*(double scalar, const Matrix& m) { return m * scalar; }
+
+}  // namespace limeqo::linalg
+
+#endif  // LIMEQO_LINALG_MATRIX_H_

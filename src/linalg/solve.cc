@@ -1,0 +1,133 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+#include <vector>
+
+namespace limeqo::linalg {
+
+StatusOr<Matrix> Cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (s <= 0.0) {
+          return Status::InvalidArgument(
+              "matrix is not positive definite (pivot <= 0)");
+        }
+        l(i, j) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+StatusOr<Matrix> SolveSpd(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument("SolveSpd: dimension mismatch");
+  }
+  StatusOr<Matrix> chol = Cholesky(a);
+  if (!chol.ok()) return chol.status();
+  const Matrix& l = *chol;
+  const size_t n = a.rows();
+  const size_t m = b.cols();
+  // Forward substitution: L Y = B.
+  Matrix y(n, m);
+  for (size_t c = 0; c < m; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      double s = b(i, c);
+      for (size_t k = 0; k < i; ++k) s -= l(i, k) * y(k, c);
+      y(i, c) = s / l(i, i);
+    }
+  }
+  // Back substitution: L^T X = Y.
+  Matrix x(n, m);
+  for (size_t c = 0; c < m; ++c) {
+    for (size_t ii = n; ii > 0; --ii) {
+      size_t i = ii - 1;
+      double s = y(i, c);
+      for (size_t k = i + 1; k < n; ++k) s -= l(k, i) * x(k, c);
+      x(i, c) = s / l(i, i);
+    }
+  }
+  return x;
+}
+
+StatusOr<Matrix> RidgeSolve(const Matrix& b, const Matrix& a, double lambda) {
+  if (lambda <= 0.0) {
+    return Status::InvalidArgument("RidgeSolve requires lambda > 0");
+  }
+  if (b.cols() != a.rows()) {
+    return Status::InvalidArgument("RidgeSolve: dimension mismatch");
+  }
+  const size_t r = a.cols();
+  Matrix gram = a.Transposed() * a;  // r x r
+  for (size_t i = 0; i < r; ++i) gram(i, i) += lambda;
+  // X^T solves (A^T A + lambda I) X^T = A^T B^T  ==> X = B A (A^T A + l I)^-1.
+  StatusOr<Matrix> xt = SolveSpd(gram, a.Transposed() * b.Transposed());
+  if (!xt.ok()) return xt.status();
+  return xt->Transposed();
+}
+
+StatusOr<Matrix> SolveLu(const Matrix& a, const Matrix& b) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SolveLu requires a square matrix");
+  }
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument("SolveLu: dimension mismatch");
+  }
+  const size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<size_t> piv(n);
+  for (size_t i = 0; i < n; ++i) piv[i] = i;
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    for (size_t i = col + 1; i < n; ++i) {
+      if (std::fabs(lu(i, col)) > std::fabs(lu(pivot, col))) pivot = i;
+    }
+    if (std::fabs(lu(pivot, col)) < 1e-300) {
+      return Status::InvalidArgument("SolveLu: matrix is singular");
+    }
+    if (pivot != col) {
+      for (size_t j = 0; j < n; ++j) std::swap(lu(col, j), lu(pivot, j));
+      std::swap(piv[col], piv[pivot]);
+    }
+    for (size_t i = col + 1; i < n; ++i) {
+      lu(i, col) /= lu(col, col);
+      const double f = lu(i, col);
+      for (size_t j = col + 1; j < n; ++j) lu(i, j) -= f * lu(col, j);
+    }
+  }
+  const size_t m = b.cols();
+  Matrix x(n, m);
+  for (size_t c = 0; c < m; ++c) {
+    // Apply permutation, then forward/back substitution.
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+      double s = b(piv[i], c);
+      for (size_t k = 0; k < i; ++k) s -= lu(i, k) * y[k];
+      y[i] = s;
+    }
+    for (size_t ii = n; ii > 0; --ii) {
+      size_t i = ii - 1;
+      double s = y[i];
+      for (size_t k = i + 1; k < n; ++k) s -= lu(i, k) * x(k, c);
+      x(i, c) = s / lu(i, i);
+    }
+  }
+  return x;
+}
+
+StatusOr<Matrix> Inverse(const Matrix& a) {
+  return SolveLu(a, Matrix::Identity(a.rows()));
+}
+
+}  // namespace limeqo::linalg

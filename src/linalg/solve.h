@@ -1,0 +1,36 @@
+#ifndef LIMEQO_LINALG_SOLVE_H_
+#define LIMEQO_LINALG_SOLVE_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace limeqo::linalg {
+
+/// Cholesky factorization of a symmetric positive-definite matrix A = L L^T.
+/// Returns the lower-triangular factor L, or InvalidArgument when A is not
+/// (numerically) positive definite.
+StatusOr<Matrix> Cholesky(const Matrix& a);
+
+/// Solves A X = B for X where A is symmetric positive definite, via
+/// Cholesky. B may have multiple columns. This is the inner solver of the
+/// ridge-regularized ALS updates (A = H^T H + lambda I is SPD for lambda>0).
+StatusOr<Matrix> SolveSpd(const Matrix& a, const Matrix& b);
+
+/// Solves the ridge least-squares system for X in:
+///   X = B * A * (A^T A + lambda I)^{-1}
+/// which is the closed-form update used by Algorithm 2 of the paper
+/// (e.g. Q <- W_hat H (H^T H + lambda I)^{-1}). `a` is (m x r), `b` is
+/// (n x m); result is (n x r). lambda must be > 0 so the system is SPD.
+StatusOr<Matrix> RidgeSolve(const Matrix& b, const Matrix& a, double lambda);
+
+/// General LU solve with partial pivoting: solves A X = B for square A.
+/// Returns InvalidArgument for (numerically) singular A.
+StatusOr<Matrix> SolveLu(const Matrix& a, const Matrix& b);
+
+/// Inverse of a square matrix via LU. Prefer the Solve* functions; this is
+/// exposed for tests and for small fixed-size systems.
+StatusOr<Matrix> Inverse(const Matrix& a);
+
+}  // namespace limeqo::linalg
+
+#endif  // LIMEQO_LINALG_SOLVE_H_

@@ -1,0 +1,144 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace limeqo::linalg {
+namespace {
+
+// One-sided Jacobi SVD on a matrix with rows >= cols. Orthogonalizes the
+// columns of a working copy of A; the column norms become singular values,
+// normalized columns become U, and accumulated rotations become V.
+SvdResult JacobiSvdTall(const Matrix& a) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  Matrix w = a;                    // working copy, becomes U * diag(s)
+  Matrix v = Matrix::Identity(n);  // accumulated right rotations
+
+  const int kMaxSweeps = 60;
+  const double kTol = 1e-14;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        // Compute the 2x2 Gram block for columns p, q.
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p), wq = w(i, q);
+          app += wp * wp;
+          aqq += wq * wq;
+          apq += wp * wq;
+        }
+        off = std::max(off, std::fabs(apq) / std::sqrt(app * aqq + 1e-300));
+        if (std::fabs(apq) <= kTol * std::sqrt(app * aqq)) continue;
+        // Jacobi rotation that annihilates apq.
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t = std::copysign(
+            1.0 / (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta)), zeta);
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p), wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p), vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (off < kTol) break;
+  }
+
+  // Extract singular values and normalize columns of w into U.
+  std::vector<double> sv(n);
+  Matrix u(m, n);
+  for (size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (size_t i = 0; i < m; ++i) norm += w(i, j) * w(i, j);
+    norm = std::sqrt(norm);
+    sv[j] = norm;
+    if (norm > 1e-300) {
+      for (size_t i = 0; i < m; ++i) u(i, j) = w(i, j) / norm;
+    }
+  }
+
+  // Sort descending by singular value.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return sv[x] > sv[y]; });
+  SvdResult result;
+  result.u = Matrix(m, n);
+  result.v = Matrix(n, n);
+  result.singular_values.resize(n);
+  for (size_t j = 0; j < n; ++j) {
+    const size_t src = order[j];
+    result.singular_values[j] = sv[src];
+    for (size_t i = 0; i < m; ++i) result.u(i, j) = u(i, src);
+    for (size_t i = 0; i < n; ++i) result.v(i, j) = v(i, src);
+  }
+  return result;
+}
+
+}  // namespace
+
+Matrix SvdResult::Reconstruct() const {
+  Matrix us = u;
+  for (size_t i = 0; i < us.rows(); ++i) {
+    for (size_t j = 0; j < us.cols(); ++j) us(i, j) *= singular_values[j];
+  }
+  return us * v.Transposed();
+}
+
+SvdResult ComputeSvd(const Matrix& a) {
+  LIMEQO_CHECK(a.rows() > 0 && a.cols() > 0);
+  if (a.rows() >= a.cols()) return JacobiSvdTall(a);
+  // Wide matrix: decompose the transpose and swap U <-> V.
+  SvdResult t = JacobiSvdTall(a.Transposed());
+  SvdResult result;
+  result.u = t.v;
+  result.v = t.u;
+  result.singular_values = std::move(t.singular_values);
+  return result;
+}
+
+std::vector<double> SingularValues(const Matrix& a) {
+  return ComputeSvd(a).singular_values;
+}
+
+Matrix SvdSoftThreshold(const Matrix& a, double tau) {
+  SvdResult svd = ComputeSvd(a);
+  for (double& s : svd.singular_values) s = std::max(s - tau, 0.0);
+  return svd.Reconstruct();
+}
+
+Matrix LowRankApproximation(const Matrix& a, size_t rank) {
+  SvdResult svd = ComputeSvd(a);
+  for (size_t i = rank; i < svd.singular_values.size(); ++i) {
+    svd.singular_values[i] = 0.0;
+  }
+  return svd.Reconstruct();
+}
+
+size_t NumericalRank(const Matrix& a, double tol) {
+  std::vector<double> sv = SingularValues(a);
+  if (sv.empty() || sv[0] <= 0.0) return 0;
+  size_t r = 0;
+  for (double s : sv) {
+    if (s > tol * sv[0]) ++r;
+  }
+  return r;
+}
+
+double NuclearNorm(const Matrix& a) {
+  std::vector<double> sv = SingularValues(a);
+  double sum = 0.0;
+  for (double s : sv) sum += s;
+  return sum;
+}
+
+}  // namespace limeqo::linalg

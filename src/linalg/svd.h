@@ -1,0 +1,48 @@
+#ifndef LIMEQO_LINALG_SVD_H_
+#define LIMEQO_LINALG_SVD_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace limeqo::linalg {
+
+/// Result of a thin singular value decomposition A = U diag(s) V^T where A is
+/// m x n (m >= n after internal transposition handling), U is m x n with
+/// orthonormal columns, s holds n non-negative singular values in descending
+/// order, and V is n x n orthogonal.
+struct SvdResult {
+  Matrix u;
+  std::vector<double> singular_values;
+  Matrix v;
+
+  /// Reconstructs U diag(s) V^T.
+  Matrix Reconstruct() const;
+};
+
+/// Computes the thin SVD via one-sided Jacobi rotations. Robust for the
+/// moderately sized matrices used here (workload matrices have only
+/// k ~ 49 columns, so the cost is O(m * k^2) per sweep).
+SvdResult ComputeSvd(const Matrix& a);
+
+/// Singular values only (descending). Drives the low-rank diagnostics of
+/// paper Fig. 14.
+std::vector<double> SingularValues(const Matrix& a);
+
+/// Singular-value soft thresholding: U max(s - tau, 0) V^T. This is the
+/// shrinkage operator used by both SVT and the soft-impute nuclear-norm
+/// solver (paper Sec. 5.5.5).
+Matrix SvdSoftThreshold(const Matrix& a, double tau);
+
+/// Best rank-r approximation (truncated SVD).
+Matrix LowRankApproximation(const Matrix& a, size_t rank);
+
+/// Numerical rank: number of singular values > tol * s_max.
+size_t NumericalRank(const Matrix& a, double tol = 1e-9);
+
+/// Nuclear norm (sum of singular values).
+double NuclearNorm(const Matrix& a);
+
+}  // namespace limeqo::linalg
+
+#endif  // LIMEQO_LINALG_SVD_H_

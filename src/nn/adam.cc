@@ -1,0 +1,72 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace limeqo::nn {
+
+Adam::Adam(std::vector<Param*> params, AdamOptions options)
+    : options_(options) {
+  Rebind(std::move(params));
+}
+
+void Adam::Rebind(std::vector<Param*> params) {
+  std::vector<linalg::Matrix> m, v;
+  m.reserve(params.size());
+  v.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    bool reused = false;
+    if (i < params_.size() && params_[i] == params[i] &&
+        m_[i].rows() == params[i]->value.rows() &&
+        m_[i].cols() == params[i]->value.cols()) {
+      m.push_back(m_[i]);
+      v.push_back(v_[i]);
+      reused = true;
+    }
+    if (!reused) {
+      m.emplace_back(params[i]->value.rows(), params[i]->value.cols());
+      v.emplace_back(params[i]->value.rows(), params[i]->value.cols());
+    }
+  }
+  params_ = std::move(params);
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
+void Adam::Step(int batch_size) {
+  LIMEQO_CHECK(batch_size > 0);
+  ++step_;
+  const double bc1 = 1.0 - std::pow(options_.beta1, step_);
+  const double bc2 = 1.0 - std::pow(options_.beta2, step_);
+  for (size_t p = 0; p < params_.size(); ++p) {
+    Param& param = *params_[p];
+    // Embedding tables can grow between steps; resize moments lazily.
+    if (m_[p].rows() != param.value.rows() ||
+        m_[p].cols() != param.value.cols()) {
+      linalg::Matrix m_new(param.value.rows(), param.value.cols());
+      linalg::Matrix v_new(param.value.rows(), param.value.cols());
+      for (size_t i = 0; i < m_[p].rows() && i < m_new.rows(); ++i) {
+        for (size_t j = 0; j < m_[p].cols() && j < m_new.cols(); ++j) {
+          m_new(i, j) = m_[p](i, j);
+          v_new(i, j) = v_[p](i, j);
+        }
+      }
+      m_[p] = std::move(m_new);
+      v_[p] = std::move(v_new);
+    }
+    for (size_t i = 0; i < param.value.rows(); ++i) {
+      for (size_t j = 0; j < param.value.cols(); ++j) {
+        const double g = param.grad(i, j) / batch_size;
+        m_[p](i, j) = options_.beta1 * m_[p](i, j) + (1.0 - options_.beta1) * g;
+        v_[p](i, j) =
+            options_.beta2 * v_[p](i, j) + (1.0 - options_.beta2) * g * g;
+        const double m_hat = m_[p](i, j) / bc1;
+        const double v_hat = v_[p](i, j) / bc2;
+        param.value(i, j) -=
+            options_.learning_rate * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+      }
+    }
+    param.ZeroGrad();
+  }
+}
+
+}  // namespace limeqo::nn

@@ -1,0 +1,115 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace limeqo::nn {
+
+Linear::Linear(int in_dim, int out_dim, Rng* rng, bool has_bias)
+    : has_bias_(has_bias) {
+  LIMEQO_CHECK(in_dim > 0 && out_dim > 0);
+  const double scale = std::sqrt(2.0 / in_dim);
+  w_ = Param(out_dim, in_dim);
+  b_ = Param(out_dim, 1);
+  for (size_t i = 0; i < w_.value.rows(); ++i) {
+    for (size_t j = 0; j < w_.value.cols(); ++j) {
+      w_.value(i, j) = rng->Gaussian(0.0, scale);
+    }
+  }
+}
+
+Vec Linear::Forward(const Vec& x) const {
+  LIMEQO_CHECK(static_cast<int>(x.size()) == in_dim());
+  Vec y(out_dim());
+  for (int i = 0; i < out_dim(); ++i) {
+    double s = b_.value(i, 0);
+    for (int j = 0; j < in_dim(); ++j) s += w_.value(i, j) * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+Vec Linear::Backward(const Vec& grad_out, const Vec& input) {
+  LIMEQO_CHECK(static_cast<int>(grad_out.size()) == out_dim());
+  LIMEQO_CHECK(static_cast<int>(input.size()) == in_dim());
+  Vec grad_in(in_dim(), 0.0);
+  for (int i = 0; i < out_dim(); ++i) {
+    const double g = grad_out[i];
+    if (has_bias_) b_.grad(i, 0) += g;
+    for (int j = 0; j < in_dim(); ++j) {
+      w_.grad(i, j) += g * input[j];
+      grad_in[j] += g * w_.value(i, j);
+    }
+  }
+  return grad_in;
+}
+
+Vec LeakyRelu(const Vec& x, double leak) {
+  Vec y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] = x[i] > 0.0 ? x[i] : leak * x[i];
+  return y;
+}
+
+Vec LeakyReluBackward(const Vec& grad_out, const Vec& input, double leak) {
+  LIMEQO_CHECK(grad_out.size() == input.size());
+  Vec g(input.size());
+  for (size_t i = 0; i < input.size(); ++i) {
+    g[i] = grad_out[i] * (input[i] > 0.0 ? 1.0 : leak);
+  }
+  return g;
+}
+
+Vec Dropout::Forward(const Vec& x, bool training, Rng* rng) {
+  if (!training || p_ == 0.0) {
+    mask_.assign(x.size(), 1.0);
+    return x;
+  }
+  mask_.resize(x.size());
+  Vec y(x.size());
+  const double keep_scale = 1.0 / (1.0 - p_);
+  for (size_t i = 0; i < x.size(); ++i) {
+    mask_[i] = rng->Bernoulli(p_) ? 0.0 : keep_scale;
+    y[i] = x[i] * mask_[i];
+  }
+  return y;
+}
+
+Vec Dropout::Backward(const Vec& grad_out) const {
+  LIMEQO_CHECK(grad_out.size() == mask_.size());
+  Vec g(grad_out.size());
+  for (size_t i = 0; i < grad_out.size(); ++i) g[i] = grad_out[i] * mask_[i];
+  return g;
+}
+
+Embedding::Embedding(int count, int dim, Rng* rng) {
+  LIMEQO_CHECK(count > 0 && dim > 0);
+  table_ = Param(count, dim);
+  for (size_t i = 0; i < table_.value.rows(); ++i) {
+    for (size_t j = 0; j < table_.value.cols(); ++j) {
+      table_.value(i, j) = rng->Gaussian(0.0, 0.1);
+    }
+  }
+}
+
+Vec Embedding::Forward(int index) const {
+  LIMEQO_CHECK(index >= 0 && index < count());
+  return table_.value.Row(index);
+}
+
+void Embedding::Backward(int index, const Vec& grad_out) {
+  LIMEQO_CHECK(index >= 0 && index < count());
+  LIMEQO_CHECK(static_cast<int>(grad_out.size()) == dim());
+  for (int j = 0; j < dim(); ++j) table_.grad(index, j) += grad_out[j];
+}
+
+void Embedding::Append(int additional, Rng* rng) {
+  LIMEQO_CHECK(additional > 0);
+  const int d = dim();
+  for (int a = 0; a < additional; ++a) {
+    Vec row(d);
+    for (double& x : row) x = rng->Gaussian(0.0, 0.1);
+    table_.value.AppendRow(row);
+    table_.grad.AppendRow(Vec(d, 0.0));
+  }
+}
+
+}  // namespace limeqo::nn

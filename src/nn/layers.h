@@ -1,0 +1,107 @@
+#ifndef LIMEQO_NN_LAYERS_H_
+#define LIMEQO_NN_LAYERS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace limeqo::nn {
+
+/// A trainable parameter: value plus accumulated gradient of the same shape.
+struct Param {
+  linalg::Matrix value;
+  linalg::Matrix grad;
+
+  Param() = default;
+  Param(size_t rows, size_t cols) : value(rows, cols), grad(rows, cols) {}
+
+  void ZeroGrad() { grad *= 0.0; }
+};
+
+/// Vector alias used for per-node / per-sample activations.
+using Vec = std::vector<double>;
+
+/// y = W x + b. Gradients accumulate across samples until ZeroGrad.
+class Linear {
+ public:
+  /// He-style initialization scaled for ReLU nonlinearities. With
+  /// `has_bias` false the layer computes y = W x (used for the child
+  /// filters of tree convolution, which share the parent filter's bias).
+  Linear(int in_dim, int out_dim, Rng* rng, bool has_bias = true);
+
+  Vec Forward(const Vec& x) const;
+
+  /// Accumulates dL/dW and dL/db given dL/dy and the forward input; returns
+  /// dL/dx.
+  Vec Backward(const Vec& grad_out, const Vec& input);
+
+  int in_dim() const { return static_cast<int>(w_.value.cols()); }
+  int out_dim() const { return static_cast<int>(w_.value.rows()); }
+
+  /// Parameters for the optimizer (weight matrix, then bias if present).
+  std::vector<Param*> params() {
+    if (!has_bias_) return {&w_};
+    return {&w_, &b_};
+  }
+
+ private:
+  Param w_;  // out x in
+  Param b_;  // out x 1 (all zeros when has_bias_ is false)
+  bool has_bias_ = true;
+};
+
+/// Element-wise leaky ReLU (slope `leak` for negative inputs).
+Vec LeakyRelu(const Vec& x, double leak = 0.01);
+
+/// Backward of LeakyRelu given the forward *input*.
+Vec LeakyReluBackward(const Vec& grad_out, const Vec& input,
+                      double leak = 0.01);
+
+/// Inverted dropout: scales kept units by 1/(1-p) at training time so
+/// inference needs no rescaling (paper uses p = 0.3 between tree
+/// convolution layers).
+class Dropout {
+ public:
+  explicit Dropout(double p) : p_(p) { LIMEQO_CHECK(p >= 0.0 && p < 1.0); }
+
+  /// Samples a fresh mask when training; identity otherwise.
+  Vec Forward(const Vec& x, bool training, Rng* rng);
+
+  /// Uses the mask from the most recent training Forward.
+  Vec Backward(const Vec& grad_out) const;
+
+ private:
+  double p_;
+  Vec mask_;
+};
+
+/// Lookup table of `count` learnable vectors of size `dim`. Provides the
+/// query/hint embeddings of the transductive TCNN (paper Fig. 4); rows are
+/// exactly the Q / H factors of the linear decomposition, learned jointly
+/// with the network.
+class Embedding {
+ public:
+  Embedding(int count, int dim, Rng* rng);
+
+  Vec Forward(int index) const;
+
+  /// Accumulates the gradient into the indexed row.
+  void Backward(int index, const Vec& grad_out);
+
+  /// Grows the table for newly arrived queries (workload shift).
+  void Append(int additional, Rng* rng);
+
+  int count() const { return static_cast<int>(table_.value.rows()); }
+  int dim() const { return static_cast<int>(table_.value.cols()); }
+
+  std::vector<Param*> params() { return {&table_}; }
+
+ private:
+  Param table_;  // count x dim
+};
+
+}  // namespace limeqo::nn
+
+#endif  // LIMEQO_NN_LAYERS_H_

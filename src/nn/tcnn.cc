@@ -1,0 +1,254 @@
+#include "nn/tcnn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace limeqo::nn {
+
+struct TcnnModel::ForwardCache {
+  /// conv_inputs[l] = per-node inputs to conv layer l; the entry at
+  /// conv_channels.size() holds the final per-node activations.
+  std::vector<std::vector<Vec>> conv_inputs;
+  /// Pre-activation outputs of each conv layer (needed by LeakyRelu grad).
+  std::vector<std::vector<Vec>> conv_preact;
+  std::vector<int> pool_argmax;
+  Vec head_input;
+  /// fc_inputs[l] = input to fc layer l; fc_preact[l] = its pre-activation.
+  std::vector<Vec> fc_inputs;
+  std::vector<Vec> fc_preact;
+};
+
+TcnnModel::TcnnModel(int num_queries, int num_hints,
+                     const TcnnOptions& options)
+    : options_(options), num_hints_(num_hints), rng_(options.seed) {
+  LIMEQO_CHECK(num_queries > 0 && num_hints > 0);
+  LIMEQO_CHECK(!options_.conv_channels.empty());
+  LIMEQO_CHECK(!options_.fc_hidden.empty());
+
+  int in_dim = plan::kNodeFeatureDim;
+  for (int channels : options_.conv_channels) {
+    conv_layers_.emplace_back(in_dim, channels, &rng_);
+    dropouts_.emplace_back(options_.dropout_p);
+    in_dim = channels;
+  }
+
+  int head_in = options_.conv_channels.back();
+  if (options_.use_embeddings) {
+    query_embedding_ =
+        std::make_unique<Embedding>(num_queries, options_.embedding_dim, &rng_);
+    hint_embedding_ =
+        std::make_unique<Embedding>(num_hints, options_.embedding_dim, &rng_);
+    head_in += 2 * options_.embedding_dim;
+  }
+  int fc_in = head_in;
+  for (int hidden : options_.fc_hidden) {
+    fc_layers_.emplace_back(fc_in, hidden, &rng_);
+    fc_in = hidden;
+  }
+  fc_layers_.emplace_back(fc_in, 1, &rng_);
+
+  adam_ = std::make_unique<Adam>(AllParams(), options_.adam);
+}
+
+std::vector<Param*> TcnnModel::AllParams() {
+  std::vector<Param*> all;
+  for (auto& layer : conv_layers_) {
+    for (Param* p : layer.params()) all.push_back(p);
+  }
+  for (auto& layer : fc_layers_) {
+    for (Param* p : layer.params()) all.push_back(p);
+  }
+  if (query_embedding_) {
+    for (Param* p : query_embedding_->params()) all.push_back(p);
+  }
+  if (hint_embedding_) {
+    for (Param* p : hint_embedding_->params()) all.push_back(p);
+  }
+  return all;
+}
+
+int TcnnModel::num_queries() const {
+  return query_embedding_ ? query_embedding_->count() : 0;
+}
+
+long TcnnModel::NumParameters() {
+  long total = 0;
+  for (Param* p : AllParams()) total += static_cast<long>(p->value.size());
+  return total;
+}
+
+double TcnnModel::Forward(const plan::FlatPlan& flat, int query, int hint,
+                          bool training, ForwardCache* cache) {
+  // Tree convolution stack.
+  std::vector<Vec> activations = flat.node_features;
+  if (cache) {
+    cache->conv_inputs.clear();
+    cache->conv_preact.clear();
+  }
+  for (size_t l = 0; l < conv_layers_.size(); ++l) {
+    if (cache) cache->conv_inputs.push_back(activations);
+    std::vector<Vec> pre = conv_layers_[l].Forward(flat, activations);
+    if (cache) cache->conv_preact.push_back(pre);
+    activations.resize(pre.size());
+    for (size_t i = 0; i < pre.size(); ++i) {
+      Vec a = LeakyRelu(pre[i]);
+      // Dropout between tree convolution layers (paper Sec. 5).
+      activations[i] = dropouts_[l].Forward(a, training, &rng_);
+    }
+  }
+  if (cache) cache->conv_inputs.push_back(activations);
+
+  // Dynamic max pooling to a fixed-size vector.
+  std::vector<int> argmax;
+  Vec pooled = DynamicMaxPool::Forward(activations, &argmax);
+  if (cache) cache->pool_argmax = argmax;
+
+  // Concatenate the low-rank embeddings (transductive part, Fig. 4).
+  Vec head = pooled;
+  if (options_.use_embeddings) {
+    const Vec qv = query_embedding_->Forward(query);
+    const Vec hv = hint_embedding_->Forward(hint);
+    head.insert(head.end(), qv.begin(), qv.end());
+    head.insert(head.end(), hv.begin(), hv.end());
+  }
+  if (cache) cache->head_input = head;
+
+  // Fully connected head; LeakyReLU between layers, linear output.
+  Vec x = std::move(head);
+  if (cache) {
+    cache->fc_inputs.clear();
+    cache->fc_preact.clear();
+  }
+  for (size_t l = 0; l < fc_layers_.size(); ++l) {
+    if (cache) cache->fc_inputs.push_back(x);
+    Vec pre = fc_layers_[l].Forward(x);
+    if (cache) cache->fc_preact.push_back(pre);
+    if (l + 1 < fc_layers_.size()) {
+      x = LeakyRelu(pre);
+    } else {
+      x = pre;
+    }
+  }
+  LIMEQO_CHECK(x.size() == 1);
+  return x[0];
+}
+
+void TcnnModel::Backward(const plan::FlatPlan& flat, int query, int hint,
+                         double grad_prediction, const ForwardCache& cache) {
+  // FC head, last layer first.
+  Vec grad{grad_prediction};
+  for (size_t li = fc_layers_.size(); li > 0; --li) {
+    const size_t l = li - 1;
+    if (l + 1 < fc_layers_.size()) {
+      grad = LeakyReluBackward(grad, cache.fc_preact[l]);
+    }
+    grad = fc_layers_[l].Backward(grad, cache.fc_inputs[l]);
+  }
+
+  // Split the head gradient back into pooled / embedding parts.
+  const int pooled_dim = options_.conv_channels.back();
+  Vec grad_pooled(grad.begin(), grad.begin() + pooled_dim);
+  if (options_.use_embeddings) {
+    const int r = options_.embedding_dim;
+    Vec gq(grad.begin() + pooled_dim, grad.begin() + pooled_dim + r);
+    Vec gh(grad.begin() + pooled_dim + r, grad.begin() + pooled_dim + 2 * r);
+    query_embedding_->Backward(query, gq);
+    hint_embedding_->Backward(hint, gh);
+  }
+
+  // Un-pool to per-node gradients.
+  std::vector<Vec> grad_nodes = DynamicMaxPool::Backward(
+      grad_pooled, cache.pool_argmax,
+      static_cast<int>(cache.conv_inputs.back().size()));
+
+  // Conv stack, last layer first: dropout -> leaky relu -> tree conv.
+  for (size_t li = conv_layers_.size(); li > 0; --li) {
+    const size_t l = li - 1;
+    for (size_t i = 0; i < grad_nodes.size(); ++i) {
+      Vec g = dropouts_[l].Backward(grad_nodes[i]);
+      grad_nodes[i] = LeakyReluBackward(g, cache.conv_preact[l][i]);
+    }
+    grad_nodes =
+        conv_layers_[l].Backward(flat, cache.conv_inputs[l], grad_nodes);
+  }
+}
+
+double TcnnModel::Train(std::vector<TcnnSample> samples) {
+  LIMEQO_CHECK(!samples.empty());
+  std::deque<double> recent_losses;
+  double epoch_loss = 0.0;
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    rng_.Shuffle(&samples);
+    epoch_loss = 0.0;
+    int counted = 0;
+    for (size_t start = 0; start < samples.size();
+         start += options_.batch_size) {
+      const size_t end =
+          std::min(samples.size(), start + options_.batch_size);
+      int batch_contributing = 0;
+      for (size_t s = start; s < end; ++s) {
+        const TcnnSample& sample = samples[s];
+        ForwardCache cache;
+        const double pred =
+            Forward(*sample.flat, sample.query, sample.hint, true, &cache);
+        double grad = 0.0;
+        double loss = 0.0;
+        if (sample.censored && options_.censored_loss) {
+          // Eq. 8: only penalize predictions below the timeout threshold.
+          if (pred < sample.target) {
+            const double d = pred - sample.target;
+            loss = d * d;
+            grad = 2.0 * d;
+          }
+        } else {
+          const double d = pred - sample.target;
+          loss = d * d;
+          grad = 2.0 * d;
+        }
+        epoch_loss += loss;
+        ++counted;
+        if (grad != 0.0) {
+          Backward(*sample.flat, sample.query, sample.hint, grad, cache);
+          ++batch_contributing;
+        }
+      }
+      if (batch_contributing > 0) adam_->Step(batch_contributing);
+    }
+    epoch_loss /= std::max(counted, 1);
+
+    // Convergence: < threshold relative decrease over the window.
+    recent_losses.push_back(epoch_loss);
+    if (static_cast<int>(recent_losses.size()) >
+        options_.convergence_window) {
+      const double before = recent_losses.front();
+      recent_losses.pop_front();
+      if (before > 0.0 &&
+          (before - epoch_loss) / before < options_.convergence_threshold) {
+        break;
+      }
+    }
+  }
+  return epoch_loss;
+}
+
+double TcnnModel::PredictLog(const plan::FlatPlan& flat, int query,
+                             int hint) {
+  return Forward(flat, query, hint, false, nullptr);
+}
+
+double TcnnModel::Predict(const plan::FlatPlan& flat, int query, int hint) {
+  const double log_pred = PredictLog(flat, query, hint);
+  // Clamp the exponent so early untrained models cannot overflow.
+  return std::expm1(std::clamp(log_pred, 0.0, 30.0));
+}
+
+void TcnnModel::GrowQueries(int new_num_queries) {
+  if (!query_embedding_) return;
+  const int additional = new_num_queries - query_embedding_->count();
+  if (additional <= 0) return;
+  query_embedding_->Append(additional, &rng_);
+  adam_->Rebind(AllParams());
+}
+
+}  // namespace limeqo::nn

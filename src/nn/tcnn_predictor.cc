@@ -1,0 +1,88 @@
+#include "nn/tcnn_predictor.h"
+
+#include <cmath>
+
+namespace limeqo::nn {
+
+TcnnPredictor::TcnnPredictor(const core::WorkloadBackend* backend,
+                             TcnnOptions options, std::string display_name)
+    : backend_(backend),
+      options_(options),
+      display_name_(std::move(display_name)) {
+  LIMEQO_CHECK(backend != nullptr);
+}
+
+const plan::FlatPlan& TcnnPredictor::FlatFor(int query, int hint) {
+  const size_t want =
+      static_cast<size_t>(backend_->num_queries()) * backend_->num_hints();
+  if (flat_cache_.size() < want) flat_cache_.resize(want);
+  const size_t idx =
+      static_cast<size_t>(query) * backend_->num_hints() + hint;
+  if (!flat_cache_[idx]) {
+    const plan::PlanNode* tree = backend_->Plan(query, hint);
+    LIMEQO_CHECK(tree != nullptr);
+    flat_cache_[idx] =
+        std::make_unique<plan::FlatPlan>(plan::FlattenPlan(*tree));
+  }
+  return *flat_cache_[idx];
+}
+
+StatusOr<linalg::Matrix> TcnnPredictor::Predict(const core::WorkloadMatrix& w) {
+  if (w.NumComplete() == 0) {
+    return Status::FailedPrecondition(
+        "TCNN needs at least one complete observation");
+  }
+  if (backend_->Plan(0, 0) == nullptr) {
+    return Status::FailedPrecondition(
+        "TCNN requires a backend that exposes plan trees");
+  }
+  if (!model_) {
+    model_ = std::make_unique<TcnnModel>(w.num_queries(), w.num_hints(),
+                                         options_);
+  } else if (options_.use_embeddings &&
+             w.num_queries() > model_->num_queries()) {
+    model_->GrowQueries(w.num_queries());  // workload shift: new rows
+  }
+
+  // Training set: complete cells as exact targets; censored cells as
+  // lower-bound targets under the Eq. 8 loss. With the censored loss
+  // disabled (ablation Sec. 5.5.4), censored cells are dropped and training
+  // uses plain MSE on complete cells only.
+  std::vector<TcnnSample> samples;
+  for (int i = 0; i < w.num_queries(); ++i) {
+    for (int j = 0; j < w.num_hints(); ++j) {
+      const core::CellState state = w.state(i, j);
+      if (state == core::CellState::kUnobserved) continue;
+      if (state == core::CellState::kCensored && !options_.censored_loss) {
+        continue;
+      }
+      TcnnSample s;
+      s.flat = &FlatFor(i, j);
+      s.query = i;
+      s.hint = j;
+      s.target = std::log1p(w.observed(i, j));
+      s.censored = state == core::CellState::kCensored;
+      samples.push_back(s);
+    }
+  }
+  if (samples.empty()) {
+    return Status::FailedPrecondition("no usable training samples");
+  }
+  model_->Train(std::move(samples));
+
+  // Inference: complete observations pass through; everything else is
+  // predicted by the model.
+  linalg::Matrix w_hat(w.num_queries(), w.num_hints());
+  for (int i = 0; i < w.num_queries(); ++i) {
+    for (int j = 0; j < w.num_hints(); ++j) {
+      if (w.IsComplete(i, j)) {
+        w_hat(i, j) = w.observed(i, j);
+      } else {
+        w_hat(i, j) = model_->Predict(FlatFor(i, j), i, j);
+      }
+    }
+  }
+  return w_hat;
+}
+
+}  // namespace limeqo::nn

@@ -1,0 +1,48 @@
+#ifndef LIMEQO_NN_TCNN_PREDICTOR_H_
+#define LIMEQO_NN_TCNN_PREDICTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/predictor.h"
+#include "nn/tcnn.h"
+
+namespace limeqo::nn {
+
+/// Plugs the (transductive) TCNN into Algorithm 1 as the predictive model.
+///
+/// Each Predict() call trains the retained model on all complete cells
+/// (plus censored cells under the Eq. 8 loss when enabled) and then runs
+/// inference for every not-fully-observed cell. Plan trees and features
+/// come from the backend and are flattened once and cached. With
+/// options.use_embeddings this is LimeQO+'s predictor; without, the plain
+/// TCNN / Bao predictor.
+class TcnnPredictor : public core::Predictor {
+ public:
+  /// The backend must outlive the predictor and provide plan trees.
+  TcnnPredictor(const core::WorkloadBackend* backend, TcnnOptions options,
+                std::string display_name);
+
+  StatusOr<linalg::Matrix> Predict(const core::WorkloadMatrix& w) override;
+
+  std::string name() const override { return display_name_; }
+
+  /// The underlying model (created on first Predict).
+  TcnnModel* model() { return model_.get(); }
+
+ private:
+  const plan::FlatPlan& FlatFor(int query, int hint);
+
+  const core::WorkloadBackend* backend_;
+  TcnnOptions options_;
+  std::string display_name_;
+  std::unique_ptr<TcnnModel> model_;
+  /// Flattened-plan cache indexed [query * num_hints + hint].
+  std::vector<std::unique_ptr<plan::FlatPlan>> flat_cache_;
+};
+
+}  // namespace limeqo::nn
+
+#endif  // LIMEQO_NN_TCNN_PREDICTOR_H_

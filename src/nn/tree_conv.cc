@@ -1,0 +1,92 @@
+#include "nn/tree_conv.h"
+
+#include <limits>
+
+namespace limeqo::nn {
+
+TreeConvLayer::TreeConvLayer(int in_dim, int out_dim, Rng* rng)
+    : w_self_(in_dim, out_dim, rng),
+      w_left_(in_dim, out_dim, rng, /*has_bias=*/false),
+      w_right_(in_dim, out_dim, rng, /*has_bias=*/false) {}
+
+std::vector<Vec> TreeConvLayer::Forward(const plan::FlatPlan& flat,
+                                        const std::vector<Vec>& inputs) const {
+  const int n = flat.num_nodes();
+  LIMEQO_CHECK(static_cast<int>(inputs.size()) == n);
+  std::vector<Vec> out(n);
+  for (int i = 0; i < n; ++i) {
+    Vec y = w_self_.Forward(inputs[i]);
+    if (flat.left_child[i] >= 0) {
+      const Vec yl = w_left_.Forward(inputs[flat.left_child[i]]);
+      for (size_t c = 0; c < y.size(); ++c) y[c] += yl[c];
+    }
+    if (flat.right_child[i] >= 0) {
+      const Vec yr = w_right_.Forward(inputs[flat.right_child[i]]);
+      for (size_t c = 0; c < y.size(); ++c) y[c] += yr[c];
+    }
+    out[i] = std::move(y);
+  }
+  return out;
+}
+
+std::vector<Vec> TreeConvLayer::Backward(const plan::FlatPlan& flat,
+                                         const std::vector<Vec>& inputs,
+                                         const std::vector<Vec>& grad_out) {
+  const int n = flat.num_nodes();
+  LIMEQO_CHECK(static_cast<int>(grad_out.size()) == n);
+  std::vector<Vec> grad_in(n, Vec(in_dim(), 0.0));
+  for (int i = 0; i < n; ++i) {
+    // Self contribution (includes the bias gradient).
+    Vec g_self = w_self_.Backward(grad_out[i], inputs[i]);
+    for (int c = 0; c < in_dim(); ++c) grad_in[i][c] += g_self[c];
+    if (flat.left_child[i] >= 0) {
+      const int l = flat.left_child[i];
+      Vec g = w_left_.Backward(grad_out[i], inputs[l]);
+      for (int c = 0; c < in_dim(); ++c) grad_in[l][c] += g[c];
+    }
+    if (flat.right_child[i] >= 0) {
+      const int r = flat.right_child[i];
+      Vec g = w_right_.Backward(grad_out[i], inputs[r]);
+      for (int c = 0; c < in_dim(); ++c) grad_in[r][c] += g[c];
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param*> TreeConvLayer::params() {
+  std::vector<Param*> all;
+  for (Param* p : w_self_.params()) all.push_back(p);
+  for (Param* p : w_left_.params()) all.push_back(p);
+  for (Param* p : w_right_.params()) all.push_back(p);
+  return all;
+}
+
+Vec DynamicMaxPool::Forward(const std::vector<Vec>& inputs,
+                            std::vector<int>* argmax) {
+  LIMEQO_CHECK(!inputs.empty());
+  const size_t channels = inputs[0].size();
+  Vec out(channels, -std::numeric_limits<double>::infinity());
+  argmax->assign(channels, 0);
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    for (size_t c = 0; c < channels; ++c) {
+      if (inputs[i][c] > out[c]) {
+        out[c] = inputs[i][c];
+        (*argmax)[c] = static_cast<int>(i);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Vec> DynamicMaxPool::Backward(const Vec& grad_out,
+                                          const std::vector<int>& argmax,
+                                          int num_nodes) {
+  LIMEQO_CHECK(grad_out.size() == argmax.size());
+  std::vector<Vec> grad_in(num_nodes, Vec(grad_out.size(), 0.0));
+  for (size_t c = 0; c < grad_out.size(); ++c) {
+    grad_in[argmax[c]][c] += grad_out[c];
+  }
+  return grad_in;
+}
+
+}  // namespace limeqo::nn

@@ -1,0 +1,59 @@
+#ifndef LIMEQO_NN_TREE_CONV_H_
+#define LIMEQO_NN_TREE_CONV_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+#include "plan/featurize.h"
+
+namespace limeqo::nn {
+
+/// One tree convolution layer (Mou et al. 2016, as used by Neo/Bao and the
+/// paper's Sec. 4.3.2): for every node i of a binarized plan tree with
+/// children l and r,
+///   out_i = W_self x_i + W_left x_l + W_right x_r + b
+/// with absent children treated as zero vectors. The same filters slide
+/// over every (parent, left, right) triangle of the tree, giving the
+/// structural inductive bias that makes TCNNs effective on query plans.
+class TreeConvLayer {
+ public:
+  TreeConvLayer(int in_dim, int out_dim, Rng* rng);
+
+  /// Applies the layer to every node. `inputs[i]` is node i's in_dim vector;
+  /// child indices come from `flat`. Returns per-node out_dim vectors.
+  std::vector<Vec> Forward(const plan::FlatPlan& flat,
+                           const std::vector<Vec>& inputs) const;
+
+  /// Accumulates parameter gradients and returns per-node input gradients.
+  std::vector<Vec> Backward(const plan::FlatPlan& flat,
+                            const std::vector<Vec>& inputs,
+                            const std::vector<Vec>& grad_out);
+
+  int in_dim() const { return w_self_.in_dim(); }
+  int out_dim() const { return w_self_.out_dim(); }
+
+  std::vector<Param*> params();
+
+ private:
+  // Implemented with three Linear filters; w_self_ carries the bias.
+  Linear w_self_;
+  Linear w_left_;
+  Linear w_right_;
+};
+
+/// Dynamic max pooling over the nodes of a tree: out[c] = max_i in_i[c].
+/// Reduces a variable-size tree to a fixed-size vector (paper Sec. 4.3.2).
+struct DynamicMaxPool {
+  /// Channel-wise max plus the winning node per channel (for backward).
+  static Vec Forward(const std::vector<Vec>& inputs,
+                     std::vector<int>* argmax);
+
+  /// Routes each channel's gradient to the winning node.
+  static std::vector<Vec> Backward(const Vec& grad_out,
+                                   const std::vector<int>& argmax,
+                                   int num_nodes);
+};
+
+}  // namespace limeqo::nn
+
+#endif  // LIMEQO_NN_TREE_CONV_H_

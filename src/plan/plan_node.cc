@@ -1,0 +1,144 @@
+#include "plan/plan_node.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace limeqo::plan {
+
+const char* OperatorName(Operator op) {
+  switch (op) {
+    case Operator::kSeqScan:
+      return "SeqScan";
+    case Operator::kIndexScan:
+      return "IndexScan";
+    case Operator::kIndexOnlyScan:
+      return "IndexOnlyScan";
+    case Operator::kHashJoin:
+      return "HashJoin";
+    case Operator::kMergeJoin:
+      return "MergeJoin";
+    case Operator::kNestedLoopJoin:
+      return "NestedLoopJoin";
+  }
+  return "Unknown";
+}
+
+bool IsScan(Operator op) {
+  return op == Operator::kSeqScan || op == Operator::kIndexScan ||
+         op == Operator::kIndexOnlyScan;
+}
+
+bool IsJoin(Operator op) { return !IsScan(op); }
+
+std::unique_ptr<PlanNode> PlanNode::MakeScan(Operator op, int table_id,
+                                             double cost, double cardinality) {
+  LIMEQO_CHECK(IsScan(op));
+  auto node = std::make_unique<PlanNode>();
+  node->op = op;
+  node->table_id = table_id;
+  node->est_cost = cost;
+  node->est_cardinality = cardinality;
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::MakeJoin(Operator op,
+                                             std::unique_ptr<PlanNode> left,
+                                             std::unique_ptr<PlanNode> right,
+                                             double cost, double cardinality) {
+  LIMEQO_CHECK(IsJoin(op));
+  LIMEQO_CHECK(left != nullptr && right != nullptr);
+  auto node = std::make_unique<PlanNode>();
+  node->op = op;
+  node->left = std::move(left);
+  node->right = std::move(right);
+  node->est_cost = cost;
+  node->est_cardinality = cardinality;
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto node = std::make_unique<PlanNode>();
+  node->op = op;
+  node->table_id = table_id;
+  node->est_cost = est_cost;
+  node->est_cardinality = est_cardinality;
+  if (left) node->left = left->Clone();
+  if (right) node->right = right->Clone();
+  return node;
+}
+
+int PlanNode::NumNodes() const {
+  int n = 1;
+  if (left) n += left->NumNodes();
+  if (right) n += right->NumNodes();
+  return n;
+}
+
+int PlanNode::Height() const {
+  int h = 0;
+  if (left) h = std::max(h, left->Height());
+  if (right) h = std::max(h, right->Height());
+  return h + 1;
+}
+
+bool PlanNode::Equals(const PlanNode& other) const {
+  if (op != other.op || table_id != other.table_id ||
+      est_cost != other.est_cost ||
+      est_cardinality != other.est_cardinality) {
+    return false;
+  }
+  if ((left == nullptr) != (other.left == nullptr)) return false;
+  if ((right == nullptr) != (other.right == nullptr)) return false;
+  if (left && !left->Equals(*other.left)) return false;
+  if (right && !right->Equals(*other.right)) return false;
+  return true;
+}
+
+std::string PlanNode::ToString() const {
+  std::ostringstream os;
+  os << OperatorName(op);
+  if (IsScan(op)) {
+    os << "(t" << table_id << ")";
+  } else {
+    os << "(" << (left ? left->ToString() : "?") << ", "
+       << (right ? right->ToString() : "?") << ")";
+  }
+  return os.str();
+}
+
+uint64_t StructuralHash(const PlanNode& root) {
+  // FNV-style mixing over (op, table_id, left, right).
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<uint64_t>(root.op) + 1);
+  mix(static_cast<uint64_t>(root.table_id + 2));
+  mix(root.left ? StructuralHash(*root.left) : 0x9E3779B97F4A7C15ULL);
+  mix(root.right ? StructuralHash(*root.right) : 0xC2B2AE3D27D4EB4FULL);
+  return h;
+}
+
+Status ValidatePlan(const PlanNode& root) {
+  if (root.est_cost < 0.0 || root.est_cardinality < 0.0) {
+    return Status::InvalidArgument("negative cost or cardinality estimate");
+  }
+  if (IsScan(root.op)) {
+    if (root.left || root.right) {
+      return Status::InvalidArgument("scan node must be a leaf");
+    }
+    if (root.table_id < 0) {
+      return Status::InvalidArgument("scan node needs a table id");
+    }
+    return Status::Ok();
+  }
+  if (!root.left || !root.right) {
+    return Status::InvalidArgument("join node must have two children");
+  }
+  LIMEQO_RETURN_IF_ERROR(ValidatePlan(*root.left));
+  LIMEQO_RETURN_IF_ERROR(ValidatePlan(*root.right));
+  return Status::Ok();
+}
+
+}  // namespace limeqo::plan

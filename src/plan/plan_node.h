@@ -1,0 +1,91 @@
+#ifndef LIMEQO_PLAN_PLAN_NODE_H_
+#define LIMEQO_PLAN_PLAN_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace limeqo::plan {
+
+/// Physical operators produced by the simulated optimizer. The set mirrors
+/// the PostgreSQL operators toggled by the paper's six hint knobs: three join
+/// algorithms and three scan access paths.
+enum class Operator {
+  kSeqScan = 0,
+  kIndexScan,
+  kIndexOnlyScan,
+  kHashJoin,
+  kMergeJoin,
+  kNestedLoopJoin,
+};
+
+/// Number of distinct operators (size of the one-hot encoding).
+inline constexpr int kNumOperators = 6;
+
+/// Short display name, e.g. "HashJoin".
+const char* OperatorName(Operator op);
+
+/// True for the three scan operators (leaves of a plan tree).
+bool IsScan(Operator op);
+
+/// True for the three join operators (internal nodes).
+bool IsJoin(Operator op);
+
+/// A node of a physical query plan tree.
+///
+/// Scans are leaves and carry the scanned table id; joins have exactly two
+/// children. Every node carries the optimizer's cost and cardinality
+/// estimates, which are the numeric plan features consumed by the TCNN
+/// (paper Sec. 4.3.2) and by the QO-Advisor baseline.
+struct PlanNode {
+  Operator op = Operator::kSeqScan;
+  /// Table id for scan nodes; -1 for joins.
+  int table_id = -1;
+  /// Optimizer cost estimate for the subtree rooted here.
+  double est_cost = 0.0;
+  /// Optimizer cardinality (output rows) estimate.
+  double est_cardinality = 0.0;
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;
+
+  /// Leaf factory.
+  static std::unique_ptr<PlanNode> MakeScan(Operator op, int table_id,
+                                            double cost, double cardinality);
+
+  /// Join factory; takes ownership of both children.
+  static std::unique_ptr<PlanNode> MakeJoin(Operator op,
+                                            std::unique_ptr<PlanNode> left,
+                                            std::unique_ptr<PlanNode> right,
+                                            double cost, double cardinality);
+
+  /// Deep copy.
+  std::unique_ptr<PlanNode> Clone() const;
+
+  /// Total node count of the subtree.
+  int NumNodes() const;
+
+  /// Height of the subtree (a single node has height 1).
+  int Height() const;
+
+  /// Structural + parameter equality (costs compared exactly).
+  bool Equals(const PlanNode& other) const;
+
+  /// Compact rendering, e.g. "HashJoin(SeqScan(t0), IndexScan(t1))".
+  std::string ToString() const;
+};
+
+/// Validates the structural invariants: scans are leaves with table_id >= 0,
+/// joins have two children, estimates are non-negative.
+Status ValidatePlan(const PlanNode& root);
+
+/// Structural hash of a plan: operators, table ids, and shape — but not
+/// cost/cardinality estimates. Two plans with equal hashes execute the same
+/// physical strategy; optimizer knob settings that do not change the chosen
+/// plan hash identically (used to detect hint-equivalent plans).
+uint64_t StructuralHash(const PlanNode& root);
+
+}  // namespace limeqo::plan
+
+#endif  // LIMEQO_PLAN_PLAN_NODE_H_

@@ -1,0 +1,32 @@
+#include "simdb/catalog.h"
+
+#include <cmath>
+
+namespace limeqo::simdb {
+
+Catalog Catalog::Random(int num_tables, Rng* rng, double min_rows,
+                        double max_rows) {
+  LIMEQO_CHECK(num_tables > 0 && min_rows > 0 && max_rows >= min_rows);
+  Catalog catalog;
+  for (int i = 0; i < num_tables; ++i) {
+    TableStats t;
+    t.id = i;
+    t.name = "t" + std::to_string(i);
+    // Log-uniform row counts: real analytic schemas mix tiny dimension
+    // tables with huge fact tables.
+    const double log_rows =
+        rng->Uniform(std::log(min_rows), std::log(max_rows));
+    t.num_rows = std::exp(log_rows);
+    t.row_width = rng->Uniform(40.0, 400.0);
+    t.has_index = rng->Bernoulli(0.8);
+    catalog.AddTable(std::move(t));
+  }
+  return catalog;
+}
+
+void Catalog::AddTable(TableStats table) {
+  LIMEQO_CHECK(table.id == num_tables());
+  tables_.push_back(std::move(table));
+}
+
+}  // namespace limeqo::simdb

@@ -1,0 +1,51 @@
+#ifndef LIMEQO_SIMDB_CATALOG_H_
+#define LIMEQO_SIMDB_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace limeqo::simdb {
+
+/// Statistics for one table of the simulated database.
+struct TableStats {
+  int id = 0;
+  std::string name;
+  /// Row count; spans several orders of magnitude like IMDb/Stack tables.
+  double num_rows = 0.0;
+  /// Average tuple width in bytes (affects scan cost).
+  double row_width = 0.0;
+  /// Whether a secondary index exists (index scans need one).
+  bool has_index = true;
+};
+
+/// The schema/statistics catalog of a simulated database instance.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Generates `num_tables` tables with log-uniform row counts in
+  /// [min_rows, max_rows]; roughly 80% of tables get an index.
+  static Catalog Random(int num_tables, Rng* rng, double min_rows = 1e3,
+                        double max_rows = 1e8);
+
+  void AddTable(TableStats table);
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+
+  const TableStats& table(int id) const {
+    LIMEQO_CHECK(id >= 0 && id < num_tables());
+    return tables_[id];
+  }
+
+  const std::vector<TableStats>& tables() const { return tables_; }
+
+ private:
+  std::vector<TableStats> tables_;
+};
+
+}  // namespace limeqo::simdb
+
+#endif  // LIMEQO_SIMDB_CATALOG_H_

@@ -1,0 +1,183 @@
+#include "simdb/database.h"
+
+#include <cmath>
+
+namespace limeqo::simdb {
+
+StatusOr<SimulatedDatabase> SimulatedDatabase::Create(
+    int num_queries, const DatabaseOptions& options) {
+  if (num_queries <= 0) {
+    return Status::InvalidArgument("num_queries must be positive");
+  }
+  SimulatedDatabase db;
+  Rng rng(options.seed);
+
+  db.catalog_ = Catalog::Random(options.num_tables, &rng);
+  QueryGenerator qgen(&db.catalog_, options.min_tables_per_query,
+                      options.max_tables_per_query);
+
+  // ETL flags must agree between the query shapes (GenerateEtl) and the
+  // latency model (hint-insensitive rows), so sample them once here and
+  // pass them to both.
+  Rng query_rng = rng.Fork();
+
+  // Plan-equivalence classes: many hint configurations leave the chosen
+  // plan unchanged; those cells share one latency. Build each plan once,
+  // hash its structure, and map every hint to the smallest hint index with
+  // the same plan.
+  auto compute_reps = [&db](const QuerySpec& query, std::vector<int>* out) {
+    PlanGenerator generator(&db.catalog_);
+    std::vector<uint64_t> hashes(kNumHints);
+    for (int j = 0; j < kNumHints; ++j) {
+      hashes[j] =
+          plan::StructuralHash(*generator.BuildPlan(query, AllHints()[j]));
+    }
+    for (int j = 0; j < kNumHints; ++j) {
+      int rep = j;
+      for (int j2 = 0; j2 < j; ++j2) {
+        if (hashes[j2] == hashes[j]) {
+          rep = j2;
+          break;
+        }
+      }
+      out->push_back(rep);
+    }
+  };
+
+  // First pass: ETL flags must match query shapes, so sample them here and
+  // force the model's etl_fraction through pre-generated queries.
+  std::vector<bool> is_etl(num_queries, false);
+  for (int i = 0; i < num_queries; ++i) {
+    is_etl[i] = query_rng.Bernoulli(options.latency.etl_fraction);
+  }
+  db.queries_.reserve(num_queries);
+  db.rep_.reserve(static_cast<size_t>(num_queries) * kNumHints);
+  for (int i = 0; i < num_queries; ++i) {
+    db.queries_.push_back(is_etl[i] ? qgen.GenerateEtl(&query_rng)
+                                    : qgen.Generate(&query_rng));
+    compute_reps(db.queries_.back(), &db.rep_);
+  }
+
+  StatusOr<LatencyModel> model = LatencyModel::Create(
+      num_queries, kNumHints, options.latency, &rng, &db.rep_, &is_etl);
+  if (!model.ok()) return model.status();
+  db.latency_model_ = std::move(model).value();
+
+  db.cost_distortion_ = linalg::Matrix(num_queries, kNumHints);
+  for (int i = 0; i < num_queries; ++i) {
+    for (int j = 0; j < kNumHints; ++j) {
+      db.cost_distortion_(i, j) =
+          std::exp(rng.Gaussian(0.0, options.cost_error_sigma));
+    }
+  }
+
+  db.plan_cache_.resize(static_cast<size_t>(num_queries) * kNumHints);
+  db.etl_rng_ = rng.Fork();
+  return db;
+}
+
+ExecutionResult SimulatedDatabase::Execute(int query, int hint,
+                                           double timeout_seconds) const {
+  const double truth = TrueLatency(query, hint);
+  ExecutionResult result;
+  if (timeout_seconds > 0.0 && truth >= timeout_seconds) {
+    result.observed_latency = timeout_seconds;
+    result.timed_out = true;
+  } else {
+    result.observed_latency = truth;
+    result.timed_out = false;
+  }
+  return result;
+}
+
+double SimulatedDatabase::TrueLatency(int query, int hint) const {
+  LIMEQO_CHECK(query >= 0 && query < num_queries());
+  LIMEQO_CHECK(hint >= 0 && hint < num_hints());
+  return latency_model_.TrueLatency(query, hint);
+}
+
+double SimulatedDatabase::OptimizerCost(int query, int hint) const {
+  LIMEQO_CHECK(query >= 0 && query < num_queries());
+  LIMEQO_CHECK(hint >= 0 && hint < num_hints());
+  // Identical plans get identical cost estimates: use the distortion of the
+  // class representative.
+  const int rep = RepresentativeHint(query, hint);
+  return TrueLatency(query, hint) * cost_distortion_(query, rep);
+}
+
+int SimulatedDatabase::RepresentativeHint(int query, int hint) const {
+  LIMEQO_CHECK(query >= 0 && query < num_queries());
+  LIMEQO_CHECK(hint >= 0 && hint < num_hints());
+  if (rep_.empty()) return hint;
+  return rep_[static_cast<size_t>(query) * kNumHints + hint];
+}
+
+std::vector<int> SimulatedDatabase::EquivalentHints(int query,
+                                                    int hint) const {
+  const int rep = RepresentativeHint(query, hint);
+  std::vector<int> hints;
+  for (int j = 0; j < num_hints(); ++j) {
+    if (RepresentativeHint(query, j) == rep) hints.push_back(j);
+  }
+  return hints;
+}
+
+namespace {
+
+// Rescales every cost in the tree by `factor`.
+void ScaleCosts(plan::PlanNode* node, double factor) {
+  node->est_cost *= factor;
+  if (node->left) ScaleCosts(node->left.get(), factor);
+  if (node->right) ScaleCosts(node->right.get(), factor);
+}
+
+}  // namespace
+
+const plan::PlanNode& SimulatedDatabase::Plan(int query, int hint) const {
+  LIMEQO_CHECK(query >= 0 && query < num_queries());
+  LIMEQO_CHECK(hint >= 0 && hint < num_hints());
+  const size_t idx = static_cast<size_t>(query) * kNumHints + hint;
+  if (!plan_cache_[idx]) {
+    // Built on the fly: a PlanGenerator is just a catalog pointer, and
+    // storing one as a member would dangle when the database is moved.
+    PlanGenerator generator(&catalog_);
+    std::unique_ptr<plan::PlanNode> plan =
+        generator.BuildPlan(queries_[query], AllHints()[hint]);
+    // Anchor the root cost to the optimizer's estimate so plan features are
+    // predictive of latency (modulo cost-model error), as in a real system.
+    const double target = OptimizerCost(query, hint);
+    if (plan->est_cost > 0.0) {
+      ScaleCosts(plan.get(), target / plan->est_cost);
+    }
+    plan_cache_[idx] = std::move(plan);
+  }
+  return *plan_cache_[idx];
+}
+
+void SimulatedDatabase::ApplyDrift(const DriftOptions& options) {
+  latency_model_ = latency_model_.Drifted(options);
+  // Plans carry stale cost anchors after a shift; drop the cache so they are
+  // rebuilt against the new latencies on demand.
+  for (auto& p : plan_cache_) p.reset();
+}
+
+int SimulatedDatabase::AppendEtlQuery(double latency_seconds) {
+  latency_model_.AppendEtlQuery(latency_seconds, &etl_rng_);
+  QueryGenerator qgen(&catalog_, 2, 2);
+  QuerySpec spec = qgen.GenerateEtl(&etl_rng_);
+  spec.id = static_cast<int>(queries_.size());
+  queries_.push_back(std::move(spec));
+  if (!rep_.empty()) {
+    // Identity classes: ETL latency is flat across hints anyway.
+    for (int j = 0; j < kNumHints; ++j) rep_.push_back(j);
+  }
+  std::vector<double> distortion(kNumHints);
+  for (double& d : distortion) {
+    d = std::exp(etl_rng_.Gaussian(0.0, 0.8));
+  }
+  cost_distortion_.AppendRow(distortion);
+  plan_cache_.resize(static_cast<size_t>(num_queries()) * kNumHints);
+  return num_queries() - 1;
+}
+
+}  // namespace limeqo::simdb

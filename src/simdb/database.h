@@ -1,0 +1,132 @@
+#ifndef LIMEQO_SIMDB_DATABASE_H_
+#define LIMEQO_SIMDB_DATABASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "plan/plan_node.h"
+#include "simdb/catalog.h"
+#include "simdb/hint.h"
+#include "simdb/latency_model.h"
+#include "simdb/plan_generator.h"
+#include "simdb/query.h"
+
+namespace limeqo::simdb {
+
+/// Result of one offline plan execution.
+struct ExecutionResult {
+  /// Observed latency in seconds. When timed_out is true this equals the
+  /// timeout value (a *lower bound* on the true latency — a censored
+  /// observation, paper Sec. 4.1).
+  double observed_latency = 0.0;
+  bool timed_out = false;
+};
+
+/// Configuration of a simulated database + workload instance.
+struct DatabaseOptions {
+  int num_tables = 40;
+  int min_tables_per_query = 2;
+  int max_tables_per_query = 8;
+  LatencyModelOptions latency;
+  /// Lognormal sigma of the optimizer's cost-model error relative to true
+  /// latency. Cost estimates are informative but imperfect, which is what
+  /// makes the QO-Advisor baseline plausible-but-beatable.
+  double cost_error_sigma = 0.8;
+  uint64_t seed = 42;
+};
+
+/// A self-contained simulated DBMS + repetitive workload.
+///
+/// Provides everything the paper assumes of the system under study:
+///  * a fixed set of queries, each with kNumHints alternative plans,
+///  * an execution interface with timeouts (censored observations),
+///  * plan trees with cost/cardinality estimates (for TCNN / Bao /
+///    QO-Advisor),
+///  * ground truth for oracle evaluation only (never exposed to policies).
+class SimulatedDatabase {
+ public:
+  /// Builds a workload of `num_queries` queries calibrated to
+  /// options.latency targets.
+  static StatusOr<SimulatedDatabase> Create(int num_queries,
+                                            const DatabaseOptions& options);
+
+  int num_queries() const { return latency_model_.num_queries(); }
+  int num_hints() const { return kNumHints; }
+
+  /// Executes query i under hint j. If timeout_seconds > 0 and the true
+  /// latency exceeds it, the execution is cut off: the result reports the
+  /// timeout as a censored lower bound. The caller's exploration clock
+  /// should advance by observed_latency either way (paper Eq. 3).
+  ExecutionResult Execute(int query, int hint, double timeout_seconds) const;
+
+  /// True latency; for oracle evaluation and tests only.
+  double TrueLatency(int query, int hint) const;
+
+  /// Full ground-truth matrix; oracle/test use only.
+  const linalg::Matrix& true_matrix() const { return latency_model_.matrix(); }
+
+  /// Optimizer cost estimate for (query, hint): true latency distorted by
+  /// fixed lognormal cost-model error.
+  double OptimizerCost(int query, int hint) const;
+
+  /// Physical plan for (query, hint); built lazily and cached. Node costs
+  /// are scaled so the root cost equals OptimizerCost(query, hint).
+  const plan::PlanNode& Plan(int query, int hint) const;
+
+  const QuerySpec& query(int i) const {
+    LIMEQO_CHECK(i >= 0 && i < num_queries());
+    return queries_[i];
+  }
+
+  const Catalog& catalog() const { return catalog_; }
+
+  bool IsEtl(int query) const { return latency_model_.IsEtl(query); }
+
+  double DefaultTotal() const { return latency_model_.DefaultTotal(); }
+  double OptimalTotal() const { return latency_model_.OptimalTotal(); }
+  int OptimalHint(int query) const {
+    return latency_model_.OptimalHint(query);
+  }
+
+  /// Representative (smallest-index) hint whose plan is structurally
+  /// identical to (query, hint)'s plan. Cells in one class share latency
+  /// and cost, exactly as identical plans do in a real DBMS.
+  int RepresentativeHint(int query, int hint) const;
+
+  /// All hints whose plan is identical to (query, hint)'s plan. Executing
+  /// any member of the class measures them all.
+  std::vector<int> EquivalentHints(int query, int hint) const;
+
+  /// Replaces the latency model with a drifted version (data shift). Plan
+  /// caches and cost distortions for existing queries are preserved; costs
+  /// track the new latencies through the stored distortion factors.
+  void ApplyDrift(const DriftOptions& options);
+
+  /// Appends an ETL query with the given fixed latency (Fig. 8). Returns the
+  /// new query's row index.
+  int AppendEtlQuery(double latency_seconds);
+
+  /// Accessor for the underlying latency model (oracle/test use).
+  const LatencyModel& latency_model() const { return latency_model_; }
+
+ private:
+  SimulatedDatabase() = default;
+
+  Catalog catalog_;
+  std::vector<QuerySpec> queries_;
+  LatencyModel latency_model_;
+
+  linalg::Matrix cost_distortion_;  // n x k lognormal factors
+  /// Row-major n x k plan-equivalence representative table.
+  std::vector<int> rep_;
+  /// Lazily built plan cache, indexed [query * kNumHints + hint].
+  mutable std::vector<std::unique_ptr<plan::PlanNode>> plan_cache_;
+  mutable Rng etl_rng_{0};
+};
+
+}  // namespace limeqo::simdb
+
+#endif  // LIMEQO_SIMDB_DATABASE_H_

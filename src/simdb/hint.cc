@@ -1,0 +1,83 @@
+#include "simdb/hint.h"
+
+#include <sstream>
+
+#include "common/status.h"
+
+namespace limeqo::simdb {
+
+bool HintConfig::IsValid() const {
+  const bool any_join =
+      enable_hash_join || enable_merge_join || enable_nested_loop_join;
+  const bool any_scan =
+      enable_seq_scan || enable_index_scan || enable_index_only_scan;
+  return any_join && any_scan;
+}
+
+bool HintConfig::IsDefault() const {
+  return enable_hash_join && enable_merge_join && enable_nested_loop_join &&
+         enable_seq_scan && enable_index_scan && enable_index_only_scan;
+}
+
+int HintConfig::ToBits() const {
+  int bits = 0;
+  bits |= enable_hash_join ? 1 << 0 : 0;
+  bits |= enable_merge_join ? 1 << 1 : 0;
+  bits |= enable_nested_loop_join ? 1 << 2 : 0;
+  bits |= enable_seq_scan ? 1 << 3 : 0;
+  bits |= enable_index_scan ? 1 << 4 : 0;
+  bits |= enable_index_only_scan ? 1 << 5 : 0;
+  return bits;
+}
+
+HintConfig HintConfig::FromBits(int bits) {
+  HintConfig c;
+  c.enable_hash_join = bits & (1 << 0);
+  c.enable_merge_join = bits & (1 << 1);
+  c.enable_nested_loop_join = bits & (1 << 2);
+  c.enable_seq_scan = bits & (1 << 3);
+  c.enable_index_scan = bits & (1 << 4);
+  c.enable_index_only_scan = bits & (1 << 5);
+  return c;
+}
+
+std::string HintConfig::ToString() const {
+  std::ostringstream os;
+  os << "hash=" << enable_hash_join << " merge=" << enable_merge_join
+     << " nl=" << enable_nested_loop_join << " seq=" << enable_seq_scan
+     << " idx=" << enable_index_scan << " idxonly=" << enable_index_only_scan;
+  return os.str();
+}
+
+bool HintConfig::operator==(const HintConfig& other) const {
+  return ToBits() == other.ToBits();
+}
+
+const std::vector<HintConfig>& AllHints() {
+  // Function-local static pointer avoids a global with a non-trivial
+  // destructor (Google style: static storage objects must be trivially
+  // destructible).
+  static const std::vector<HintConfig>& hints = *[] {
+    auto* v = new std::vector<HintConfig>();
+    // Default first, then the remaining valid configurations in bit order.
+    HintConfig def;
+    v->push_back(def);
+    for (int bits = 0; bits < 64; ++bits) {
+      HintConfig c = HintConfig::FromBits(bits);
+      if (c.IsValid() && !c.IsDefault()) v->push_back(c);
+    }
+    LIMEQO_CHECK(static_cast<int>(v->size()) == kNumHints);
+    return v;
+  }();
+  return hints;
+}
+
+int HintIndex(const HintConfig& config) {
+  const auto& hints = AllHints();
+  for (size_t i = 0; i < hints.size(); ++i) {
+    if (hints[i] == config) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace limeqo::simdb

@@ -1,0 +1,54 @@
+#ifndef LIMEQO_SIMDB_HINT_H_
+#define LIMEQO_SIMDB_HINT_H_
+
+#include <string>
+#include <vector>
+
+namespace limeqo::simdb {
+
+/// One optimizer configuration ("hint" in the paper's terminology): six
+/// boolean knobs that enable/disable PostgreSQL's join and scan operators.
+/// A configuration is valid only if at least one join operator and at least
+/// one scan operator remain enabled, which yields the paper's 49 hints
+/// (2^6 = 64, minus 8 all-joins-off, minus 8 all-scans-off, plus the one
+/// configuration double-counted): see paper Sec. 5 experimental setup.
+struct HintConfig {
+  bool enable_hash_join = true;
+  bool enable_merge_join = true;
+  bool enable_nested_loop_join = true;
+  bool enable_seq_scan = true;
+  bool enable_index_scan = true;
+  bool enable_index_only_scan = true;
+
+  /// True when at least one join operator and one scan operator is enabled.
+  bool IsValid() const;
+
+  /// True for the all-enabled default configuration.
+  bool IsDefault() const;
+
+  /// Bitmask encoding (bit 0 = hash join ... bit 5 = index-only scan).
+  int ToBits() const;
+
+  /// Inverse of ToBits.
+  static HintConfig FromBits(int bits);
+
+  /// e.g. "hash=1 merge=0 nl=1 seq=1 idx=1 idxonly=0".
+  std::string ToString() const;
+
+  bool operator==(const HintConfig& other) const;
+};
+
+/// Number of valid hint configurations.
+inline constexpr int kNumHints = 49;
+
+/// All valid hint configurations in a stable order with the default
+/// (all-enabled) configuration at index 0. The order is deterministic so
+/// hint column indices are stable across runs.
+const std::vector<HintConfig>& AllHints();
+
+/// Index of `config` within AllHints(); -1 if invalid.
+int HintIndex(const HintConfig& config);
+
+}  // namespace limeqo::simdb
+
+#endif  // LIMEQO_SIMDB_HINT_H_

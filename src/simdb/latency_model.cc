@@ -1,0 +1,286 @@
+#include "simdb/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace limeqo::simdb {
+namespace {
+
+// Smallest admissible latency; avoids degenerate zero-latency cells.
+constexpr double kMinLatency = 1e-3;
+
+// Upper bound for the headroom exponent searched by calibration.
+constexpr double kMaxGamma = 16.0;
+
+double Dot(const linalg::Matrix& a, size_t row_a, const linalg::Matrix& b,
+           size_t row_b) {
+  double s = 0.0;
+  for (size_t r = 0; r < a.cols(); ++r) s += a(row_a, r) * b(row_b, r);
+  return s;
+}
+
+}  // namespace
+
+StatusOr<LatencyModel> LatencyModel::Create(
+    int num_queries, int num_hints, const LatencyModelOptions& options,
+    Rng* rng, const std::vector<int>* representative_hint,
+    const std::vector<bool>* etl_flags) {
+  if (num_queries <= 0 || num_hints <= 0) {
+    return Status::InvalidArgument("need at least one query and one hint");
+  }
+  if (representative_hint != nullptr) {
+    if (representative_hint->size() !=
+        static_cast<size_t>(num_queries) * num_hints) {
+      return Status::InvalidArgument("representative table has wrong shape");
+    }
+    for (int i = 0; i < num_queries; ++i) {
+      if ((*representative_hint)[static_cast<size_t>(i) * num_hints] != 0) {
+        return Status::InvalidArgument(
+            "representative of the default hint must be 0");
+      }
+    }
+  }
+  if (options.rank <= 0) {
+    return Status::InvalidArgument("rank must be positive");
+  }
+  if (options.target_default_total <= 0.0 ||
+      options.target_optimal_total <= 0.0 ||
+      options.target_optimal_total >= options.target_default_total) {
+    return Status::InvalidArgument(
+        "calibration requires 0 < optimal total < default total");
+  }
+
+  LatencyModel model;
+  model.options_ = options;
+  if (representative_hint != nullptr) model.rep_ = *representative_hint;
+  const size_t n = static_cast<size_t>(num_queries);
+  const size_t k = static_cast<size_t>(num_hints);
+  const size_t r = static_cast<size_t>(options.rank);
+
+  // Non-negative latent factors with a hierarchical structure matching the
+  // spectra of real workload matrices (paper Fig. 14: one dominant singular
+  // value, a few meaningful ones, then noise): factor 0 is a *global* hint
+  // profile shared by every query (some hints are just better), factors
+  // 1..r-1 are query-*cluster* dimensions. Queries sharing a cluster agree
+  // on which hints win — the inter-query similarity that makes workload
+  // matrices completable and lets collaborative filtering identify a row's
+  // best hint from very few observations of that row (Sec. 3 "sets of
+  // queries that perform well with some hints also tend to perform poorly
+  // with other hints"). Each query loads mostly on its own cluster with a
+  // little cross-talk. The offsets keep dot products bounded away from zero
+  // so the ratios stay finite.
+  model.query_factors_ = linalg::Matrix(n, r);
+  model.hint_factors_ = linalg::Matrix(k, r);
+  constexpr double kCorrectionScale = 0.55;
+  constexpr double kClusterLoadLo = 0.45;
+  constexpr double kClusterLoadHi = 0.85;
+  constexpr double kCrossTalk = 0.12;
+  for (size_t i = 0; i < n; ++i) {
+    model.query_factors_(i, 0) = 1.0;
+    const size_t cluster =
+        r > 1 ? 1 + rng->NextUint64Below(r - 1) : 0;
+    for (size_t c = 1; c < r; ++c) {
+      model.query_factors_(i, c) =
+          c == cluster ? rng->Uniform(kClusterLoadLo, kClusterLoadHi)
+                       : rng->Uniform(0.0, kCrossTalk);
+    }
+  }
+  for (size_t j = 0; j < k; ++j) {
+    model.hint_factors_(j, 0) = rng->Uniform(0.3, 1.0);
+    for (size_t c = 1; c < r; ++c) {
+      model.hint_factors_(j, c) = rng->Uniform(0.05, kCorrectionScale);
+    }
+  }
+  // Pin the default hint's global quality at a fixed quantile: the default
+  // optimizer configuration is decent (better than most single knob flips)
+  // but clearly improvable — Table 1's 1.3-2.9x headroom implies a sizable
+  // minority of hints beat the default for a typical query.
+  model.hint_factors_(0, 0) = 0.3 + 0.35 * 0.7;
+
+  model.base_.resize(n);
+  std::vector<double> base_z(n);
+  for (size_t i = 0; i < n; ++i) {
+    base_z[i] = rng->Gaussian(0.0, 1.0);
+    model.base_[i] = std::exp(options.base_sigma * base_z[i]);
+  }
+
+  // Per-query improvability skew: scale the correction factors of query i by
+  // a heavy-tailed factor g_i, optionally correlated with the query's base
+  // latency. Rows with small g_i have near-identical ratios across hints
+  // (default near-optimal); rows with large g_i have several-fold headroom.
+  // Scaling a row of the query-factor matrix preserves the planted rank.
+  if (options.headroom_sigma > 0.0) {
+    const double rho =
+        std::clamp(options.headroom_latency_correlation, 0.0, 1.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double z = rho * base_z[i] +
+                       std::sqrt(1.0 - rho * rho) * rng->Gaussian(0.0, 1.0);
+      const double g = std::exp(options.headroom_sigma * z);
+      for (size_t c = 1; c < r; ++c) model.query_factors_(i, c) *= g;
+    }
+  }
+
+  model.noise_ = linalg::Matrix(n, k);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      model.noise_(i, j) = std::exp(rng->Gaussian(0.0, options.noise_sigma));
+    }
+  }
+
+  model.etl_.assign(n, false);
+  if (etl_flags != nullptr) {
+    if (etl_flags->size() != n) {
+      return Status::InvalidArgument("etl_flags has wrong length");
+    }
+    model.etl_.assign(etl_flags->begin(), etl_flags->end());
+  } else if (options.etl_fraction > 0.0) {
+    for (size_t i = 0; i < n; ++i) {
+      model.etl_[i] = rng->Bernoulli(options.etl_fraction);
+    }
+  }
+
+  Status st = model.Calibrate(options.target_default_total,
+                              options.target_optimal_total);
+  if (!st.ok()) return st;
+  return model;
+}
+
+void LatencyModel::Rebuild() {
+  const size_t n = query_factors_.rows();
+  const size_t k = hint_factors_.rows();
+  // Headroom control: raise the *hint factor entries* to the power gamma.
+  // Larger gamma spreads the hint effects (more headroom); gamma = 0 makes
+  // every hint identical. Crucially this keeps the latency matrix exactly
+  // rank-r — each row is a dot product with the same spread factors, scaled
+  // by a per-row constant — unlike exponentiating the ratio matrix
+  // elementwise, which would destroy the low-rank structure that the whole
+  // method (and Fig. 14) relies on.
+  linalg::Matrix spread = hint_factors_;
+  spread.Apply([this](double x) { return std::pow(x, gamma_); });
+
+  latency_ = linalg::Matrix(n, k);
+  for (size_t i = 0; i < n; ++i) {
+    const double denom = Dot(query_factors_, i, spread, 0);
+    for (size_t j = 0; j < k; ++j) {
+      // Hints whose plan is identical for this query share the latency of
+      // their class representative, as identical plans do in a real DBMS.
+      const size_t jr = static_cast<size_t>(Rep(i, j));
+      double ratio = 1.0;
+      if (!etl_[i] && jr != 0) {
+        ratio = Dot(query_factors_, i, spread, jr) / denom;
+        if (options_.bad_plan_cap > 0.0) {
+          ratio = std::min(ratio, options_.bad_plan_cap);
+        }
+      }
+      const double w = base_[i] * ratio * noise_(i, jr);
+      latency_(i, j) = std::max(w, kMinLatency);
+    }
+  }
+}
+
+int LatencyModel::Rep(size_t i, size_t j) const {
+  if (rep_.empty()) return static_cast<int>(j);
+  return rep_[i * hint_factors_.rows() + j];
+}
+
+Status LatencyModel::Calibrate(double target_default, double target_optimal) {
+  // Step 1: scale base latencies so the default column matches the target.
+  // The default column w_i0 = b_i * noise_i0 does not depend on gamma.
+  gamma_ = 1.0;
+  Rebuild();
+  double default_total = 0.0;
+  for (int i = 0; i < num_queries(); ++i) default_total += latency_(i, 0);
+  const double scale = target_default / default_total;
+  for (double& b : base_) b *= scale;
+
+  // Step 2: bisection on the headroom exponent gamma so the optimal total
+  // matches. OptimalTotal is monotonically non-increasing in gamma because
+  // raising gamma widens the spread of the per-row ratio distribution.
+  double lo = 0.0, hi = kMaxGamma;
+  gamma_ = hi;
+  Rebuild();
+  if (OptimalTotal() > target_optimal) {
+    // Even maximal spread cannot reach the requested headroom; this
+    // indicates targets inconsistent with the planted structure.
+    return Status::InvalidArgument(
+        "optimal-total target unreachable; increase rank or headroom spread");
+  }
+  for (int iter = 0; iter < 60; ++iter) {
+    gamma_ = 0.5 * (lo + hi);
+    Rebuild();
+    if (OptimalTotal() > target_optimal) {
+      lo = gamma_;
+    } else {
+      hi = gamma_;
+    }
+  }
+  gamma_ = hi;
+  Rebuild();
+  return Status::Ok();
+}
+
+double LatencyModel::DefaultTotal() const {
+  double s = 0.0;
+  for (int i = 0; i < num_queries(); ++i) s += latency_(i, 0);
+  return s;
+}
+
+double LatencyModel::OptimalTotal() const {
+  double s = 0.0;
+  for (int i = 0; i < num_queries(); ++i) s += latency_.RowMin(i);
+  return s;
+}
+
+LatencyModel LatencyModel::Drifted(const DriftOptions& options) const {
+  LIMEQO_CHECK(options.severity >= 0.0 && options.severity <= 1.0);
+  LatencyModel drifted = *this;
+  Rng rng(options.seed);
+  const size_t n = query_factors_.rows();
+  const size_t r = query_factors_.cols();
+  // Blend query factors toward fresh ones: data growth changes which plans
+  // are fast for a query, which is exactly a change in its latent factors.
+  linalg::Matrix fresh = linalg::Matrix::Random(n, r, &rng, 0.05, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < r; ++c) {
+      drifted.query_factors_(i, c) =
+          (1.0 - options.severity) * query_factors_(i, c) +
+          options.severity * fresh(i, c);
+    }
+  }
+  const double target_default = options.new_default_total > 0.0
+                                    ? options.new_default_total
+                                    : DefaultTotal();
+  const double target_optimal = options.new_optimal_total > 0.0
+                                    ? options.new_optimal_total
+                                    : OptimalTotal();
+  Status st = drifted.Calibrate(target_default, target_optimal);
+  LIMEQO_CHECK(st.ok());
+  return drifted;
+}
+
+void LatencyModel::AppendEtlQuery(double latency_seconds, Rng* rng) {
+  LIMEQO_CHECK(latency_seconds > 0.0);
+  const size_t r = query_factors_.cols();
+  const size_t k = hint_factors_.rows();
+  std::vector<double> factors(r);
+  for (double& f : factors) f = rng->Uniform(0.05, 1.0);
+  query_factors_.AppendRow(factors);
+  base_.push_back(latency_seconds);
+  std::vector<double> noise_row(k);
+  for (double& x : noise_row) {
+    x = std::exp(rng->Gaussian(0.0, options_.noise_sigma));
+  }
+  noise_.AppendRow(noise_row);
+  etl_.push_back(true);
+  if (!rep_.empty()) {
+    // Identity classes for the appended row (ETL latency is flat anyway).
+    for (size_t j = 0; j < k; ++j) rep_.push_back(static_cast<int>(j));
+  }
+  std::vector<double> lat_row(k);
+  for (size_t j = 0; j < k; ++j) {
+    lat_row[j] = std::max(latency_seconds * noise_row[j], kMinLatency);
+  }
+  latency_.AppendRow(lat_row);
+}
+
+}  // namespace limeqo::simdb

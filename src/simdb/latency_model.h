@@ -1,0 +1,150 @@
+#ifndef LIMEQO_SIMDB_LATENCY_MODEL_H_
+#define LIMEQO_SIMDB_LATENCY_MODEL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace limeqo::simdb {
+
+/// Options controlling the planted structure of the ground-truth latency
+/// matrix. The defaults produce a matrix qualitatively matching the paper's
+/// measured CEB matrix: low effective rank (Fig. 14), heterogeneous
+/// per-query headroom, and a minority of hint-insensitive rows.
+struct LatencyModelOptions {
+  /// Planted rank of the query/hint interaction structure.
+  int rank = 6;
+  /// Multiplicative lognormal observation noise applied once per cell
+  /// (latencies are 5-run medians in the paper, so noise is small).
+  double noise_sigma = 0.03;
+  /// Spread (lognormal sigma) of per-query base latencies.
+  double base_sigma = 1.3;
+  /// Lognormal sigma of the per-query improvability scale. Real workload
+  /// headroom is heavy-tailed: most queries' default plans are near-optimal
+  /// while a minority can be sped up several-fold (which is why strategic
+  /// exploration beats exhaustive search in the paper). 0 disables the skew
+  /// (homogeneous headroom).
+  double headroom_sigma = 0.9;
+  /// Correlation in [0, 1] between a query's improvability and its base
+  /// latency. Academic benchmarks select long queries *because* they are
+  /// improvable (Sec. 4.2), so a mild positive correlation is realistic;
+  /// keep it well below 1 or the Greedy baseline becomes near-optimal.
+  double headroom_latency_correlation = 0.3;
+  /// Cap on how much *worse* than the default a bad plan can be, as a
+  /// multiple of the query's default latency. Real alternative plans
+  /// saturate (a plan forced through the wrong operator is typically a few
+  /// times slower, not thousands); without a cap the calibrated spread
+  /// produces pathological outliers that dominate any least-squares fit.
+  /// <= 0 disables the cap.
+  double bad_plan_cap = 8.0;
+  /// Fraction of queries that are hint-insensitive (ETL/COPY-like).
+  double etl_fraction = 0.0;
+  /// Calibration targets: total workload latency under the default hint and
+  /// under the per-query-optimal hint (paper Table 1), in seconds.
+  double target_default_total = 3600.0;
+  double target_optimal_total = 1800.0;
+};
+
+/// Parameters for simulating data drift (paper Secs. 5.3-5.4). Drift blends
+/// the latent query factors toward fresh random factors (changing which hint
+/// is optimal for some queries) and rescales base latencies (the data grew).
+struct DriftOptions {
+  /// In [0, 1]: 0 = no change, 1 = completely fresh interaction structure.
+  double severity = 0.2;
+  /// New calibration targets after drift; <= 0 keeps the current totals.
+  double new_default_total = -1.0;
+  double new_optimal_total = -1.0;
+  /// Seed for the fresh factors.
+  uint64_t seed = 1234;
+};
+
+/// Ground-truth latency matrix with planted low-rank structure.
+///
+/// True latency of query i under hint j:
+///   w_ij = b_i * ratio_ij^gamma * exp(noise_sigma * z_ij)
+/// where ratio_ij = (a_i . h_j) / (a_i . h_0) is a rank-`rank` interaction
+/// normalized so the default hint has ratio 1, gamma is chosen by bisection
+/// so that sum_i min_j w_ij hits the target optimal total, and b_i are
+/// lognormal base latencies scaled so the default column hits the target
+/// default total. ETL rows use ratio 1 for every hint (no headroom).
+class LatencyModel {
+ public:
+  /// Constructs an empty (0-query) model; use Create() to build a real one.
+  LatencyModel() = default;
+
+  /// Builds and calibrates a model. Returns InvalidArgument when the targets
+  /// are infeasible (optimal >= default, or non-positive).
+  ///
+  /// `representative_hint`, when non-null, is a row-major n x k table
+  /// mapping each (query, hint) cell to the smallest hint index producing
+  /// the *same physical plan* for that query; cells in the same equivalence
+  /// class then share one latency value, exactly as identical plans do in a
+  /// real DBMS. Entry (i, 0) must map to 0. When null, every hint is its
+  /// own class. Calibration targets apply to the collapsed matrix.
+  /// `etl_flags`, when non-null, overrides options.etl_fraction with an
+  /// explicit per-query hint-insensitivity flag (the caller may need the
+  /// flags to agree with generated query shapes).
+  static StatusOr<LatencyModel> Create(
+      int num_queries, int num_hints, const LatencyModelOptions& options,
+      Rng* rng, const std::vector<int>* representative_hint = nullptr,
+      const std::vector<bool>* etl_flags = nullptr);
+
+  int num_queries() const { return static_cast<int>(latency_.rows()); }
+  int num_hints() const { return static_cast<int>(latency_.cols()); }
+
+  /// True latency (seconds) of query i under hint j.
+  double TrueLatency(int i, int j) const { return latency_(i, j); }
+
+  /// The full ground-truth matrix (row = query, column = hint, column 0 =
+  /// default hint).
+  const linalg::Matrix& matrix() const { return latency_; }
+
+  /// True if row i is a hint-insensitive (ETL-like) query.
+  bool IsEtl(int i) const { return etl_[i]; }
+
+  /// Total latency under the default hint: sum_i w_i0.
+  double DefaultTotal() const;
+
+  /// Total latency with the per-query optimal hint: sum_i min_j w_ij.
+  double OptimalTotal() const;
+
+  /// Index of the fastest hint for query i.
+  int OptimalHint(int i) const { return static_cast<int>(latency_.RowArgMin(i)); }
+
+  /// Returns a drifted copy (paper Figs. 9-11). The fraction of queries
+  /// whose optimal hint changes grows with options.severity.
+  LatencyModel Drifted(const DriftOptions& options) const;
+
+  /// Appends a hint-insensitive query with the given fixed latency across
+  /// all hints (up to observation noise). Used by the Fig. 8 ETL experiment.
+  void AppendEtlQuery(double latency_seconds, Rng* rng);
+
+ private:
+  /// Recomputes latency_ from the stored factors and calibration. See class
+  /// comment for the formula.
+  void Rebuild();
+
+  /// Calibrates base scaling and gamma against the targets.
+  Status Calibrate(double target_default, double target_optimal);
+
+  /// Representative (smallest-index) hint of (i, j)'s plan-equivalence
+  /// class; identity when no plan information was supplied.
+  int Rep(size_t i, size_t j) const;
+
+  linalg::Matrix query_factors_;  // n x r, non-negative
+  linalg::Matrix hint_factors_;   // k x r, non-negative
+  std::vector<double> base_;      // per-query base latency b_i
+  linalg::Matrix noise_;          // n x k fixed noise multipliers
+  std::vector<bool> etl_;
+  /// Row-major n x k representative table; empty means identity.
+  std::vector<int> rep_;
+  double gamma_ = 1.0;
+  LatencyModelOptions options_;
+  linalg::Matrix latency_;  // materialized n x k truth
+};
+
+}  // namespace limeqo::simdb
+
+#endif  // LIMEQO_SIMDB_LATENCY_MODEL_H_

@@ -1,0 +1,134 @@
+#include "simdb/plan_generator.h"
+
+#include <cmath>
+#include <limits>
+
+namespace limeqo::simdb {
+namespace {
+
+using limeqo::plan::Operator;
+using limeqo::plan::PlanNode;
+
+// Textbook cost constants (arbitrary units, roughly "page reads").
+constexpr double kSeqCostPerRow = 1.0;
+constexpr double kIndexRandomIoPenalty = 4.0;
+constexpr double kIndexOnlyCostPerRow = 1.5;
+constexpr double kHashBuildProbeFactor = 1.2;
+constexpr double kMergeSortFactor = 0.12;
+constexpr double kNestedLoopFactor = 2e-3;
+
+double ScanCost(Operator op, const TableStats& table, double selectivity) {
+  const double rows = table.num_rows;
+  const double out = rows * selectivity;
+  switch (op) {
+    case Operator::kSeqScan:
+      return rows * kSeqCostPerRow;
+    case Operator::kIndexScan:
+      return std::log2(rows + 2.0) + out * kIndexRandomIoPenalty;
+    case Operator::kIndexOnlyScan:
+      return std::log2(rows + 2.0) + out * kIndexOnlyCostPerRow;
+    default:
+      LIMEQO_CHECK(false);
+      return 0.0;
+  }
+}
+
+double JoinCost(Operator op, double left_cost, double right_cost,
+                double left_card, double right_card) {
+  const double inputs = left_cost + right_cost;
+  switch (op) {
+    case Operator::kHashJoin:
+      return inputs + kHashBuildProbeFactor * (left_card + right_card);
+    case Operator::kMergeJoin:
+      return inputs +
+             kMergeSortFactor * (left_card * std::log2(left_card + 2.0) +
+                                 right_card * std::log2(right_card + 2.0));
+    case Operator::kNestedLoopJoin:
+      return inputs + left_card + kNestedLoopFactor * left_card * right_card;
+    default:
+      LIMEQO_CHECK(false);
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+PlanGenerator::PlanGenerator(const Catalog* catalog) : catalog_(catalog) {
+  LIMEQO_CHECK(catalog != nullptr);
+}
+
+Operator PlanGenerator::ChooseScanOperator(const TableStats& table,
+                                           double selectivity,
+                                           const HintConfig& hint) const {
+  Operator best = Operator::kSeqScan;
+  double best_cost = std::numeric_limits<double>::infinity();
+  auto consider = [&](Operator op, bool enabled) {
+    if (!enabled) return;
+    // Index access paths require an index on the table.
+    if ((op == Operator::kIndexScan || op == Operator::kIndexOnlyScan) &&
+        !table.has_index) {
+      return;
+    }
+    const double c = ScanCost(op, table, selectivity);
+    if (c < best_cost) {
+      best_cost = c;
+      best = op;
+    }
+  };
+  consider(Operator::kSeqScan, hint.enable_seq_scan);
+  consider(Operator::kIndexScan, hint.enable_index_scan);
+  consider(Operator::kIndexOnlyScan, hint.enable_index_only_scan);
+  if (!std::isfinite(best_cost)) {
+    // All enabled scan paths were index-based but the table has no index:
+    // fall back to a sequential scan, matching PostgreSQL where enable_*
+    // GUCs are soft penalties, not hard bans.
+    best = Operator::kSeqScan;
+  }
+  return best;
+}
+
+std::unique_ptr<PlanNode> PlanGenerator::BuildPlan(
+    const QuerySpec& query, const HintConfig& hint) const {
+  LIMEQO_CHECK(query.num_tables() >= 2);
+  LIMEQO_CHECK(hint.IsValid());
+
+  // Build the leftmost scan.
+  auto make_scan = [&](int pos) {
+    const TableStats& table = catalog_->table(query.table_ids[pos]);
+    const double sel = query.selectivities[pos];
+    const Operator op = ChooseScanOperator(table, sel, hint);
+    const double cost = ScanCost(op, table, sel);
+    return PlanNode::MakeScan(op, table.id, cost, table.num_rows * sel);
+  };
+
+  std::unique_ptr<PlanNode> current = make_scan(0);
+  for (int i = 1; i < query.num_tables(); ++i) {
+    std::unique_ptr<PlanNode> rhs = make_scan(i);
+    // Pick the cheapest enabled join operator for this node.
+    Operator best = Operator::kHashJoin;
+    double best_cost = std::numeric_limits<double>::infinity();
+    auto consider = [&](Operator op, bool enabled) {
+      if (!enabled) return;
+      const double c = JoinCost(op, current->est_cost, rhs->est_cost,
+                                current->est_cardinality,
+                                rhs->est_cardinality);
+      if (c < best_cost) {
+        best_cost = c;
+        best = op;
+      }
+    };
+    consider(Operator::kHashJoin, hint.enable_hash_join);
+    consider(Operator::kMergeJoin, hint.enable_merge_join);
+    consider(Operator::kNestedLoopJoin, hint.enable_nested_loop_join);
+    LIMEQO_CHECK(std::isfinite(best_cost));
+
+    const double join_sel = query.join_selectivities[i - 1];
+    const double out_card = std::max(
+        1.0, current->est_cardinality * rhs->est_cardinality * join_sel);
+    current = PlanNode::MakeJoin(best, std::move(current), std::move(rhs),
+                                 best_cost, out_card);
+  }
+  return current;
+}
+
+}  // namespace limeqo::simdb

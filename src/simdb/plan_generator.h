@@ -1,0 +1,46 @@
+#ifndef LIMEQO_SIMDB_PLAN_GENERATOR_H_
+#define LIMEQO_SIMDB_PLAN_GENERATOR_H_
+
+#include <memory>
+
+#include "plan/plan_node.h"
+#include "simdb/catalog.h"
+#include "simdb/hint.h"
+#include "simdb/query.h"
+
+namespace limeqo::simdb {
+
+/// Builds physical plans for (query, hint) pairs.
+///
+/// The simulated optimizer builds a left-deep join tree over the query's
+/// table order and, at every node, picks the cheapest *enabled* operator
+/// under a textbook cost model (sequential scans ~ rows, index scans ~
+/// selectivity * random-IO penalty, hash joins ~ inputs, merge joins ~
+/// sort, nested loops ~ product). Disabling an operator via the hint thus
+/// changes the chosen plan exactly the way PostgreSQL's enable_* GUCs do.
+/// Join-order search is intentionally out of scope: the paper's hints only
+/// steer operator selection, and LimeQO treats the plan space as opaque.
+class PlanGenerator {
+ public:
+  explicit PlanGenerator(const Catalog* catalog);
+
+  /// Builds the plan for `query` under `hint`. The returned tree has
+  /// internally consistent per-node cost/cardinality estimates from the
+  /// textbook cost model (callers may rescale costs to match an external
+  /// cost target; see SimulatedDatabase).
+  std::unique_ptr<plan::PlanNode> BuildPlan(const QuerySpec& query,
+                                            const HintConfig& hint) const;
+
+  /// Cost-model estimate for a scan of `table` with `selectivity` using the
+  /// cheapest scan operator enabled in `hint`. Exposed for tests.
+  plan::Operator ChooseScanOperator(const TableStats& table,
+                                    double selectivity,
+                                    const HintConfig& hint) const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace limeqo::simdb
+
+#endif  // LIMEQO_SIMDB_PLAN_GENERATOR_H_

@@ -1,0 +1,55 @@
+#include "simdb/query.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace limeqo::simdb {
+
+QueryGenerator::QueryGenerator(const Catalog* catalog, int min_tables,
+                               int max_tables)
+    : catalog_(catalog), min_tables_(min_tables), max_tables_(max_tables) {
+  LIMEQO_CHECK(catalog != nullptr);
+  LIMEQO_CHECK(min_tables >= 2 && max_tables >= min_tables);
+  LIMEQO_CHECK(max_tables <= catalog->num_tables());
+}
+
+QuerySpec QueryGenerator::Generate(Rng* rng) {
+  QuerySpec q;
+  q.id = next_id_++;
+  q.query_class = QueryClass::kAnalytic;
+  const int nt = static_cast<int>(rng->UniformInt(min_tables_, max_tables_));
+  // Sample nt distinct tables.
+  std::vector<int> perm = rng->Permutation(catalog_->num_tables());
+  q.table_ids.assign(perm.begin(), perm.begin() + nt);
+  q.selectivities.resize(nt);
+  for (int i = 0; i < nt; ++i) {
+    // Log-uniform selectivities: most predicates are fairly selective.
+    q.selectivities[i] = std::exp(rng->Uniform(std::log(1e-4), 0.0));
+  }
+  q.join_selectivities.resize(nt - 1);
+  for (int i = 0; i < nt - 1; ++i) {
+    q.join_selectivities[i] = std::exp(rng->Uniform(std::log(1e-6), std::log(1e-2)));
+  }
+  return q;
+}
+
+QuerySpec QueryGenerator::GenerateEtl(Rng* rng) {
+  QuerySpec q;
+  q.id = next_id_++;
+  q.query_class = QueryClass::kEtl;
+  // ETL jobs join a small number of large tables and dump the result; pick
+  // the two largest tables to mimic "join question and user tables to CSV".
+  std::vector<int> ids(catalog_->num_tables());
+  for (int i = 0; i < catalog_->num_tables(); ++i) ids[i] = i;
+  std::sort(ids.begin(), ids.end(), [&](int a, int b) {
+    return catalog_->table(a).num_rows > catalog_->table(b).num_rows;
+  });
+  q.table_ids = {ids[0], ids[1]};
+  q.selectivities = {1.0, 1.0};  // full scans: export everything
+  q.join_selectivities = {std::exp(rng->Uniform(std::log(1e-7), std::log(1e-5)))};
+  return q;
+}
+
+}  // namespace limeqo::simdb

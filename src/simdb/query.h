@@ -1,0 +1,60 @@
+#ifndef LIMEQO_SIMDB_QUERY_H_
+#define LIMEQO_SIMDB_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "simdb/catalog.h"
+
+namespace limeqo::simdb {
+
+/// Classes of queries in a workload. Most are analytic join queries;
+/// kEtl models export/COPY-style jobs whose runtime is write-bound and
+/// therefore insensitive to optimizer hints (paper Sec. 5.1, Fig. 8).
+enum class QueryClass {
+  kAnalytic = 0,
+  kEtl,
+};
+
+/// A join query of the simulated workload: a connected join graph over a
+/// subset of catalog tables plus per-table filter selectivities.
+struct QuerySpec {
+  int id = 0;
+  QueryClass query_class = QueryClass::kAnalytic;
+  /// Tables referenced, in join order (plans are built left-deep over this
+  /// order; the optimizer's join-order search is not the subject of the
+  /// paper, hints only steer operator selection).
+  std::vector<int> table_ids;
+  /// Filter selectivity applied to each base table, same length as
+  /// table_ids, each in (0, 1].
+  std::vector<double> selectivities;
+  /// Join selectivity for each of the table_ids.size()-1 joins.
+  std::vector<double> join_selectivities;
+
+  int num_tables() const { return static_cast<int>(table_ids.size()); }
+  int num_joins() const { return num_tables() - 1; }
+};
+
+/// Generates random analytic queries over a catalog.
+class QueryGenerator {
+ public:
+  /// Queries will reference between min_tables and max_tables tables.
+  QueryGenerator(const Catalog* catalog, int min_tables, int max_tables);
+
+  /// Generates the next query (ids are assigned sequentially).
+  QuerySpec Generate(Rng* rng);
+
+  /// Generates an ETL-class query (large scan + export, hint-insensitive).
+  QuerySpec GenerateEtl(Rng* rng);
+
+ private:
+  const Catalog* catalog_;
+  int min_tables_;
+  int max_tables_;
+  int next_id_ = 0;
+};
+
+}  // namespace limeqo::simdb
+
+#endif  // LIMEQO_SIMDB_QUERY_H_

@@ -1,0 +1,67 @@
+#ifndef LIMEQO_WORKLOADS_WORKLOADS_H_
+#define LIMEQO_WORKLOADS_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "simdb/database.h"
+
+namespace limeqo::workloads {
+
+/// Identifier for the four benchmark workloads of the paper (Table 1).
+enum class WorkloadId {
+  kJob = 0,
+  kCeb,
+  kStack,
+  kDsb,
+  kStack2017,  // older snapshot used by the data-shift study (Sec. 5.4)
+};
+
+/// Published statistics from paper Table 1 (plus the Stack-2017 snapshot
+/// numbers from Sec. 5.4).
+struct WorkloadSpec {
+  WorkloadId id;
+  std::string name;
+  int num_queries;
+  /// Total workload time under the default hint, in seconds.
+  double default_total_seconds;
+  /// Total workload time under per-query optimal hints, in seconds.
+  double optimal_total_seconds;
+  /// Dataset size label, for Table 1 rendering only.
+  std::string dataset;
+  std::string size_label;
+};
+
+/// Specs for all workloads (Table 1 values).
+const std::vector<WorkloadSpec>& AllWorkloadSpecs();
+
+/// Spec lookup.
+const WorkloadSpec& GetSpec(WorkloadId id);
+
+/// Builds a simulated database calibrated to the workload's Table 1 targets.
+///
+/// `scale` in (0, 1] subsamples the workload: the query count and both
+/// calibration targets shrink proportionally, preserving headroom. Benches
+/// use scale < 1 for the neural arms to bound wall time (the subsampling
+/// factor is printed by each bench). `seed` varies the random instance for
+/// repetition averaging.
+StatusOr<simdb::SimulatedDatabase> MakeWorkload(WorkloadId id,
+                                                double scale = 1.0,
+                                                uint64_t seed = 42);
+
+/// Drift severity calibrated against the paper's Fig. 10 intervals:
+/// {1 day, 1 week, 2 weeks, 1 month, 3 months, 6 months, 1 year, 2 years}.
+struct DriftInterval {
+  std::string label;
+  double severity;
+  /// Paper-reported % of queries whose optimal hint changed.
+  double paper_changed_percent;
+};
+
+/// The eight Fig. 10 drift intervals with calibrated severities.
+const std::vector<DriftInterval>& Fig10DriftIntervals();
+
+}  // namespace limeqo::workloads
+
+#endif  // LIMEQO_WORKLOADS_WORKLOADS_H_

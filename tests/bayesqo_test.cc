@@ -1,0 +1,139 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "bayesqo/bayesqo.h"
+#include "bayesqo/gaussian_process.h"
+#include "core/simdb_backend.h"
+#include "simdb/database.h"
+#include "simdb/hint.h"
+
+namespace limeqo::bayesqo {
+namespace {
+
+std::vector<double> HintBitsFeature(int hint) {
+  const simdb::HintConfig& config = simdb::AllHints()[hint];
+  const int bits = config.ToBits();
+  std::vector<double> f(6);
+  for (int b = 0; b < 6; ++b) f[b] = (bits >> b) & 1;
+  return f;
+}
+
+TEST(NormalDistTest, PdfAndCdfSanity) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(3.0) + NormalCdf(-3.0), 1.0, 1e-12);
+  EXPECT_GT(NormalCdf(2.0), 0.97);
+}
+
+TEST(GaussianProcessTest, InterpolatesTrainingPoints) {
+  GaussianProcess gp;
+  std::vector<std::vector<double>> x{{0, 0}, {1, 0}, {0, 1}};
+  std::vector<double> y{1.0, 2.0, 3.0};
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  for (size_t i = 0; i < x.size(); ++i) {
+    GpPosterior post = gp.Predict(x[i]);
+    EXPECT_NEAR(post.mean, y[i], 0.05);
+    EXPECT_LT(post.variance, 0.01);
+  }
+}
+
+TEST(GaussianProcessTest, UncertaintyGrowsAwayFromData) {
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit({{0.0}}, {1.0}).ok());
+  GpPosterior near = gp.Predict({0.1});
+  GpPosterior far = gp.Predict({5.0});
+  EXPECT_LT(near.variance, far.variance);
+}
+
+TEST(GaussianProcessTest, RejectsEmptyOrMismatched) {
+  GaussianProcess gp;
+  EXPECT_FALSE(gp.Fit({}, {}).ok());
+  EXPECT_FALSE(gp.Fit({{1.0}}, {1.0, 2.0}).ok());
+}
+
+TEST(GaussianProcessTest, ExpectedImprovementFavorsUnexplored) {
+  GaussianProcess gp;
+  // Observed: mediocre value at origin.
+  ASSERT_TRUE(gp.Fit({{0.0, 0.0}}, {5.0}).ok());
+  const double ei_near = gp.ExpectedImprovement({0.05, 0.0}, 5.0);
+  const double ei_far = gp.ExpectedImprovement({3.0, 3.0}, 5.0);
+  EXPECT_GT(ei_far, ei_near);
+  EXPECT_GE(ei_near, 0.0);
+}
+
+simdb::SimulatedDatabase MakeDb(int n) {
+  simdb::DatabaseOptions opt;
+  opt.num_tables = 12;
+  opt.latency.target_default_total = 1.6 * n;  // JOB-like per-query scale
+  opt.latency.target_optimal_total = 0.6 * n;
+  opt.seed = 31;
+  StatusOr<simdb::SimulatedDatabase> db =
+      simdb::SimulatedDatabase::Create(n, opt);
+  LIMEQO_CHECK(db.ok());
+  return std::move(db).value();
+}
+
+TEST(PerQueryBayesOptTest, SpendsAboutPerQueryBudget) {
+  simdb::SimulatedDatabase db = MakeDb(20);
+  core::SimDbBackend backend(&db);
+  BayesQoOptions opt;
+  opt.per_query_budget_seconds = 3.0;
+  PerQueryBayesOpt bo(&backend, HintBitsFeature, opt);
+  std::vector<core::TrajectoryPoint> traj = bo.Run();
+  ASSERT_FALSE(traj.empty());
+  // The budget is enforced via timeouts, so total time is close to
+  // n * budget (rows that get fully explored early can stop sooner).
+  EXPECT_LE(bo.offline_seconds(), 20 * 3.0 + 1e-6);
+  EXPECT_GT(bo.offline_seconds(), 20 * 3.0 * 0.5);
+}
+
+TEST(PerQueryBayesOptTest, NeverRegresses) {
+  simdb::SimulatedDatabase db = MakeDb(15);
+  core::SimDbBackend backend(&db);
+  BayesQoOptions opt;
+  PerQueryBayesOpt bo(&backend, HintBitsFeature, opt);
+  bo.Run();
+  const core::WorkloadMatrix& w = bo.matrix();
+  for (int i = 0; i < w.num_queries(); ++i) {
+    EXPECT_LE(w.RowMinObserved(i), db.TrueLatency(i, 0) + 1e-9);
+  }
+}
+
+TEST(PerQueryBayesOptTest, TrajectoryMonotone) {
+  simdb::SimulatedDatabase db = MakeDb(15);
+  core::SimDbBackend backend(&db);
+  BayesQoOptions opt;
+  PerQueryBayesOpt bo(&backend, HintBitsFeature, opt);
+  std::vector<core::TrajectoryPoint> traj = bo.Run();
+  for (size_t i = 1; i < traj.size(); ++i) {
+    EXPECT_LE(traj[i].workload_latency,
+              traj[i - 1].workload_latency + 1e-9);
+    EXPECT_GE(traj[i].offline_seconds, traj[i - 1].offline_seconds);
+  }
+}
+
+TEST(PerQueryBayesOptTest, SurrogateOverheadConsumesBudget) {
+  simdb::SimulatedDatabase db = MakeDb(15);
+  BayesQoOptions cheap;
+  cheap.per_query_budget_seconds = 2.0;
+  BayesQoOptions expensive = cheap;
+  expensive.surrogate_overhead_seconds = 1.0;
+
+  core::SimDbBackend backend_a(&db);
+  PerQueryBayesOpt fast(&backend_a, HintBitsFeature, cheap);
+  fast.Run();
+  core::SimDbBackend backend_b(&db);
+  PerQueryBayesOpt slow(&backend_b, HintBitsFeature, expensive);
+  slow.Run();
+
+  // With overhead charged against the fixed budget, fewer cells get
+  // observed and the final workload latency cannot be better.
+  EXPECT_LT(slow.matrix().NumComplete() + slow.matrix().NumCensored(),
+            fast.matrix().NumComplete() + fast.matrix().NumCensored());
+  EXPECT_GE(slow.matrix().CurrentWorkloadLatency(),
+            fast.matrix().CurrentWorkloadLatency() - 1e-9);
+}
+
+}  // namespace
+}  // namespace limeqo::bayesqo

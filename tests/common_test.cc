@@ -1,0 +1,199 @@
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+
+namespace limeqo {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad rank");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad rank");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad rank");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+        StatusCode::kInternal, StatusCode::kUnimplemented}) {
+    EXPECT_STRNE(StatusCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, WorksWithMoveOnlyLikeTypes) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) same += (a.NextUint64() == b.NextUint64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.Gaussian(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.LogNormal(0.0, 2.0), 0.0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(15);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(17);
+  std::vector<int> p = rng.Permutation(20);
+  std::set<int> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 20u);
+  EXPECT_EQ(*s.begin(), 0);
+  EXPECT_EQ(*s.rbegin(), 19);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.Fork();
+  // Child stream should differ from the parent's continued stream.
+  int same = 0;
+  for (int i = 0; i < 50; ++i) same += (a.NextUint64() == child.NextUint64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(StatsTest, BasicAggregates) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Sum(v), 10.0);
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Min(v), 1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 4.0);
+  EXPECT_DOUBLE_EQ(Median(v), 2.5);
+  EXPECT_NEAR(StdDev(v), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(StatsTest, EmptyInputsAreZero) {
+  std::vector<double> v;
+  EXPECT_DOUBLE_EQ(Sum(v), 0.0);
+  EXPECT_DOUBLE_EQ(Mean(v), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev(v), 0.0);
+  EXPECT_DOUBLE_EQ(Median(v), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 10.0);
+}
+
+TEST(StatsTest, MseAndCorrelation) {
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{1, 2, 3};
+  EXPECT_DOUBLE_EQ(MeanSquaredError(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, b), 1.0);
+  std::vector<double> c{3, 2, 1};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, c), -1.0);
+}
+
+TEST(StatsTest, CorrelationZeroVarianceIsZero) {
+  std::vector<double> a{1, 1, 1};
+  std::vector<double> b{1, 2, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, b), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchStats) {
+  Rng rng(23);
+  std::vector<double> v;
+  RunningStats rs;
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.Uniform(-3, 9);
+    v.push_back(x);
+    rs.Add(x);
+  }
+  EXPECT_NEAR(rs.mean(), Mean(v), 1e-9);
+  EXPECT_NEAR(rs.stddev(), StdDev(v), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), Min(v));
+  EXPECT_DOUBLE_EQ(rs.max(), Max(v));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDuration(5400.0), "1.50h");
+  EXPECT_EQ(FormatDuration(90.0), "90.0s");
+}
+
+}  // namespace
+}  // namespace limeqo

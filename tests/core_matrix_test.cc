@@ -1,0 +1,157 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/online.h"
+#include "core/workload_matrix.h"
+
+namespace limeqo::core {
+namespace {
+
+TEST(WorkloadMatrixTest, StartsFullyUnobserved) {
+  WorkloadMatrix w(4, 6);
+  EXPECT_EQ(w.num_queries(), 4);
+  EXPECT_EQ(w.num_hints(), 6);
+  EXPECT_EQ(w.NumUnobserved(), 24);
+  EXPECT_EQ(w.NumComplete(), 0);
+  EXPECT_EQ(w.NumCensored(), 0);
+  EXPECT_DOUBLE_EQ(w.FillFraction(), 0.0);
+  EXPECT_EQ(w.BestObservedHint(0), -1);
+  EXPECT_FALSE(std::isfinite(w.RowMinObserved(0)));
+}
+
+TEST(WorkloadMatrixTest, ObserveRecordsCompleteCell) {
+  WorkloadMatrix w(2, 3);
+  w.Observe(0, 1, 5.5);
+  EXPECT_EQ(w.state(0, 1), CellState::kComplete);
+  EXPECT_DOUBLE_EQ(w.observed(0, 1), 5.5);
+  EXPECT_DOUBLE_EQ(w.values()(0, 1), 5.5);
+  EXPECT_DOUBLE_EQ(w.mask()(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(w.timeouts()(0, 1), 0.0);
+  EXPECT_EQ(w.NumComplete(), 1);
+}
+
+TEST(WorkloadMatrixTest, ObserveCensoredRecordsLowerBound) {
+  WorkloadMatrix w(2, 3);
+  w.ObserveCensored(1, 2, 10.0);
+  EXPECT_EQ(w.state(1, 2), CellState::kCensored);
+  EXPECT_DOUBLE_EQ(w.observed(1, 2), 10.0);
+  EXPECT_DOUBLE_EQ(w.mask()(1, 2), 0.0);  // not ground truth for the model
+  EXPECT_DOUBLE_EQ(w.timeouts()(1, 2), 10.0);
+}
+
+TEST(WorkloadMatrixTest, CompleteSupersedesCensored) {
+  WorkloadMatrix w(1, 2);
+  w.ObserveCensored(0, 0, 10.0);
+  w.Observe(0, 0, 3.0);
+  EXPECT_EQ(w.state(0, 0), CellState::kComplete);
+  EXPECT_DOUBLE_EQ(w.observed(0, 0), 3.0);
+  // But censored never downgrades complete.
+  w.ObserveCensored(0, 0, 50.0);
+  EXPECT_EQ(w.state(0, 0), CellState::kComplete);
+  EXPECT_DOUBLE_EQ(w.observed(0, 0), 3.0);
+}
+
+TEST(WorkloadMatrixTest, RowMinIgnoresCensoredCells) {
+  WorkloadMatrix w(1, 3);
+  w.Observe(0, 0, 8.0);
+  w.ObserveCensored(0, 1, 2.0);  // lower bound 2, but not a usable plan
+  EXPECT_DOUBLE_EQ(w.RowMinObserved(0), 8.0);
+  EXPECT_EQ(w.BestObservedHint(0), 0);
+  w.Observe(0, 2, 4.0);
+  EXPECT_DOUBLE_EQ(w.RowMinObserved(0), 4.0);
+  EXPECT_EQ(w.BestObservedHint(0), 2);
+}
+
+TEST(WorkloadMatrixTest, CurrentWorkloadLatencySumsRowMinima) {
+  WorkloadMatrix w(3, 2);
+  w.Observe(0, 0, 5.0);
+  w.Observe(0, 1, 3.0);
+  w.Observe(1, 0, 7.0);
+  // Row 2 unobserved: contributes nothing yet.
+  EXPECT_DOUBLE_EQ(w.CurrentWorkloadLatency(), 10.0);
+}
+
+TEST(WorkloadMatrixTest, ClearForgetsObservation) {
+  WorkloadMatrix w(1, 2);
+  w.Observe(0, 0, 5.0);
+  w.Clear(0, 0);
+  EXPECT_EQ(w.state(0, 0), CellState::kUnobserved);
+  EXPECT_EQ(w.NumUnobserved(), 2);
+}
+
+TEST(WorkloadMatrixTest, UnobservedCellsEnumeration) {
+  WorkloadMatrix w(2, 2);
+  w.Observe(0, 0, 1.0);
+  w.ObserveCensored(1, 1, 2.0);
+  auto cells = w.UnobservedCells();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0], (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(cells[1], (std::pair<int, int>{1, 0}));
+}
+
+TEST(WorkloadMatrixTest, AppendQueriesAddsUnobservedRows) {
+  WorkloadMatrix w(2, 3);
+  w.Observe(0, 0, 1.0);
+  const int first = w.AppendQueries(2);
+  EXPECT_EQ(first, 2);
+  EXPECT_EQ(w.num_queries(), 4);
+  EXPECT_EQ(w.state(3, 2), CellState::kUnobserved);
+  EXPECT_DOUBLE_EQ(w.observed(0, 0), 1.0);  // old data intact
+}
+
+TEST(OnlineOptimizerTest, ServesDefaultWithoutVerifiedPlan) {
+  WorkloadMatrix w(2, 4);
+  w.Observe(0, 0, 10.0);
+  OnlineOptimizer online(&w);
+  EXPECT_EQ(online.ChooseHint(0), 0);
+  EXPECT_FALSE(online.HasVerifiedPlan(0));
+  // Row 1 has nothing observed at all: default.
+  EXPECT_EQ(online.ChooseHint(1), 0);
+}
+
+TEST(OnlineOptimizerTest, ServesVerifiedFasterPlan) {
+  WorkloadMatrix w(1, 4);
+  w.Observe(0, 0, 10.0);
+  w.Observe(0, 2, 4.0);
+  OnlineOptimizer online(&w);
+  EXPECT_EQ(online.ChooseHint(0), 2);
+  EXPECT_TRUE(online.HasVerifiedPlan(0));
+}
+
+TEST(OnlineOptimizerTest, NeverServesSlowerOrCensoredPlan) {
+  WorkloadMatrix w(1, 4);
+  w.Observe(0, 0, 10.0);
+  w.Observe(0, 1, 12.0);          // slower: must not be served
+  w.ObserveCensored(0, 3, 2.0);   // censored: not verified
+  OnlineOptimizer online(&w);
+  EXPECT_EQ(online.ChooseHint(0), 0);
+}
+
+TEST(OnlineOptimizerTest, NoRegressionProperty) {
+  // Whatever mixture of observations exists, the served plan's observed
+  // latency never exceeds the observed default latency.
+  WorkloadMatrix w(5, 6);
+  Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    w.Observe(i, 0, rng.Uniform(1, 20));
+    for (int j = 1; j < 6; ++j) {
+      if (rng.Bernoulli(0.5)) {
+        if (rng.Bernoulli(0.3)) {
+          w.ObserveCensored(i, j, rng.Uniform(1, 20));
+        } else {
+          w.Observe(i, j, rng.Uniform(1, 40));
+        }
+      }
+    }
+  }
+  OnlineOptimizer online(&w);
+  for (int i = 0; i < 5; ++i) {
+    const int h = online.ChooseHint(i);
+    EXPECT_TRUE(w.IsComplete(i, h));
+    EXPECT_LE(w.observed(i, h), w.observed(i, 0));
+  }
+}
+
+}  // namespace
+}  // namespace limeqo::core

@@ -1,0 +1,80 @@
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+
+namespace limeqo::core {
+namespace {
+
+TEST(ReportTest, EmptyMatrixHasNoImprovements) {
+  WorkloadMatrix w(4, 3);
+  WorkloadReport report = BuildReport(w);
+  EXPECT_EQ(report.num_queries, 4);
+  EXPECT_EQ(report.num_hints, 3);
+  EXPECT_EQ(report.improved_queries, 0);
+  EXPECT_EQ(report.missing_defaults, 4);
+  EXPECT_DOUBLE_EQ(report.default_total, 0.0);
+  for (const QueryReport& q : report.queries) {
+    EXPECT_TRUE(std::isnan(q.default_latency));
+    EXPECT_EQ(q.best_hint, 0);
+  }
+}
+
+TEST(ReportTest, CountsImprovedQueriesAndSpeedups) {
+  WorkloadMatrix w(3, 4);
+  w.Observe(0, 0, 10.0);
+  w.Observe(0, 2, 2.0);  // 5x speedup
+  w.Observe(1, 0, 6.0);  // default only
+  w.Observe(2, 0, 4.0);
+  w.Observe(2, 1, 8.0);  // slower alternative: not an improvement
+  WorkloadReport report = BuildReport(w);
+  EXPECT_EQ(report.improved_queries, 1);
+  EXPECT_EQ(report.missing_defaults, 0);
+  EXPECT_DOUBLE_EQ(report.default_total, 20.0);
+  EXPECT_DOUBLE_EQ(report.current_total, 12.0);  // 2 + 6 + 4
+  EXPECT_EQ(report.queries[0].best_hint, 2);
+  EXPECT_DOUBLE_EQ(report.queries[0].speedup, 5.0);
+  EXPECT_EQ(report.queries[2].best_hint, 0);
+  EXPECT_DOUBLE_EQ(report.queries[2].speedup, 1.0);
+}
+
+TEST(ReportTest, CensoredCellsAreCountedButNeverBest) {
+  WorkloadMatrix w(1, 3);
+  w.Observe(0, 0, 5.0);
+  w.ObserveCensored(0, 1, 1.0);  // a lower bound, not a measurement
+  WorkloadReport report = BuildReport(w);
+  EXPECT_EQ(report.queries[0].censored_cells, 1);
+  EXPECT_EQ(report.queries[0].complete_cells, 1);
+  EXPECT_EQ(report.queries[0].best_hint, 0);
+  EXPECT_DOUBLE_EQ(report.queries[0].best_latency, 5.0);
+}
+
+TEST(ReportTest, PrintHighlightsLargestAbsoluteGains) {
+  WorkloadMatrix w(3, 2);
+  w.Observe(0, 0, 100.0);
+  w.Observe(0, 1, 50.0);  // saves 50 s
+  w.Observe(1, 0, 10.0);
+  w.Observe(1, 1, 1.0);  // saves 9 s but 10x speedup
+  w.Observe(2, 0, 1.0);
+  std::ostringstream os;
+  PrintReport(BuildReport(w), os, /*top=*/2);
+  const std::string out = os.str();
+  // Query 0 (biggest absolute gain) is listed before query 1.
+  EXPECT_LT(out.find("| 0"), out.find("| 1"));
+  EXPECT_NE(out.find("2 queries improved"), std::string::npos);
+}
+
+TEST(ReportTest, WarnsAboutMissingDefaults) {
+  WorkloadMatrix w(2, 2);
+  w.Observe(0, 0, 1.0);
+  w.Observe(1, 1, 2.0);  // row 1's default never observed
+  std::ostringstream os;
+  PrintReport(BuildReport(w), os);
+  EXPECT_NE(os.str().find("WARNING: 1 queries have no observed default"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace limeqo::core

@@ -1,0 +1,124 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/serialization.h"
+
+namespace limeqo::core {
+namespace {
+
+WorkloadMatrix MakeMixedMatrix(int n, int k, uint64_t seed) {
+  WorkloadMatrix w(n, k);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) {
+      const double roll = rng.NextDouble();
+      if (roll < 0.3) {
+        w.Observe(i, j, rng.LogNormal(0.0, 1.7));
+      } else if (roll < 0.45) {
+        w.ObserveCensored(i, j, rng.LogNormal(0.5, 1.0));
+      }
+    }
+  }
+  return w;
+}
+
+TEST(SerializationTest, RoundTripPreservesEveryCell) {
+  WorkloadMatrix w = MakeMixedMatrix(37, 11, 5);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveWorkloadMatrix(w, ss).ok());
+  StatusOr<WorkloadMatrix> loaded = LoadWorkloadMatrix(ss);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_queries(), 37);
+  ASSERT_EQ(loaded->num_hints(), 11);
+  for (int i = 0; i < 37; ++i) {
+    for (int j = 0; j < 11; ++j) {
+      EXPECT_EQ(loaded->state(i, j), w.state(i, j)) << i << "," << j;
+      if (w.state(i, j) != CellState::kUnobserved) {
+        // Bit-exact round trip (max_digits10 precision).
+        EXPECT_DOUBLE_EQ(loaded->observed(i, j), w.observed(i, j));
+      }
+    }
+  }
+}
+
+TEST(SerializationTest, EmptyMatrixRoundTrips) {
+  WorkloadMatrix w(3, 4);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveWorkloadMatrix(w, ss).ok());
+  StatusOr<WorkloadMatrix> loaded = LoadWorkloadMatrix(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumComplete(), 0);
+  EXPECT_EQ(loaded->NumCensored(), 0);
+  EXPECT_EQ(loaded->NumUnobserved(), 12);
+}
+
+TEST(SerializationTest, RejectsBadMagic) {
+  std::stringstream ss("not-a-matrix v1 2 2\n");
+  EXPECT_FALSE(LoadWorkloadMatrix(ss).ok());
+}
+
+TEST(SerializationTest, RejectsUnknownVersion) {
+  std::stringstream ss("limeqo-workload-matrix v99 2 2\n");
+  EXPECT_FALSE(LoadWorkloadMatrix(ss).ok());
+}
+
+TEST(SerializationTest, RejectsBadShape) {
+  std::stringstream ss("limeqo-workload-matrix v1 0 5\n");
+  EXPECT_FALSE(LoadWorkloadMatrix(ss).ok());
+}
+
+TEST(SerializationTest, RejectsOutOfRangeCell) {
+  std::stringstream ss(
+      "limeqo-workload-matrix v1 2 2\n"
+      "C 5 0 1.0\n");
+  EXPECT_FALSE(LoadWorkloadMatrix(ss).ok());
+}
+
+TEST(SerializationTest, RejectsNegativeLatency) {
+  std::stringstream ss(
+      "limeqo-workload-matrix v1 2 2\n"
+      "C 0 0 -3.5\n");
+  EXPECT_FALSE(LoadWorkloadMatrix(ss).ok());
+}
+
+TEST(SerializationTest, RejectsUnknownTag) {
+  std::stringstream ss(
+      "limeqo-workload-matrix v1 2 2\n"
+      "Q 0 0 1.0\n");
+  EXPECT_FALSE(LoadWorkloadMatrix(ss).ok());
+}
+
+TEST(SerializationTest, RejectsTruncatedRecord) {
+  std::stringstream ss(
+      "limeqo-workload-matrix v1 2 2\n"
+      "C 0 0\n");
+  EXPECT_FALSE(LoadWorkloadMatrix(ss).ok());
+}
+
+TEST(SerializationTest, RejectsEmptyStream) {
+  std::stringstream ss;
+  EXPECT_FALSE(LoadWorkloadMatrix(ss).ok());
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  WorkloadMatrix w = MakeMixedMatrix(5, 7, 9);
+  const std::string path = ::testing::TempDir() + "/limeqo_matrix.txt";
+  ASSERT_TRUE(SaveWorkloadMatrixToFile(w, path).ok());
+  StatusOr<WorkloadMatrix> loaded = LoadWorkloadMatrixFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumComplete(), w.NumComplete());
+  EXPECT_EQ(loaded->NumCensored(), w.NumCensored());
+}
+
+TEST(SerializationTest, FileErrorsSurfaceAsStatus) {
+  EXPECT_FALSE(
+      LoadWorkloadMatrixFromFile("/nonexistent/dir/matrix.txt").ok());
+  WorkloadMatrix w(2, 2);
+  EXPECT_FALSE(
+      SaveWorkloadMatrixToFile(w, "/nonexistent/dir/matrix.txt").ok());
+}
+
+}  // namespace
+}  // namespace limeqo::core

@@ -1,0 +1,163 @@
+/// End-to-end tests exercising the whole stack the way the paper's
+/// experiments do: workload construction -> offline exploration with a
+/// model-guided policy -> online serving with the no-regressions guarantee.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/als.h"
+#include "core/explorer.h"
+#include "core/online.h"
+#include "core/policy.h"
+#include "core/simdb_backend.h"
+#include "nn/tcnn_predictor.h"
+#include "workloads/workloads.h"
+
+namespace limeqo {
+namespace {
+
+using core::AlsCompleter;
+using core::CompleterPredictor;
+using core::ExplorerOptions;
+using core::ModelGuidedPolicy;
+using core::OfflineExplorer;
+using core::SimDbBackend;
+
+TEST(IntegrationTest, LimeQoOnMiniJobReachesNearOptimal) {
+  StatusOr<simdb::SimulatedDatabase> db =
+      workloads::MakeWorkload(workloads::WorkloadId::kJob, 1.0, 7);
+  ASSERT_TRUE(db.ok());
+  SimDbBackend backend(&*db);
+  ModelGuidedPolicy policy(
+      std::make_unique<CompleterPredictor>(std::make_unique<AlsCompleter>()),
+      "LimeQO");
+  ExplorerOptions opt;
+  OfflineExplorer explorer(&backend, &policy, opt);
+  // 4x the default workload time: Fig. 5 shows all techniques converge by
+  // then; LimeQO should be well inside the default->optimal gap.
+  explorer.Explore(4.0 * db->DefaultTotal());
+  const double final_latency = explorer.WorkloadLatency();
+  const double gap = db->DefaultTotal() - db->OptimalTotal();
+  EXPECT_LT(final_latency, db->DefaultTotal() - 0.6 * gap);
+  EXPECT_GE(final_latency, db->OptimalTotal() - 1e-6);
+}
+
+TEST(IntegrationTest, OnlinePathServesOnlyVerifiedPlans) {
+  StatusOr<simdb::SimulatedDatabase> db =
+      workloads::MakeWorkload(workloads::WorkloadId::kJob, 0.5, 8);
+  ASSERT_TRUE(db.ok());
+  SimDbBackend backend(&*db);
+  ModelGuidedPolicy policy(
+      std::make_unique<CompleterPredictor>(std::make_unique<AlsCompleter>()),
+      "LimeQO");
+  ExplorerOptions opt;
+  OfflineExplorer explorer(&backend, &policy, opt);
+  explorer.Explore(db->DefaultTotal());
+
+  core::OnlineOptimizer online(&explorer.matrix());
+  int verified = 0;
+  for (int i = 0; i < db->num_queries(); ++i) {
+    const int h = online.ChooseHint(i);
+    // No regression vs the default plan, in true latency.
+    EXPECT_LE(db->TrueLatency(i, h), db->TrueLatency(i, 0) + 1e-9);
+    verified += h != 0;
+  }
+  EXPECT_GT(verified, 0);  // exploration found at least some better plans
+}
+
+TEST(IntegrationTest, CensoredModeDoesNotHurt) {
+  // Compare total latency after equal budgets with censored handling on
+  // and off (Sec. 5.5.4's direction: censored helps or ties).
+  StatusOr<simdb::SimulatedDatabase> db =
+      workloads::MakeWorkload(workloads::WorkloadId::kJob, 1.0, 9);
+  ASSERT_TRUE(db.ok());
+  auto run = [&](core::CensoredMode mode) {
+    SimDbBackend backend(&*db);
+    core::AlsOptions als;
+    als.censored_mode = mode;
+    ModelGuidedPolicy policy(std::make_unique<CompleterPredictor>(
+                                 std::make_unique<AlsCompleter>(als)),
+                             "LimeQO");
+    ExplorerOptions opt;
+    OfflineExplorer explorer(&backend, &policy, opt);
+    explorer.Explore(db->DefaultTotal());
+    return explorer.WorkloadLatency();
+  };
+  const double with_censored = run(core::CensoredMode::kCensored);
+  const double naive = run(core::CensoredMode::kNaiveObserved);
+  // Generous slack: stochastic exploration; censored must not be far worse.
+  EXPECT_LT(with_censored, naive * 1.15);
+}
+
+TEST(IntegrationTest, TcnnPredictorPluggedIntoAlgorithmOne) {
+  StatusOr<simdb::SimulatedDatabase> db =
+      workloads::MakeWorkload(workloads::WorkloadId::kJob, 0.35, 10);
+  ASSERT_TRUE(db.ok());
+  SimDbBackend backend(&*db);
+  nn::TcnnOptions tcnn;
+  tcnn.conv_channels = {8, 4};
+  tcnn.fc_hidden = {8};
+  tcnn.max_epochs = 10;
+  ModelGuidedPolicy policy(
+      std::make_unique<nn::TcnnPredictor>(&backend, tcnn, "LimeQO+"),
+      "LimeQO+");
+  ExplorerOptions opt;
+  opt.batch_size = 8;
+  OfflineExplorer explorer(&backend, &policy, opt);
+  explorer.Explore(db->DefaultTotal());
+  EXPECT_LT(explorer.WorkloadLatency(), db->DefaultTotal());
+  EXPECT_GT(explorer.matrix().NumComplete(), db->num_queries());
+}
+
+TEST(IntegrationTest, WorkloadShiftRecovery) {
+  // 70% of queries first, the rest later (Fig. 9's setup, miniature).
+  StatusOr<simdb::SimulatedDatabase> db =
+      workloads::MakeWorkload(workloads::WorkloadId::kJob, 1.0, 11);
+  ASSERT_TRUE(db.ok());
+  SimDbBackend backend(&*db);
+  ModelGuidedPolicy policy(
+      std::make_unique<CompleterPredictor>(std::make_unique<AlsCompleter>()),
+      "LimeQO");
+  ExplorerOptions opt;
+  opt.initial_queries = static_cast<int>(db->num_queries() * 0.7);
+  OfflineExplorer explorer(&backend, &policy, opt);
+  explorer.Explore(db->DefaultTotal());
+  const double before = explorer.WorkloadLatency();
+  explorer.AddNewQueries(db->num_queries() - opt.initial_queries);
+  // New defaults raise total latency; continued exploration brings it down.
+  const double after_add = explorer.WorkloadLatency();
+  EXPECT_GT(after_add, before);
+  explorer.Explore(db->DefaultTotal());
+  EXPECT_LT(explorer.WorkloadLatency(), after_add);
+}
+
+TEST(IntegrationTest, DataShiftRecovery) {
+  // Explore, shift the data (Stack 2017 -> 2019 style), recover (Fig. 11).
+  StatusOr<simdb::SimulatedDatabase> db =
+      workloads::MakeWorkload(workloads::WorkloadId::kJob, 1.0, 12);
+  ASSERT_TRUE(db.ok());
+  SimDbBackend backend(&*db);
+  ModelGuidedPolicy policy(
+      std::make_unique<CompleterPredictor>(std::make_unique<AlsCompleter>()),
+      "LimeQO");
+  ExplorerOptions opt;
+  OfflineExplorer explorer(&backend, &policy, opt);
+  explorer.Explore(db->DefaultTotal());
+
+  simdb::DriftOptions drift;
+  drift.severity = 0.3;
+  drift.new_default_total = db->DefaultTotal() * 1.25;
+  drift.new_optimal_total = db->OptimalTotal() * 1.2;
+  db->ApplyDrift(drift);
+  explorer.ResetAfterDataShift();
+  const double post_shift = explorer.WorkloadLatency();
+
+  explorer.Explore(db->DefaultTotal());
+  EXPECT_LT(explorer.WorkloadLatency(), post_shift);
+  EXPECT_GE(explorer.WorkloadLatency(), db->OptimalTotal() - 1e-6);
+}
+
+}  // namespace
+}  // namespace limeqo

@@ -1,0 +1,129 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace limeqo::linalg {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), -2.0);
+}
+
+TEST(MatrixTest, FromRowsAndEquality) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_TRUE(m.ApproxEquals(Matrix::FromRows({{1, 2}, {3, 4}})));
+  EXPECT_FALSE(m.ApproxEquals(Matrix::FromRows({{1, 2}, {3, 5}})));
+  EXPECT_FALSE(m.ApproxEquals(Matrix(2, 3)));
+}
+
+TEST(MatrixTest, IdentityMultiplicationIsNoop) {
+  Rng rng(1);
+  Matrix m = Matrix::Random(4, 4, &rng, -1, 1);
+  EXPECT_TRUE((m * Matrix::Identity(4)).ApproxEquals(m, 1e-12));
+  EXPECT_TRUE((Matrix::Identity(4) * m).ApproxEquals(m, 1e-12));
+}
+
+TEST(MatrixTest, MatrixProductKnownValues) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a * b;
+  EXPECT_TRUE(c.ApproxEquals(Matrix::FromRows({{19, 22}, {43, 50}})));
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Rng rng(2);
+  Matrix m = Matrix::Random(3, 5, &rng);
+  EXPECT_TRUE(m.Transposed().Transposed().ApproxEquals(m));
+  EXPECT_EQ(m.Transposed().rows(), 5u);
+}
+
+TEST(MatrixTest, ArithmeticOperators) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  Matrix b = Matrix::FromRows({{3, 5}});
+  EXPECT_TRUE((a + b).ApproxEquals(Matrix::FromRows({{4, 7}})));
+  EXPECT_TRUE((b - a).ApproxEquals(Matrix::FromRows({{2, 3}})));
+  EXPECT_TRUE((a * 2.0).ApproxEquals(Matrix::FromRows({{2, 4}})));
+  EXPECT_TRUE((2.0 * a).ApproxEquals(Matrix::FromRows({{2, 4}})));
+  EXPECT_TRUE(a.Hadamard(b).ApproxEquals(Matrix::FromRows({{3, 10}})));
+}
+
+TEST(MatrixTest, RowColumnAccess) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.Row(1), (std::vector<double>{4, 5, 6}));
+  EXPECT_EQ(m.Col(2), (std::vector<double>{3, 6}));
+  m.SetRow(0, {7, 8, 9});
+  EXPECT_EQ(m.Row(0), (std::vector<double>{7, 8, 9}));
+}
+
+TEST(MatrixTest, AppendRowGrowsMatrix) {
+  Matrix m = Matrix::FromRows({{1, 2}});
+  m.AppendRow({3, 4});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  Matrix empty;
+  empty.AppendRow({9, 9, 9});
+  EXPECT_EQ(empty.rows(), 1u);
+  EXPECT_EQ(empty.cols(), 3u);
+}
+
+TEST(MatrixTest, NormsAndReductions) {
+  Matrix m = Matrix::FromRows({{3, 4}, {0, -2}});
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), std::sqrt(29.0));
+  EXPECT_DOUBLE_EQ(m.SumAll(), 5.0);
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 4.0);
+  EXPECT_DOUBLE_EQ(m.RowMin(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.RowMin(1), -2.0);
+  EXPECT_EQ(m.RowArgMin(1), 1u);
+}
+
+TEST(MatrixTest, ClampMinProjectsNegatives) {
+  Matrix m = Matrix::FromRows({{-1, 2}, {0.5, -3}});
+  m.ClampMin(0.0);
+  EXPECT_TRUE(m.ApproxEquals(Matrix::FromRows({{0, 2}, {0.5, 0}})));
+}
+
+TEST(MatrixTest, ApplyTransformsElements) {
+  Matrix m = Matrix::FromRows({{1, 4}});
+  m.Apply([](double x) { return x * x; });
+  EXPECT_TRUE(m.ApproxEquals(Matrix::FromRows({{1, 16}})));
+}
+
+/// Property sweep: (A B)^T == B^T A^T for random shapes.
+class MatrixProductProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixProductProperty, TransposeOfProduct) {
+  Rng rng(GetParam());
+  const size_t m = 1 + rng.NextUint64Below(8);
+  const size_t k = 1 + rng.NextUint64Below(8);
+  const size_t n = 1 + rng.NextUint64Below(8);
+  Matrix a = Matrix::RandomGaussian(m, k, &rng);
+  Matrix b = Matrix::RandomGaussian(k, n, &rng);
+  EXPECT_TRUE((a * b).Transposed().ApproxEquals(
+      b.Transposed() * a.Transposed(), 1e-9));
+}
+
+TEST_P(MatrixProductProperty, DistributesOverAddition) {
+  Rng rng(GetParam() + 1000);
+  const size_t m = 1 + rng.NextUint64Below(6);
+  const size_t k = 1 + rng.NextUint64Below(6);
+  const size_t n = 1 + rng.NextUint64Below(6);
+  Matrix a = Matrix::RandomGaussian(m, k, &rng);
+  Matrix b = Matrix::RandomGaussian(k, n, &rng);
+  Matrix c = Matrix::RandomGaussian(k, n, &rng);
+  EXPECT_TRUE((a * (b + c)).ApproxEquals(a * b + a * c, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatrixProductProperty,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace limeqo::linalg

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+
+namespace limeqo::linalg {
+namespace {
+
+/// Random symmetric positive definite matrix A = B B^T + eps I.
+Matrix RandomSpd(size_t n, Rng* rng) {
+  Matrix b = Matrix::RandomGaussian(n, n, rng);
+  Matrix a = b * b.Transposed();
+  for (size_t i = 0; i < n; ++i) a(i, i) += 0.5;
+  return a;
+}
+
+TEST(CholeskyTest, FactorsKnownMatrix) {
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  StatusOr<Matrix> l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_TRUE((*l * l->Transposed()).ApproxEquals(a, 1e-12));
+  EXPECT_DOUBLE_EQ((*l)(0, 1), 0.0);  // lower triangular
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_FALSE(Cholesky(Matrix(2, 3)).ok());
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky(a).ok());
+}
+
+TEST(SolveSpdTest, SolvesKnownSystem) {
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  Matrix b = Matrix::FromRows({{10}, {9}});
+  StatusOr<Matrix> x = SolveSpd(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE((a * *x).ApproxEquals(b, 1e-10));
+}
+
+TEST(SolveLuTest, SolvesNonSymmetricSystem) {
+  Matrix a = Matrix::FromRows({{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}});
+  Matrix b = Matrix::FromRows({{-8}, {0}, {3}});
+  StatusOr<Matrix> x = SolveLu(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE((a * *x).ApproxEquals(b, 1e-10));
+}
+
+TEST(SolveLuTest, RejectsSingular) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  EXPECT_FALSE(SolveLu(a, Matrix(2, 1)).ok());
+}
+
+TEST(InverseTest, InverseTimesSelfIsIdentity) {
+  Rng rng(3);
+  Matrix a = RandomSpd(5, &rng);
+  StatusOr<Matrix> inv = Inverse(a);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE((a * *inv).ApproxEquals(Matrix::Identity(5), 1e-8));
+}
+
+TEST(RidgeSolveTest, RequiresPositiveLambda) {
+  Matrix a(3, 2), b(4, 3);
+  EXPECT_FALSE(RidgeSolve(b, a, 0.0).ok());
+  EXPECT_FALSE(RidgeSolve(b, a, -1.0).ok());
+}
+
+TEST(RidgeSolveTest, MatchesClosedForm) {
+  Rng rng(4);
+  Matrix a = Matrix::RandomGaussian(6, 3, &rng);  // m x r
+  Matrix b = Matrix::RandomGaussian(5, 6, &rng);  // n x m
+  const double lambda = 0.7;
+  StatusOr<Matrix> x = RidgeSolve(b, a, lambda);
+  ASSERT_TRUE(x.ok());
+  // X (A^T A + lambda I) == B A.
+  Matrix gram = a.Transposed() * a;
+  for (size_t i = 0; i < 3; ++i) gram(i, i) += lambda;
+  EXPECT_TRUE((*x * gram).ApproxEquals(b * a, 1e-8));
+}
+
+TEST(RidgeSolveTest, ShrinksTowardZeroAsLambdaGrows) {
+  Rng rng(5);
+  Matrix a = Matrix::RandomGaussian(8, 3, &rng);
+  Matrix b = Matrix::RandomGaussian(4, 8, &rng);
+  StatusOr<Matrix> small = RidgeSolve(b, a, 0.01);
+  StatusOr<Matrix> large = RidgeSolve(b, a, 1e6);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_LT(large->FrobeniusNorm(), small->FrobeniusNorm());
+  EXPECT_LT(large->FrobeniusNorm(), 1e-3);
+}
+
+/// Property sweep over sizes: SPD solves achieve tiny residuals.
+class SolveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveProperty, SpdResidualSmall) {
+  Rng rng(100 + GetParam());
+  const size_t n = 2 + rng.NextUint64Below(10);
+  const size_t m = 1 + rng.NextUint64Below(4);
+  Matrix a = RandomSpd(n, &rng);
+  Matrix b = Matrix::RandomGaussian(n, m, &rng);
+  StatusOr<Matrix> x = SolveSpd(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_LT((a * *x - b).FrobeniusNorm(), 1e-7 * (1.0 + b.FrobeniusNorm()));
+}
+
+TEST_P(SolveProperty, LuResidualSmall) {
+  Rng rng(200 + GetParam());
+  const size_t n = 2 + rng.NextUint64Below(10);
+  Matrix a = Matrix::RandomGaussian(n, n, &rng);
+  Matrix b = Matrix::RandomGaussian(n, 2, &rng);
+  StatusOr<Matrix> x = SolveLu(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_LT((a * *x - b).FrobeniusNorm(), 1e-6 * (1.0 + b.FrobeniusNorm()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolveProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace limeqo::linalg

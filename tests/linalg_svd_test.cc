@@ -1,0 +1,126 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "linalg/svd.h"
+
+namespace limeqo::linalg {
+namespace {
+
+bool ColumnsOrthonormal(const Matrix& m, double tol = 1e-8) {
+  Matrix gram = m.Transposed() * m;
+  return gram.ApproxEquals(Matrix::Identity(gram.rows()), tol);
+}
+
+TEST(SvdTest, DiagonalMatrixSingularValues) {
+  Matrix a = Matrix::FromRows({{3, 0}, {0, 5}});
+  SvdResult svd = ComputeSvd(a);
+  ASSERT_EQ(svd.singular_values.size(), 2u);
+  EXPECT_NEAR(svd.singular_values[0], 5.0, 1e-10);
+  EXPECT_NEAR(svd.singular_values[1], 3.0, 1e-10);
+}
+
+TEST(SvdTest, ReconstructsTallMatrix) {
+  Rng rng(1);
+  Matrix a = Matrix::RandomGaussian(9, 4, &rng);
+  SvdResult svd = ComputeSvd(a);
+  EXPECT_TRUE(svd.Reconstruct().ApproxEquals(a, 1e-8));
+  EXPECT_TRUE(ColumnsOrthonormal(svd.u));
+  EXPECT_TRUE(ColumnsOrthonormal(svd.v));
+}
+
+TEST(SvdTest, ReconstructsWideMatrix) {
+  Rng rng(2);
+  Matrix a = Matrix::RandomGaussian(3, 8, &rng);
+  SvdResult svd = ComputeSvd(a);
+  EXPECT_TRUE(svd.Reconstruct().ApproxEquals(a, 1e-8));
+}
+
+TEST(SvdTest, SingularValuesSortedDescendingNonNegative) {
+  Rng rng(3);
+  Matrix a = Matrix::RandomGaussian(7, 5, &rng);
+  std::vector<double> sv = SingularValues(a);
+  for (size_t i = 0; i + 1 < sv.size(); ++i) EXPECT_GE(sv[i], sv[i + 1]);
+  for (double s : sv) EXPECT_GE(s, 0.0);
+}
+
+TEST(SvdTest, FrobeniusNormMatchesSingularValues) {
+  Rng rng(4);
+  Matrix a = Matrix::RandomGaussian(6, 6, &rng);
+  std::vector<double> sv = SingularValues(a);
+  double ss = 0.0;
+  for (double s : sv) ss += s * s;
+  EXPECT_NEAR(std::sqrt(ss), a.FrobeniusNorm(), 1e-8);
+}
+
+TEST(SvdTest, LowRankMatrixHasLowNumericalRank) {
+  Rng rng(5);
+  Matrix u = Matrix::RandomGaussian(20, 3, &rng);
+  Matrix v = Matrix::RandomGaussian(8, 3, &rng);
+  Matrix a = u * v.Transposed();
+  EXPECT_EQ(NumericalRank(a, 1e-8), 3u);
+}
+
+TEST(SvdTest, LowRankApproximationIsBest) {
+  Rng rng(6);
+  Matrix a = Matrix::RandomGaussian(10, 6, &rng);
+  Matrix a2 = LowRankApproximation(a, 2);
+  EXPECT_LE(NumericalRank(a2, 1e-8), 2u);
+  // Eckart-Young: the residual equals the tail singular values' energy.
+  std::vector<double> sv = SingularValues(a);
+  double tail = 0.0;
+  for (size_t i = 2; i < sv.size(); ++i) tail += sv[i] * sv[i];
+  EXPECT_NEAR((a - a2).FrobeniusNorm(), std::sqrt(tail), 1e-7);
+}
+
+TEST(SvdTest, SoftThresholdShrinksSingularValues) {
+  Rng rng(7);
+  Matrix a = Matrix::RandomGaussian(8, 5, &rng);
+  std::vector<double> before = SingularValues(a);
+  const double tau = before[1];  // kills all but the top value
+  Matrix shrunk = SvdSoftThreshold(a, tau);
+  std::vector<double> after = SingularValues(shrunk);
+  EXPECT_NEAR(after[0], before[0] - tau, 1e-7);
+  for (size_t i = 1; i < after.size(); ++i) EXPECT_LT(after[i], 1e-7);
+}
+
+TEST(SvdTest, SoftThresholdZeroIsIdentity) {
+  Rng rng(8);
+  Matrix a = Matrix::RandomGaussian(5, 5, &rng);
+  EXPECT_TRUE(SvdSoftThreshold(a, 0.0).ApproxEquals(a, 1e-8));
+}
+
+TEST(SvdTest, NuclearNormOfIdentity) {
+  EXPECT_NEAR(NuclearNorm(Matrix::Identity(4)), 4.0, 1e-10);
+}
+
+/// Property sweep: reconstruction accuracy across random shapes.
+struct SvdShape {
+  size_t rows;
+  size_t cols;
+};
+
+class SvdProperty : public ::testing::TestWithParam<SvdShape> {};
+
+TEST_P(SvdProperty, ReconstructionAndOrthogonality) {
+  Rng rng(42 + GetParam().rows * 31 + GetParam().cols);
+  Matrix a =
+      Matrix::RandomGaussian(GetParam().rows, GetParam().cols, &rng);
+  SvdResult svd = ComputeSvd(a);
+  EXPECT_TRUE(svd.Reconstruct().ApproxEquals(a, 1e-7));
+  EXPECT_TRUE(ColumnsOrthonormal(svd.u, 1e-7));
+  EXPECT_TRUE(ColumnsOrthonormal(svd.v, 1e-7));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdProperty,
+                         ::testing::Values(SvdShape{1, 1}, SvdShape{1, 7},
+                                           SvdShape{7, 1}, SvdShape{5, 5},
+                                           SvdShape{12, 4}, SvdShape{4, 12},
+                                           SvdShape{30, 10},
+                                           SvdShape{10, 30}));
+
+}  // namespace
+}  // namespace limeqo::linalg

@@ -1,0 +1,286 @@
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nn/adam.h"
+#include "nn/layers.h"
+#include "nn/tcnn.h"
+#include "nn/tree_conv.h"
+#include "plan/plan_node.h"
+
+namespace limeqo::nn {
+namespace {
+
+using plan::FlatPlan;
+using plan::Operator;
+using plan::PlanNode;
+
+FlatPlan SmallFlatPlan() {
+  auto l = PlanNode::MakeScan(Operator::kSeqScan, 0, 100.0, 50.0);
+  auto r = PlanNode::MakeScan(Operator::kIndexScan, 1, 20.0, 5.0);
+  auto root = PlanNode::MakeJoin(Operator::kHashJoin, std::move(l),
+                                 std::move(r), 200.0, 40.0);
+  return plan::FlattenPlan(*root);
+}
+
+TEST(LinearTest, ForwardMatchesManualComputation) {
+  Rng rng(1);
+  Linear layer(2, 1, &rng);
+  // Read out the weights via a probe: y(e_i) - y(0) isolates column i.
+  Vec zero{0.0, 0.0};
+  const double b = layer.Forward(zero)[0];
+  const double w0 = layer.Forward({1.0, 0.0})[0] - b;
+  const double w1 = layer.Forward({0.0, 1.0})[0] - b;
+  const double y = layer.Forward({2.0, 3.0})[0];
+  EXPECT_NEAR(y, 2.0 * w0 + 3.0 * w1 + b, 1e-12);
+}
+
+TEST(LinearTest, GradientMatchesFiniteDifference) {
+  Rng rng(2);
+  Linear layer(3, 2, &rng);
+  Vec x{0.5, -1.0, 2.0};
+  // Loss = sum of outputs; dL/dy = (1, 1).
+  Vec grad_out{1.0, 1.0};
+  Vec grad_in = layer.Backward(grad_out, x);
+  const double eps = 1e-6;
+  for (int i = 0; i < 3; ++i) {
+    Vec xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const Vec yp = layer.Forward(xp);
+    const Vec ym = layer.Forward(xm);
+    const double numeric =
+        ((yp[0] + yp[1]) - (ym[0] + ym[1])) / (2.0 * eps);
+    EXPECT_NEAR(grad_in[i], numeric, 1e-5);
+  }
+}
+
+TEST(LinearTest, NoBiasVariantHasZeroAtOrigin) {
+  Rng rng(3);
+  Linear layer(4, 3, &rng, /*has_bias=*/false);
+  Vec y = layer.Forward(Vec(4, 0.0));
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_EQ(layer.params().size(), 1u);
+}
+
+TEST(LeakyReluTest, ForwardAndBackward) {
+  Vec x{-2.0, 0.0, 3.0};
+  Vec y = LeakyRelu(x, 0.1);
+  EXPECT_DOUBLE_EQ(y[0], -0.2);
+  EXPECT_DOUBLE_EQ(y[2], 3.0);
+  Vec g = LeakyReluBackward({1.0, 1.0, 1.0}, x, 0.1);
+  EXPECT_DOUBLE_EQ(g[0], 0.1);
+  EXPECT_DOUBLE_EQ(g[2], 1.0);
+}
+
+TEST(DropoutTest, InferenceIsIdentity) {
+  Rng rng(4);
+  Dropout d(0.5);
+  Vec x{1.0, 2.0, 3.0};
+  EXPECT_EQ(d.Forward(x, false, &rng), x);
+}
+
+TEST(DropoutTest, TrainingZerosAndRescales) {
+  Rng rng(5);
+  Dropout d(0.5);
+  Vec x(1000, 1.0);
+  Vec y = d.Forward(x, true, &rng);
+  int zeros = 0;
+  for (double v : y) {
+    if (v == 0.0) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 2.0, 1e-12);  // inverted dropout scaling 1/(1-p)
+    }
+  }
+  EXPECT_NEAR(zeros / 1000.0, 0.5, 0.08);
+}
+
+TEST(EmbeddingTest, LookupAndGrow) {
+  Rng rng(6);
+  Embedding e(3, 4, &rng);
+  Vec v0 = e.Forward(0);
+  EXPECT_EQ(v0.size(), 4u);
+  e.Append(2, &rng);
+  EXPECT_EQ(e.count(), 5);
+  EXPECT_EQ(e.Forward(0), v0);  // existing rows unchanged
+}
+
+TEST(EmbeddingTest, BackwardAccumulatesIntoRow) {
+  Rng rng(7);
+  Embedding e(2, 3, &rng);
+  e.Backward(1, {1.0, 2.0, 3.0});
+  e.Backward(1, {1.0, 0.0, 0.0});
+  Param* table = e.params()[0];
+  EXPECT_DOUBLE_EQ(table->grad(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(table->grad(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(table->grad(0, 0), 0.0);
+}
+
+TEST(TreeConvTest, LeafEqualsSelfFilterOnly) {
+  Rng rng(8);
+  FlatPlan flat = SmallFlatPlan();
+  TreeConvLayer layer(plan::kNodeFeatureDim, 4, &rng);
+  std::vector<Vec> out = layer.Forward(flat, flat.node_features);
+  ASSERT_EQ(out.size(), 3u);
+  // A leaf has no children: re-running with children zeroed out changes
+  // nothing for the leaf but does change the root.
+  FlatPlan no_children = flat;
+  no_children.left_child.assign(3, -1);
+  no_children.right_child.assign(3, -1);
+  std::vector<Vec> out2 = layer.Forward(no_children, flat.node_features);
+  for (size_t c = 0; c < out[1].size(); ++c) {
+    EXPECT_DOUBLE_EQ(out[1][c], out2[1][c]);
+  }
+  bool root_changed = false;
+  for (size_t c = 0; c < out[0].size(); ++c) {
+    if (std::fabs(out[0][c] - out2[0][c]) > 1e-12) root_changed = true;
+  }
+  EXPECT_TRUE(root_changed);
+}
+
+TEST(TreeConvTest, GradientMatchesFiniteDifference) {
+  Rng rng(9);
+  FlatPlan flat = SmallFlatPlan();
+  TreeConvLayer layer(plan::kNodeFeatureDim, 3, &rng);
+
+  // Scalar loss: sum of all outputs.
+  auto loss = [&](const std::vector<Vec>& inputs) {
+    double s = 0.0;
+    for (const Vec& v : layer.Forward(flat, inputs)) {
+      for (double x : v) s += x;
+    }
+    return s;
+  };
+
+  std::vector<Vec> inputs = flat.node_features;
+  std::vector<Vec> grad_out(flat.num_nodes(), Vec(3, 1.0));
+  std::vector<Vec> grad_in = layer.Backward(flat, inputs, grad_out);
+
+  const double eps = 1e-6;
+  for (int node = 0; node < flat.num_nodes(); ++node) {
+    for (size_t f = 0; f < inputs[node].size(); ++f) {
+      std::vector<Vec> ip = inputs, im = inputs;
+      ip[node][f] += eps;
+      im[node][f] -= eps;
+      const double numeric = (loss(ip) - loss(im)) / (2.0 * eps);
+      EXPECT_NEAR(grad_in[node][f], numeric, 1e-4)
+          << "node=" << node << " feature=" << f;
+    }
+  }
+}
+
+TEST(MaxPoolTest, ForwardPicksChannelMaxima) {
+  std::vector<Vec> in{{1.0, 9.0}, {5.0, 2.0}};
+  std::vector<int> argmax;
+  Vec out = DynamicMaxPool::Forward(in, &argmax);
+  EXPECT_EQ(out, (Vec{5.0, 9.0}));
+  EXPECT_EQ(argmax, (std::vector<int>{1, 0}));
+}
+
+TEST(MaxPoolTest, BackwardRoutesToWinners) {
+  std::vector<int> argmax{1, 0};
+  std::vector<Vec> g = DynamicMaxPool::Backward({0.5, 0.25}, argmax, 2);
+  EXPECT_DOUBLE_EQ(g[1][0], 0.5);
+  EXPECT_DOUBLE_EQ(g[0][1], 0.25);
+  EXPECT_DOUBLE_EQ(g[0][0], 0.0);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize (x - 3)^2 for a single scalar parameter.
+  Param p(1, 1);
+  p.value(0, 0) = 0.0;
+  AdamOptions opt;
+  opt.learning_rate = 0.1;
+  Adam adam({&p}, opt);
+  for (int step = 0; step < 500; ++step) {
+    p.grad(0, 0) = 2.0 * (p.value(0, 0) - 3.0);
+    adam.Step(1);
+  }
+  EXPECT_NEAR(p.value(0, 0), 3.0, 0.01);
+}
+
+TEST(TcnnTest, FitsTinyDataset) {
+  Rng rng(10);
+  FlatPlan flat = SmallFlatPlan();
+  TcnnOptions opt;
+  opt.conv_channels = {8, 4};
+  opt.fc_hidden = {8};
+  opt.max_epochs = 800;
+  opt.adam.learning_rate = 5e-3;
+  opt.dropout_p = 0.0;  // deterministic fit for this test
+  opt.convergence_window = 10000;  // disable early stop
+  TcnnModel model(4, 3, opt);
+
+  // Four (query, hint) samples with distinct targets; same plan tree, so
+  // the embeddings must do the work: this checks the transductive part.
+  std::vector<TcnnSample> samples;
+  const double targets[4] = {1.0, 2.0, 3.0, 4.0};
+  for (int i = 0; i < 4; ++i) {
+    TcnnSample s;
+    s.flat = &flat;
+    s.query = i;
+    s.hint = i % 3;
+    s.target = targets[i];
+    samples.push_back(s);
+  }
+  const double final_loss = model.Train(samples);
+  EXPECT_LT(final_loss, 0.05);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(model.PredictLog(flat, i, i % 3), targets[i], 0.4);
+  }
+}
+
+TEST(TcnnTest, CensoredLossIgnoresPredictionsAboveThreshold) {
+  Rng rng(11);
+  FlatPlan flat = SmallFlatPlan();
+  TcnnOptions opt;
+  opt.conv_channels = {4};
+  opt.fc_hidden = {4};
+  opt.max_epochs = 200;
+  opt.dropout_p = 0.0;
+  opt.convergence_window = 1000;
+  TcnnModel model(2, 2, opt);
+
+  // One exact sample at 5.0 and one censored sample at threshold 1.0 for
+  // the same coordinates: the censored sample must not drag the prediction
+  // down to 1.0 (it is already above the threshold).
+  std::vector<TcnnSample> samples;
+  TcnnSample exact{&flat, 0, 0, 5.0, false};
+  TcnnSample censored{&flat, 0, 0, 1.0, true};
+  samples.push_back(exact);
+  samples.push_back(censored);
+  model.Train(samples);
+  EXPECT_NEAR(model.PredictLog(flat, 0, 0), 5.0, 0.5);
+}
+
+TEST(TcnnTest, GrowQueriesKeepsWorking) {
+  FlatPlan flat = SmallFlatPlan();
+  TcnnOptions opt;
+  opt.conv_channels = {4};
+  opt.fc_hidden = {4};
+  opt.max_epochs = 5;
+  TcnnModel model(3, 2, opt);
+  std::vector<TcnnSample> samples{{&flat, 0, 0, 2.0, false}};
+  model.Train(samples);
+  model.GrowQueries(6);
+  EXPECT_EQ(model.num_queries(), 6);
+  // New rows predict without crashing and training still works.
+  (void)model.PredictLog(flat, 5, 1);
+  samples.push_back({&flat, 5, 1, 3.0, false});
+  model.Train(samples);
+}
+
+TEST(TcnnTest, ParameterCountLargerWithEmbeddings) {
+  TcnnOptions with;
+  TcnnOptions without;
+  without.use_embeddings = false;
+  TcnnModel a(10, 5, with);
+  TcnnModel b(10, 5, without);
+  EXPECT_GT(a.NumParameters(), b.NumParameters());
+  EXPECT_GT(b.NumParameters(), 0);
+}
+
+}  // namespace
+}  // namespace limeqo::nn

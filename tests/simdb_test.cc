@@ -1,0 +1,485 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "simdb/catalog.h"
+#include "simdb/database.h"
+#include "simdb/hint.h"
+#include "simdb/latency_model.h"
+#include "simdb/plan_generator.h"
+#include "simdb/query.h"
+
+namespace limeqo::simdb {
+namespace {
+
+TEST(HintTest, ExactlyFortyNineValidHints) {
+  EXPECT_EQ(static_cast<int>(AllHints().size()), kNumHints);
+  std::set<int> bits;
+  for (const HintConfig& h : AllHints()) {
+    EXPECT_TRUE(h.IsValid()) << h.ToString();
+    bits.insert(h.ToBits());
+  }
+  EXPECT_EQ(bits.size(), 49u);  // all distinct
+}
+
+TEST(HintTest, DefaultIsIndexZero) {
+  EXPECT_TRUE(AllHints()[0].IsDefault());
+  for (size_t i = 1; i < AllHints().size(); ++i) {
+    EXPECT_FALSE(AllHints()[i].IsDefault());
+  }
+}
+
+TEST(HintTest, InvalidConfigurationsRejected) {
+  HintConfig no_joins;
+  no_joins.enable_hash_join = no_joins.enable_merge_join =
+      no_joins.enable_nested_loop_join = false;
+  EXPECT_FALSE(no_joins.IsValid());
+  EXPECT_EQ(HintIndex(no_joins), -1);
+
+  HintConfig no_scans;
+  no_scans.enable_seq_scan = no_scans.enable_index_scan =
+      no_scans.enable_index_only_scan = false;
+  EXPECT_FALSE(no_scans.IsValid());
+}
+
+TEST(HintTest, BitsRoundTrip) {
+  for (const HintConfig& h : AllHints()) {
+    EXPECT_TRUE(HintConfig::FromBits(h.ToBits()) == h);
+  }
+}
+
+TEST(HintTest, HintIndexInverseOfAllHints) {
+  for (int i = 0; i < kNumHints; ++i) {
+    EXPECT_EQ(HintIndex(AllHints()[i]), i);
+  }
+}
+
+TEST(CatalogTest, RandomCatalogInBounds) {
+  Rng rng(1);
+  Catalog c = Catalog::Random(30, &rng, 1e3, 1e6);
+  EXPECT_EQ(c.num_tables(), 30);
+  for (const TableStats& t : c.tables()) {
+    EXPECT_GE(t.num_rows, 1e3);
+    EXPECT_LE(t.num_rows, 1e6);
+    EXPECT_GT(t.row_width, 0.0);
+  }
+}
+
+TEST(QueryGeneratorTest, GeneratesConnectedJoinQueries) {
+  Rng rng(2);
+  Catalog c = Catalog::Random(20, &rng);
+  QueryGenerator gen(&c, 2, 6);
+  for (int i = 0; i < 50; ++i) {
+    QuerySpec q = gen.Generate(&rng);
+    EXPECT_EQ(q.id, i);
+    EXPECT_GE(q.num_tables(), 2);
+    EXPECT_LE(q.num_tables(), 6);
+    EXPECT_EQ(static_cast<int>(q.selectivities.size()), q.num_tables());
+    EXPECT_EQ(static_cast<int>(q.join_selectivities.size()), q.num_joins());
+    std::set<int> distinct(q.table_ids.begin(), q.table_ids.end());
+    EXPECT_EQ(static_cast<int>(distinct.size()), q.num_tables());
+    for (double s : q.selectivities) {
+      EXPECT_GT(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, EtlQueryJoinsLargestTables) {
+  Rng rng(3);
+  Catalog c = Catalog::Random(10, &rng);
+  QueryGenerator gen(&c, 2, 4);
+  QuerySpec q = gen.GenerateEtl(&rng);
+  EXPECT_EQ(q.query_class, QueryClass::kEtl);
+  EXPECT_EQ(q.num_tables(), 2);
+  EXPECT_DOUBLE_EQ(q.selectivities[0], 1.0);  // exports everything
+}
+
+TEST(PlanGeneratorTest, PlansRespectHints) {
+  Rng rng(4);
+  Catalog c = Catalog::Random(15, &rng);
+  QueryGenerator qgen(&c, 3, 5);
+  PlanGenerator pgen(&c);
+  QuerySpec q = qgen.Generate(&rng);
+
+  // Under a nested-loop-only hint every join must be a nested loop.
+  HintConfig nl_only;
+  nl_only.enable_hash_join = false;
+  nl_only.enable_merge_join = false;
+  auto plan = pgen.BuildPlan(q, nl_only);
+  ASSERT_TRUE(plan::ValidatePlan(*plan).ok());
+  std::function<void(const plan::PlanNode&)> check =
+      [&](const plan::PlanNode& node) {
+        if (plan::IsJoin(node.op)) {
+          EXPECT_EQ(node.op, plan::Operator::kNestedLoopJoin);
+          check(*node.left);
+          check(*node.right);
+        }
+      };
+  check(*plan);
+}
+
+TEST(PlanGeneratorTest, SeqOnlyHintForcesSeqScans) {
+  Rng rng(5);
+  Catalog c = Catalog::Random(15, &rng);
+  QueryGenerator qgen(&c, 2, 4);
+  PlanGenerator pgen(&c);
+  HintConfig seq_only;
+  seq_only.enable_index_scan = false;
+  seq_only.enable_index_only_scan = false;
+  for (int i = 0; i < 10; ++i) {
+    QuerySpec q = qgen.Generate(&rng);
+    auto plan = pgen.BuildPlan(q, seq_only);
+    std::function<void(const plan::PlanNode&)> check =
+        [&](const plan::PlanNode& node) {
+          if (plan::IsScan(node.op)) {
+            EXPECT_EQ(node.op, plan::Operator::kSeqScan);
+          } else {
+            check(*node.left);
+            check(*node.right);
+          }
+        };
+    check(*plan);
+  }
+}
+
+TEST(PlanGeneratorTest, PlanHasOneScanPerTable) {
+  Rng rng(6);
+  Catalog c = Catalog::Random(15, &rng);
+  QueryGenerator qgen(&c, 4, 4);
+  PlanGenerator pgen(&c);
+  QuerySpec q = qgen.Generate(&rng);
+  auto plan = pgen.BuildPlan(q, HintConfig{});
+  EXPECT_EQ(plan->NumNodes(), 2 * q.num_tables() - 1);
+}
+
+TEST(LatencyModelTest, CalibrationHitsTargets) {
+  Rng rng(7);
+  LatencyModelOptions opt;
+  opt.target_default_total = 1000.0;
+  opt.target_optimal_total = 400.0;
+  StatusOr<LatencyModel> model = LatencyModel::Create(200, 49, opt, &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->DefaultTotal(), 1000.0, 1.0);
+  EXPECT_NEAR(model->OptimalTotal(), 400.0, 4.0);
+}
+
+TEST(LatencyModelTest, RejectsInfeasibleTargets) {
+  Rng rng(8);
+  LatencyModelOptions opt;
+  opt.target_default_total = 100.0;
+  opt.target_optimal_total = 100.0;  // optimal must be < default
+  EXPECT_FALSE(LatencyModel::Create(50, 49, opt, &rng).ok());
+  opt.target_optimal_total = -5.0;
+  EXPECT_FALSE(LatencyModel::Create(50, 49, opt, &rng).ok());
+}
+
+TEST(LatencyModelTest, AllLatenciesPositive) {
+  Rng rng(9);
+  LatencyModelOptions opt;
+  opt.target_default_total = 500.0;
+  opt.target_optimal_total = 200.0;
+  StatusOr<LatencyModel> model = LatencyModel::Create(100, 49, opt, &rng);
+  ASSERT_TRUE(model.ok());
+  for (int i = 0; i < model->num_queries(); ++i) {
+    for (int j = 0; j < model->num_hints(); ++j) {
+      EXPECT_GT(model->TrueLatency(i, j), 0.0);
+    }
+  }
+}
+
+TEST(LatencyModelTest, EtlRowsAreHintInsensitive) {
+  Rng rng(10);
+  LatencyModelOptions opt;
+  opt.etl_fraction = 0.5;
+  opt.target_default_total = 500.0;
+  // Roughly half the default total is pinned by hint-insensitive ETL rows,
+  // so the optimal target must stay above that floor.
+  opt.target_optimal_total = 420.0;
+  StatusOr<LatencyModel> model = LatencyModel::Create(100, 20, opt, &rng);
+  ASSERT_TRUE(model.ok());
+  int etl_count = 0;
+  for (int i = 0; i < model->num_queries(); ++i) {
+    if (!model->IsEtl(i)) continue;
+    ++etl_count;
+    const double base = model->TrueLatency(i, 0);
+    for (int j = 1; j < model->num_hints(); ++j) {
+      // Only observation noise separates hints on ETL rows.
+      EXPECT_NEAR(model->TrueLatency(i, j) / base, 1.0, 0.25);
+    }
+  }
+  EXPECT_GT(etl_count, 20);
+}
+
+TEST(LatencyModelTest, DriftChangesOptimalHintsMonotonically) {
+  Rng rng(11);
+  LatencyModelOptions opt;
+  opt.target_default_total = 2000.0;
+  opt.target_optimal_total = 800.0;
+  StatusOr<LatencyModel> model = LatencyModel::Create(300, 49, opt, &rng);
+  ASSERT_TRUE(model.ok());
+
+  auto changed_fraction = [&](double severity) {
+    DriftOptions d;
+    d.severity = severity;
+    d.seed = 99;
+    LatencyModel drifted = model->Drifted(d);
+    int changed = 0;
+    for (int i = 0; i < model->num_queries(); ++i) {
+      changed += model->OptimalHint(i) != drifted.OptimalHint(i);
+    }
+    return static_cast<double>(changed) / model->num_queries();
+  };
+
+  const double small = changed_fraction(0.01);
+  const double large = changed_fraction(0.5);
+  EXPECT_LE(small, 0.15);
+  EXPECT_GT(large, small);
+}
+
+TEST(LatencyModelTest, DriftPreservesCalibrationTargets) {
+  Rng rng(12);
+  LatencyModelOptions opt;
+  opt.target_default_total = 1000.0;
+  opt.target_optimal_total = 500.0;
+  StatusOr<LatencyModel> model = LatencyModel::Create(150, 49, opt, &rng);
+  ASSERT_TRUE(model.ok());
+  DriftOptions d;
+  d.severity = 0.3;
+  d.new_default_total = 1300.0;
+  d.new_optimal_total = 700.0;
+  LatencyModel drifted = model->Drifted(d);
+  EXPECT_NEAR(drifted.DefaultTotal(), 1300.0, 2.0);
+  EXPECT_NEAR(drifted.OptimalTotal(), 700.0, 7.0);
+}
+
+TEST(LatencyModelTest, AppendEtlQueryAddsFlatRow) {
+  Rng rng(13);
+  LatencyModelOptions opt;
+  opt.target_default_total = 100.0;
+  opt.target_optimal_total = 50.0;
+  StatusOr<LatencyModel> model = LatencyModel::Create(20, 10, opt, &rng);
+  ASSERT_TRUE(model.ok());
+  model->AppendEtlQuery(576.5, &rng);
+  EXPECT_EQ(model->num_queries(), 21);
+  EXPECT_TRUE(model->IsEtl(20));
+  for (int j = 0; j < model->num_hints(); ++j) {
+    EXPECT_NEAR(model->TrueLatency(20, j), 576.5, 576.5 * 0.2);
+  }
+}
+
+DatabaseOptions SmallDbOptions() {
+  DatabaseOptions opt;
+  opt.num_tables = 15;
+  opt.latency.target_default_total = 400.0;
+  opt.latency.target_optimal_total = 150.0;
+  opt.seed = 77;
+  return opt;
+}
+
+TEST(SimulatedDatabaseTest, CreateAndBasicShape) {
+  StatusOr<SimulatedDatabase> db =
+      SimulatedDatabase::Create(60, SmallDbOptions());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_queries(), 60);
+  EXPECT_EQ(db->num_hints(), kNumHints);
+  EXPECT_NEAR(db->DefaultTotal(), 400.0, 1.0);
+  EXPECT_NEAR(db->OptimalTotal(), 150.0, 2.0);
+}
+
+TEST(SimulatedDatabaseTest, ExecuteWithoutTimeoutReturnsTruth) {
+  StatusOr<SimulatedDatabase> db =
+      SimulatedDatabase::Create(20, SmallDbOptions());
+  ASSERT_TRUE(db.ok());
+  ExecutionResult r = db->Execute(3, 7, 0.0);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_DOUBLE_EQ(r.observed_latency, db->TrueLatency(3, 7));
+}
+
+TEST(SimulatedDatabaseTest, ExecuteTimesOutSlowPlans) {
+  StatusOr<SimulatedDatabase> db =
+      SimulatedDatabase::Create(20, SmallDbOptions());
+  ASSERT_TRUE(db.ok());
+  const double truth = db->TrueLatency(5, 11);
+  ExecutionResult r = db->Execute(5, 11, truth * 0.5);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_DOUBLE_EQ(r.observed_latency, truth * 0.5);
+  // A generous timeout does not fire.
+  ExecutionResult ok = db->Execute(5, 11, truth * 2.0);
+  EXPECT_FALSE(ok.timed_out);
+}
+
+TEST(SimulatedDatabaseTest, OptimizerCostCorrelatesWithLatency) {
+  StatusOr<SimulatedDatabase> db =
+      SimulatedDatabase::Create(100, SmallDbOptions());
+  ASSERT_TRUE(db.ok());
+  // Spearman-free check: log-cost vs log-latency correlation is clearly
+  // positive but imperfect (cost-model error).
+  std::vector<double> lat, cost;
+  for (int i = 0; i < db->num_queries(); ++i) {
+    for (int j = 0; j < db->num_hints(); j += 7) {
+      lat.push_back(std::log(db->TrueLatency(i, j)));
+      cost.push_back(std::log(db->OptimizerCost(i, j)));
+    }
+  }
+  double mean_l = 0, mean_c = 0;
+  for (size_t i = 0; i < lat.size(); ++i) {
+    mean_l += lat[i];
+    mean_c += cost[i];
+  }
+  mean_l /= lat.size();
+  mean_c /= cost.size();
+  double num = 0, dl = 0, dc = 0;
+  for (size_t i = 0; i < lat.size(); ++i) {
+    num += (lat[i] - mean_l) * (cost[i] - mean_c);
+    dl += (lat[i] - mean_l) * (lat[i] - mean_l);
+    dc += (cost[i] - mean_c) * (cost[i] - mean_c);
+  }
+  const double corr = num / std::sqrt(dl * dc);
+  EXPECT_GT(corr, 0.5);
+  EXPECT_LT(corr, 0.999);
+}
+
+TEST(SimulatedDatabaseTest, PlanIsCachedAndCostAnchored) {
+  StatusOr<SimulatedDatabase> db =
+      SimulatedDatabase::Create(10, SmallDbOptions());
+  ASSERT_TRUE(db.ok());
+  const plan::PlanNode& p1 = db->Plan(2, 3);
+  const plan::PlanNode& p2 = db->Plan(2, 3);
+  EXPECT_EQ(&p1, &p2);  // cached
+  EXPECT_NEAR(p1.est_cost, db->OptimizerCost(2, 3), 1e-6);
+  EXPECT_TRUE(plan::ValidatePlan(p1).ok());
+}
+
+TEST(SimulatedDatabaseTest, AppendEtlQueryGrowsEverything) {
+  StatusOr<SimulatedDatabase> db =
+      SimulatedDatabase::Create(10, SmallDbOptions());
+  ASSERT_TRUE(db.ok());
+  const int idx = db->AppendEtlQuery(576.5);
+  EXPECT_EQ(idx, 10);
+  EXPECT_EQ(db->num_queries(), 11);
+  EXPECT_TRUE(db->IsEtl(idx));
+  EXPECT_GT(db->OptimizerCost(idx, 5), 0.0);
+  EXPECT_TRUE(plan::ValidatePlan(db->Plan(idx, 5)).ok());
+}
+
+TEST(SimulatedDatabaseTest, ApplyDriftKeepsShapeAndRefreshesPlans) {
+  StatusOr<SimulatedDatabase> db =
+      SimulatedDatabase::Create(10, SmallDbOptions());
+  ASSERT_TRUE(db.ok());
+  const double before = db->TrueLatency(1, 1);
+  DriftOptions d;
+  d.severity = 0.5;
+  d.new_default_total = 500.0;
+  d.new_optimal_total = 200.0;
+  db->ApplyDrift(d);
+  EXPECT_EQ(db->num_queries(), 10);
+  EXPECT_NEAR(db->DefaultTotal(), 500.0, 1.0);
+  // Plans rebuilt against new costs.
+  EXPECT_NEAR(db->Plan(1, 1).est_cost, db->OptimizerCost(1, 1), 1e-6);
+  (void)before;
+}
+
+/// Determinism sweep: the same seed gives the same database.
+class SimDbDeterminism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimDbDeterminism, SameSeedSameLatencies) {
+  DatabaseOptions opt = SmallDbOptions();
+  opt.seed = GetParam();
+  StatusOr<SimulatedDatabase> a = SimulatedDatabase::Create(25, opt);
+  StatusOr<SimulatedDatabase> b = SimulatedDatabase::Create(25, opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int i = 0; i < 25; ++i) {
+    for (int j = 0; j < kNumHints; ++j) {
+      EXPECT_DOUBLE_EQ(a->TrueLatency(i, j), b->TrueLatency(i, j));
+      EXPECT_DOUBLE_EQ(a->OptimizerCost(i, j), b->OptimizerCost(i, j));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimDbDeterminism,
+                         ::testing::Values(1, 42, 1234, 987654321));
+
+TEST(LatencyModelTest, BadPlanCapBoundsWorstRatio) {
+  Rng rng(14);
+  LatencyModelOptions opt;
+  opt.target_default_total = 500.0;
+  opt.target_optimal_total = 200.0;
+  opt.bad_plan_cap = 4.0;
+  opt.noise_sigma = 0.0;  // isolate the cap from observation noise
+  StatusOr<LatencyModel> model = LatencyModel::Create(120, 49, opt, &rng);
+  ASSERT_TRUE(model.ok());
+  for (int i = 0; i < model->num_queries(); ++i) {
+    const double d = model->TrueLatency(i, 0);
+    for (int j = 0; j < model->num_hints(); ++j) {
+      EXPECT_LE(model->TrueLatency(i, j), 4.0 * d * 1.0001)
+          << "query " << i << " hint " << j;
+    }
+  }
+}
+
+TEST(LatencyModelTest, HeadroomSkewConcentratesGains) {
+  // With a heavy-tailed improvability distribution, a minority of queries
+  // holds the majority of the total achievable gain.
+  Rng rng(15);
+  LatencyModelOptions opt;
+  opt.target_default_total = 1000.0;
+  opt.target_optimal_total = 500.0;
+  opt.headroom_sigma = 1.2;
+  StatusOr<LatencyModel> skewed = LatencyModel::Create(300, 49, opt, &rng);
+  ASSERT_TRUE(skewed.ok());
+
+  std::vector<double> gains;
+  double total_gain = 0.0;
+  for (int i = 0; i < skewed->num_queries(); ++i) {
+    const double g =
+        skewed->TrueLatency(i, 0) - skewed->matrix().RowMin(i);
+    gains.push_back(g);
+    total_gain += g;
+  }
+  std::sort(gains.rbegin(), gains.rend());
+  double top_decile = 0.0;
+  for (int i = 0; i < skewed->num_queries() / 10; ++i) top_decile += gains[i];
+  // The top 10% of queries carry more than a third of the total gain.
+  EXPECT_GT(top_decile / total_gain, 0.34);
+}
+
+TEST(SimulatedDatabaseTest, EquivalentHintsShareExactLatency) {
+  DatabaseOptions opt = SmallDbOptions();
+  StatusOr<SimulatedDatabase> db = SimulatedDatabase::Create(20, opt);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < kNumHints; ++j) {
+      for (int eq : db->EquivalentHints(i, j)) {
+        EXPECT_DOUBLE_EQ(db->TrueLatency(i, j), db->TrueLatency(i, eq));
+        EXPECT_DOUBLE_EQ(db->OptimizerCost(i, j), db->OptimizerCost(i, eq));
+      }
+    }
+  }
+}
+
+TEST(SimulatedDatabaseTest, EquivalenceClassesArePartitions) {
+  DatabaseOptions opt = SmallDbOptions();
+  StatusOr<SimulatedDatabase> db = SimulatedDatabase::Create(10, opt);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 10; ++i) {
+    std::set<int> seen;
+    int covered = 0;
+    for (int j = 0; j < kNumHints; ++j) {
+      const int rep = db->RepresentativeHint(i, j);
+      if (!seen.insert(rep).second) continue;
+      const std::vector<int> cls = db->EquivalentHints(i, rep);
+      covered += static_cast<int>(cls.size());
+      // Every member maps back to the same representative.
+      for (int m : cls) EXPECT_EQ(db->RepresentativeHint(i, m), rep);
+    }
+    EXPECT_EQ(covered, kNumHints);
+  }
+}
+
+}  // namespace
+}  // namespace limeqo::simdb

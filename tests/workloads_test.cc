@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.h"
+
+namespace limeqo::workloads {
+namespace {
+
+TEST(WorkloadSpecTest, TableOneValues) {
+  const WorkloadSpec& job = GetSpec(WorkloadId::kJob);
+  EXPECT_EQ(job.num_queries, 113);
+  EXPECT_DOUBLE_EQ(job.default_total_seconds, 181.0);
+  EXPECT_DOUBLE_EQ(job.optimal_total_seconds, 68.0);
+
+  const WorkloadSpec& ceb = GetSpec(WorkloadId::kCeb);
+  EXPECT_EQ(ceb.num_queries, 3133);
+  EXPECT_NEAR(ceb.default_total_seconds / 3600.0, 2.94, 1e-9);
+
+  const WorkloadSpec& stack = GetSpec(WorkloadId::kStack);
+  EXPECT_EQ(stack.num_queries, 6191);
+
+  const WorkloadSpec& dsb = GetSpec(WorkloadId::kDsb);
+  EXPECT_EQ(dsb.num_queries, 1040);
+  EXPECT_NEAR(dsb.optimal_total_seconds / 3600.0, 2.74, 1e-9);
+}
+
+TEST(WorkloadSpecTest, EveryWorkloadHasHeadroom) {
+  for (const WorkloadSpec& spec : AllWorkloadSpecs()) {
+    const double headroom =
+        spec.default_total_seconds / spec.optimal_total_seconds;
+    EXPECT_GT(headroom, 1.2) << spec.name;
+    EXPECT_LT(headroom, 3.0) << spec.name;
+  }
+}
+
+TEST(MakeWorkloadTest, JobCalibration) {
+  StatusOr<simdb::SimulatedDatabase> db = MakeWorkload(WorkloadId::kJob);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_queries(), 113);
+  EXPECT_NEAR(db->DefaultTotal(), 181.0, 1.0);
+  EXPECT_NEAR(db->OptimalTotal(), 68.0, 1.0);
+}
+
+TEST(MakeWorkloadTest, ScaleSubsamplesProportionally) {
+  StatusOr<simdb::SimulatedDatabase> db =
+      MakeWorkload(WorkloadId::kCeb, 0.05);
+  ASSERT_TRUE(db.ok());
+  const WorkloadSpec& spec = GetSpec(WorkloadId::kCeb);
+  const double frac =
+      static_cast<double>(db->num_queries()) / spec.num_queries;
+  EXPECT_NEAR(frac, 0.05, 0.01);
+  EXPECT_NEAR(db->DefaultTotal(), spec.default_total_seconds * frac, 2.0);
+  EXPECT_NEAR(db->OptimalTotal(), spec.optimal_total_seconds * frac, 4.0);
+}
+
+TEST(MakeWorkloadTest, RejectsBadScale) {
+  EXPECT_FALSE(MakeWorkload(WorkloadId::kJob, 0.0).ok());
+  EXPECT_FALSE(MakeWorkload(WorkloadId::kJob, 1.5).ok());
+}
+
+TEST(MakeWorkloadTest, StackHasEtlRows) {
+  StatusOr<simdb::SimulatedDatabase> db =
+      MakeWorkload(WorkloadId::kStack, 0.05);
+  ASSERT_TRUE(db.ok());
+  int etl = 0;
+  for (int i = 0; i < db->num_queries(); ++i) etl += db->IsEtl(i);
+  EXPECT_GT(etl, 0);
+}
+
+TEST(Fig10Test, DriftIntervalsAreMonotone) {
+  const auto& intervals = Fig10DriftIntervals();
+  ASSERT_EQ(intervals.size(), 8u);
+  for (size_t i = 0; i + 1 < intervals.size(); ++i) {
+    EXPECT_LT(intervals[i].severity, intervals[i + 1].severity);
+    EXPECT_LE(intervals[i].paper_changed_percent,
+              intervals[i + 1].paper_changed_percent);
+  }
+}
+
+/// Calibration sweep over all four Table 1 workloads at reduced scale.
+class CalibrationSweep : public ::testing::TestWithParam<WorkloadId> {};
+
+TEST_P(CalibrationSweep, TargetsHit) {
+  const WorkloadSpec& spec = GetSpec(GetParam());
+  const double scale = spec.num_queries > 500 ? 0.1 : 1.0;
+  StatusOr<simdb::SimulatedDatabase> db = MakeWorkload(GetParam(), scale);
+  ASSERT_TRUE(db.ok());
+  const double frac =
+      static_cast<double>(db->num_queries()) / spec.num_queries;
+  EXPECT_NEAR(db->DefaultTotal() / (spec.default_total_seconds * frac), 1.0,
+              0.01);
+  EXPECT_NEAR(db->OptimalTotal() / (spec.optimal_total_seconds * frac), 1.0,
+              0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, CalibrationSweep,
+                         ::testing::Values(WorkloadId::kJob, WorkloadId::kCeb,
+                                           WorkloadId::kStack,
+                                           WorkloadId::kDsb,
+                                           WorkloadId::kStack2017));
+
+/// Cross-scale calibration sweep: headroom (Default/Optimal) must be
+/// preserved by subsampling at every scale, for every workload.
+struct ScaleParam {
+  WorkloadId id;
+  double scale;
+};
+
+class ScaleSweep : public ::testing::TestWithParam<ScaleParam> {};
+
+TEST_P(ScaleSweep, HeadroomPreservedUnderSubsampling) {
+  const WorkloadSpec& spec = GetSpec(GetParam().id);
+  StatusOr<simdb::SimulatedDatabase> db =
+      MakeWorkload(GetParam().id, GetParam().scale, /*seed=*/17);
+  ASSERT_TRUE(db.ok());
+  const double target_headroom =
+      spec.default_total_seconds / spec.optimal_total_seconds;
+  const double headroom = db->DefaultTotal() / db->OptimalTotal();
+  EXPECT_NEAR(headroom, target_headroom, 0.05 * target_headroom);
+  // The per-query average default latency is scale-invariant.
+  const double avg_target = spec.default_total_seconds / spec.num_queries;
+  EXPECT_NEAR(db->DefaultTotal() / db->num_queries(), avg_target,
+              0.05 * avg_target);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadsAndScales, ScaleSweep,
+    ::testing::Values(ScaleParam{WorkloadId::kJob, 0.5},
+                      ScaleParam{WorkloadId::kCeb, 0.05},
+                      ScaleParam{WorkloadId::kCeb, 0.2},
+                      ScaleParam{WorkloadId::kStack, 0.05},
+                      ScaleParam{WorkloadId::kDsb, 0.1},
+                      ScaleParam{WorkloadId::kStack2017, 0.05}));
+
+TEST(MakeWorkloadTest, DifferentSeedsGiveDifferentInstances) {
+  StatusOr<simdb::SimulatedDatabase> a = MakeWorkload(WorkloadId::kJob, 1.0, 1);
+  StatusOr<simdb::SimulatedDatabase> b = MakeWorkload(WorkloadId::kJob, 1.0, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  int differing = 0;
+  for (int i = 0; i < a->num_queries(); ++i) {
+    if (a->TrueLatency(i, 0) != b->TrueLatency(i, 0)) ++differing;
+  }
+  EXPECT_GT(differing, a->num_queries() / 2);
+}
+
+TEST(Fig10Test, SeveritiesStayWithinDriftRange) {
+  for (const DriftInterval& interval : Fig10DriftIntervals()) {
+    EXPECT_GT(interval.severity, 0.0) << interval.label;
+    EXPECT_LE(interval.severity, 1.0) << interval.label;
+  }
+}
+
+}  // namespace
+}  // namespace limeqo::workloads

@@ -1,0 +1,191 @@
+// limeqo_sim: command-line driver for offline exploration on the simulated
+// workloads, with workload-matrix persistence so exploration can be run in
+// increments across invocations (the deployment pattern of Fig. 2's offline
+// path: explore during idle windows, keep the matrix on disk in between).
+//
+// Examples:
+//   # Explore CEB at 20% scale with LimeQO for half the default time.
+//   limeqo_sim --workload=ceb --scale=0.2 --policy=limeqo --budget=0.5 \
+//              --save=ceb_matrix.txt
+//   # Continue where the previous run left off.
+//   limeqo_sim --workload=ceb --scale=0.2 --policy=limeqo --budget=0.5 \
+//              --load=ceb_matrix.txt --save=ceb_matrix.txt
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/explorer.h"
+#include "core/serialization.h"
+#include "core/simdb_backend.h"
+#include "workloads/workloads.h"
+
+namespace limeqo {
+namespace {
+
+struct Args {
+  std::string workload = "job";
+  double scale = 1.0;
+  std::string policy = "limeqo";
+  double budget = 1.0;  // multiples of the default workload time
+  uint64_t seed = 42;
+  std::string load;
+  std::string save;
+  bool list = false;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: limeqo_sim [--workload=job|ceb|stack|dsb|stack2017]\n"
+      "                  [--scale=F] [--seed=N]\n"
+      "                  [--policy=limeqo|limeqo+|greedy|random|qo-advisor|"
+      "bao-cache|tcnn]\n"
+      "                  [--budget=F]   exploration budget, x default time\n"
+      "                  [--load=PATH]  resume from a saved matrix\n"
+      "                  [--save=PATH]  save the matrix afterwards\n"
+      "                  [--list]      list workloads and exit\n");
+}
+
+bool Parse(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--workload=")) {
+      args->workload = v;
+    } else if (const char* v = value("--scale=")) {
+      args->scale = std::atof(v);
+    } else if (const char* v = value("--policy=")) {
+      args->policy = v;
+    } else if (const char* v = value("--budget=")) {
+      args->budget = std::atof(v);
+    } else if (const char* v = value("--seed=")) {
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--load=")) {
+      args->load = v;
+    } else if (const char* v = value("--save=")) {
+      args->save = v;
+    } else if (arg == "--list") {
+      args->list = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<workloads::WorkloadId> ParseWorkload(const std::string& name) {
+  if (name == "job") return workloads::WorkloadId::kJob;
+  if (name == "ceb") return workloads::WorkloadId::kCeb;
+  if (name == "stack") return workloads::WorkloadId::kStack;
+  if (name == "dsb") return workloads::WorkloadId::kDsb;
+  if (name == "stack2017") return workloads::WorkloadId::kStack2017;
+  return Status::InvalidArgument("unknown workload: " + name);
+}
+
+StatusOr<bench::Technique> ParseTechnique(const std::string& name) {
+  if (name == "limeqo") return bench::Technique::kLimeQo;
+  if (name == "limeqo+") return bench::Technique::kLimeQoPlus;
+  if (name == "greedy") return bench::Technique::kGreedy;
+  if (name == "random") return bench::Technique::kRandom;
+  if (name == "qo-advisor") return bench::Technique::kQoAdvisor;
+  if (name == "bao-cache") return bench::Technique::kBaoCache;
+  if (name == "tcnn") return bench::Technique::kTcnn;
+  return Status::InvalidArgument("unknown policy: " + name);
+}
+
+int Run(const Args& args) {
+  if (args.list) {
+    for (const workloads::WorkloadSpec& spec : workloads::AllWorkloadSpecs()) {
+      std::printf("%-10s %5d queries  default %8.0f s  optimal %8.0f s\n",
+                  spec.name.c_str(), spec.num_queries,
+                  spec.default_total_seconds, spec.optimal_total_seconds);
+    }
+    return 0;
+  }
+
+  StatusOr<workloads::WorkloadId> id = ParseWorkload(args.workload);
+  if (!id.ok()) {
+    std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+    return 2;
+  }
+  StatusOr<bench::Technique> technique = ParseTechnique(args.policy);
+  if (!technique.ok()) {
+    std::fprintf(stderr, "%s\n", technique.status().ToString().c_str());
+    return 2;
+  }
+  StatusOr<simdb::SimulatedDatabase> db =
+      workloads::MakeWorkload(*id, args.scale, args.seed);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 2;
+  }
+
+  core::SimDbBackend backend(&*db);
+  std::unique_ptr<core::ExplorationPolicy> policy =
+      bench::MakePolicy(*technique, &backend);
+  core::OfflineExplorer explorer(&backend, policy.get(),
+                                 core::ExplorerOptions{});
+
+  if (!args.load.empty()) {
+    StatusOr<core::WorkloadMatrix> loaded =
+        core::LoadWorkloadMatrixFromFile(args.load);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    if (loaded->num_queries() != db->num_queries() ||
+        loaded->num_hints() != db->num_hints()) {
+      std::fprintf(stderr,
+                   "loaded matrix shape %dx%d does not match workload "
+                   "%dx%d (same --workload/--scale/--seed?)\n",
+                   loaded->num_queries(), loaded->num_hints(),
+                   db->num_queries(), db->num_hints());
+      return 2;
+    }
+    explorer.mutable_matrix() = *loaded;
+    std::printf("resumed: %d complete / %d censored cells\n",
+                loaded->NumComplete(), loaded->NumCensored());
+  }
+
+  const double before = explorer.WorkloadLatency();
+  explorer.Explore(args.budget * db->DefaultTotal());
+  std::printf(
+      "%s on %s (n=%d): %.0f s -> %.0f s of %.0f s default (optimal %.0f "
+      "s)\n"
+      "offline time spent: %.0f s, model overhead: %.2f s\n",
+      policy->name().c_str(), args.workload.c_str(), db->num_queries(),
+      before, explorer.WorkloadLatency(), db->DefaultTotal(),
+      db->OptimalTotal(), explorer.offline_seconds(),
+      explorer.overhead_seconds());
+
+  if (!args.save.empty()) {
+    Status st = core::SaveWorkloadMatrixToFile(explorer.matrix(), args.save);
+    if (!st.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+      return 2;
+    }
+    std::printf("matrix saved to %s\n", args.save.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace limeqo
+
+int main(int argc, char** argv) {
+  limeqo::Args args;
+  if (!limeqo::Parse(argc, argv, &args)) {
+    limeqo::Usage();
+    return 2;
+  }
+  return limeqo::Run(args);
+}
