@@ -1,84 +1,97 @@
-// Google-benchmark micro-benchmarks for the per-step costs behind the
-// paper's overhead analysis (Figs. 7 and 13): one ALS completion, one SVD,
-// one TCNN training epoch + full inference pass, and one GP fit. These are
-// the primitives whose cost ratio produces the paper's "linear methods are
-// 360x cheaper" headline.
+// Micro-benchmarks for the per-step costs behind the paper's overhead
+// analysis (Figs. 7 and 13): the linalg kernels on the ALS/SVT hot path,
+// one full ALS completion at 1 and N threads, one SVD, one TCNN training
+// epoch + inference pass, and one GP fit. These are the primitives whose
+// cost ratio produces the paper's "linear methods are 360x cheaper"
+// headline.
+//
+// Results are written as machine-readable JSON (default BENCH_micro.json,
+// override with --json=<path>) so the perf trajectory is tracked commit to
+// commit. The rank-10 ALS completion of a 1000x49 matrix at 10% fill is the
+// acceptance workload for the threaded linalg core.
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
 #include <cmath>
-
+#include <cstdio>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bayesqo/gaussian_process.h"
 #include "bench/bench_util.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/als.h"
+#include "linalg/solve.h"
 #include "linalg/svd.h"
 #include "nn/tcnn.h"
-#include "nn/tcnn_predictor.h"
 #include "plan/featurize.h"
+#include "workloads/workloads.h"
 
 namespace limeqo::bench {
 namespace {
 
-/// Builds a workload matrix at the given scale with defaults plus a 10%
+/// A synthetic 1000x49 workload-shaped matrix: defaults observed plus a 10%
 /// random fill, the regime ALS sees during exploration.
-core::WorkloadMatrix MakeMatrix(const simdb::SimulatedDatabase& db,
-                                double fill) {
-  core::WorkloadMatrix w(db.num_queries(), db.num_hints());
+core::WorkloadMatrix MakeSyntheticMatrix(int n, int k, double fill) {
+  core::WorkloadMatrix w(n, k);
   Rng rng(5);
-  for (int i = 0; i < db.num_queries(); ++i) {
-    w.Observe(i, 0, db.TrueLatency(i, 0));
-    for (int j = 1; j < db.num_hints(); ++j) {
-      if (rng.Bernoulli(fill)) w.Observe(i, j, db.TrueLatency(i, j));
+  for (int i = 0; i < n; ++i) {
+    w.Observe(i, 0, rng.Uniform(0.1, 10.0));
+    for (int j = 1; j < k; ++j) {
+      if (rng.Bernoulli(fill)) w.Observe(i, j, rng.Uniform(0.01, 10.0));
     }
   }
   return w;
 }
 
-const simdb::SimulatedDatabase& Db(workloads::WorkloadId id, double scale) {
-  static simdb::SimulatedDatabase& job = *new simdb::SimulatedDatabase(
+void LinalgBenches(BenchReporter* reporter) {
+  Rng rng(7);
+  const linalg::Matrix a = linalg::Matrix::Random(1000, 49, &rng);
+  const linalg::Matrix b = linalg::Matrix::Random(49, 200, &rng);
+  const linalg::Matrix q = linalg::Matrix::Random(1000, 10, &rng);
+  const linalg::Matrix h = linalg::Matrix::Random(49, 10, &rng);
+  linalg::Matrix out;
+  long iters = 0;
+  double ns = TimeNsPerOp([&] { linalg::MultiplyInto(a, b, &out); }, 0.3,
+                          &iters);
+  reporter->Report("matmul_into_1000x49x200", ns, iters);
+
+  ns = TimeNsPerOp([&] { linalg::MultiplyTransposedInto(q, h, &out); }, 0.3,
+                   &iters);
+  reporter->Report("multiply_transposed_into_1000x10_49x10", ns, iters);
+
+  linalg::RidgeWorkspace ws;
+  linalg::Matrix x;
+  ns = TimeNsPerOp([&] { linalg::RidgeSolveInto(a, h, 0.2, &ws, &x); }, 0.3,
+                   &iters);
+  reporter->Report("ridge_solve_into_1000x49_rank10", ns, iters);
+
+  ns = TimeNsPerOp([&] { linalg::SingularValues(a); }, 0.3, &iters);
+  reporter->Report("svd_singular_values_1000x49", ns, iters);
+}
+
+void AlsBenches(BenchReporter* reporter) {
+  core::WorkloadMatrix w = MakeSyntheticMatrix(1000, 49, 0.1);
+  core::AlsOptions options;
+  options.rank = 10;
+  const int n_threads = std::max(
+      4, static_cast<int>(std::thread::hardware_concurrency()));
+  for (int threads : {1, n_threads}) {
+    SetNumThreads(threads);
+    core::AlsCompleter als(options);
+    long iters = 0;
+    const double ns = TimeNsPerOp([&] { (void)als.Complete(w); }, 1.0, &iters);
+    reporter->Report("als_complete_rank10_1000x49", ns, iters, threads);
+  }
+  SetNumThreads(1);
+}
+
+void NeuralAndGpBenches(BenchReporter* reporter) {
+  simdb::SimulatedDatabase db(
       std::move(workloads::MakeWorkload(workloads::WorkloadId::kJob, 1.0, 42))
           .value());
-  static simdb::SimulatedDatabase& ceb = *new simdb::SimulatedDatabase(
-      std::move(workloads::MakeWorkload(workloads::WorkloadId::kCeb, 0.25, 42))
-          .value());
-  (void)scale;
-  return id == workloads::WorkloadId::kJob ? job : ceb;
-}
 
-void BM_AlsCompleteJob(benchmark::State& state) {
-  const simdb::SimulatedDatabase& db = Db(workloads::WorkloadId::kJob, 1.0);
-  core::WorkloadMatrix w = MakeMatrix(db, 0.1);
-  core::AlsCompleter als;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(als.Complete(w));
-  }
-}
-BENCHMARK(BM_AlsCompleteJob)->Unit(benchmark::kMillisecond);
-
-void BM_AlsCompleteCebQuarter(benchmark::State& state) {
-  const simdb::SimulatedDatabase& db = Db(workloads::WorkloadId::kCeb, 0.25);
-  core::WorkloadMatrix w = MakeMatrix(db, 0.1);
-  core::AlsCompleter als;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(als.Complete(w));
-  }
-}
-BENCHMARK(BM_AlsCompleteCebQuarter)->Unit(benchmark::kMillisecond);
-
-void BM_SvdJobMatrix(benchmark::State& state) {
-  const simdb::SimulatedDatabase& db = Db(workloads::WorkloadId::kJob, 1.0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(linalg::SingularValues(db.true_matrix()));
-  }
-}
-BENCHMARK(BM_SvdJobMatrix)->Unit(benchmark::kMillisecond);
-
-void BM_TcnnTrainEpoch(benchmark::State& state) {
-  const simdb::SimulatedDatabase& db = Db(workloads::WorkloadId::kJob, 1.0);
   nn::TcnnOptions options = BenchTcnnOptions();
   options.max_epochs = 1;
   nn::TcnnModel model(db.num_queries(), db.num_hints(), options);
@@ -91,43 +104,55 @@ void BM_TcnnTrainEpoch(benchmark::State& state) {
     flats.push_back(
         std::make_unique<plan::FlatPlan>(plan::FlattenPlan(db.Plan(i, j))));
     samples.push_back(nn::TcnnSample{flats.back().get(), i, j,
-                                     std::log1p(db.TrueLatency(i, j)),
-                                     false});
+                                     std::log1p(db.TrueLatency(i, j)), false});
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model.Train(samples));
-  }
-}
-BENCHMARK(BM_TcnnTrainEpoch)->Unit(benchmark::kMillisecond);
+  long iters = 0;
+  double ns = TimeNsPerOp([&] { (void)model.Train(samples); }, 1.0, &iters);
+  reporter->Report("tcnn_train_epoch_128_samples", ns, iters);
 
-void BM_TcnnInference(benchmark::State& state) {
-  const simdb::SimulatedDatabase& db = Db(workloads::WorkloadId::kJob, 1.0);
-  nn::TcnnModel model(db.num_queries(), db.num_hints(), BenchTcnnOptions());
   plan::FlatPlan flat = plan::FlattenPlan(db.Plan(0, 1));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model.Predict(flat, 0, 1));
-  }
-}
-BENCHMARK(BM_TcnnInference)->Unit(benchmark::kMicrosecond);
+  ns = TimeNsPerOp([&] { (void)model.Predict(flat, 0, 1); }, 0.3, &iters);
+  reporter->Report("tcnn_inference", ns, iters);
 
-void BM_GaussianProcessFit(benchmark::State& state) {
-  Rng rng(11);
   std::vector<std::vector<double>> xs;
   std::vector<double> ys;
   for (int i = 0; i < 20; ++i) {
-    std::vector<double> x(6);
-    for (double& v : x) v = rng.Bernoulli(0.5) ? 1.0 : 0.0;
-    xs.push_back(x);
+    std::vector<double> xrow(6);
+    for (double& vv : xrow) vv = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    xs.push_back(xrow);
     ys.push_back(rng.Uniform(0.1, 10.0));
   }
-  for (auto _ : state) {
-    bayesqo::GaussianProcess gp{bayesqo::GpOptions{}};
-    benchmark::DoNotOptimize(gp.Fit(xs, ys));
-  }
+  ns = TimeNsPerOp(
+      [&] {
+        bayesqo::GaussianProcess gp{bayesqo::GpOptions{}};
+        (void)gp.Fit(xs, ys);
+      },
+      0.3, &iters);
+  reporter->Report("gaussian_process_fit_20x6", ns, iters);
 }
-BENCHMARK(BM_GaussianProcessFit)->Unit(benchmark::kMicrosecond);
+
+int Main(int argc, char** argv) {
+  const std::string json_path =
+      JsonPathFromArgs(argc, argv, "BENCH_micro.json");
+  PrintBanner("bench_micro",
+              "per-step costs of the exploration-loop primitives",
+              "ALS acceptance workload: rank-10, 1000x49, 10% fill");
+  BenchReporter reporter;
+  LinalgBenches(&reporter);
+  AlsBenches(&reporter);
+  NeuralAndGpBenches(&reporter);
+  if (!json_path.empty()) {
+    if (reporter.WriteJson(json_path)) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
 
 }  // namespace
 }  // namespace limeqo::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return limeqo::bench::Main(argc, argv); }

@@ -1,6 +1,7 @@
 #include "bench/bench_util.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "core/als.h"
@@ -160,6 +161,64 @@ std::vector<double> ResampleTrajectory(
     values.push_back(last);
   }
   return values;
+}
+
+void BenchReporter::Report(const std::string& name, double ns_per_op,
+                           long iterations, int threads) {
+  records_.push_back(BenchRecord{name, ns_per_op, iterations, threads});
+  if (ns_per_op >= 1e6) {
+    std::printf("%-40s %12.3f ms/op  (%ld iters, %d threads)\n", name.c_str(),
+                ns_per_op / 1e6, iterations, threads);
+  } else {
+    std::printf("%-40s %12.1f ns/op  (%ld iters, %d threads)\n", name.c_str(),
+                ns_per_op, iterations, threads);
+  }
+}
+
+bool BenchReporter::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const BenchRecord& r = records_[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ns_per_op\": %.1f, "
+                 "\"iterations\": %ld, \"threads\": %d}%s\n",
+                 r.name.c_str(), r.ns_per_op, r.iterations, r.threads,
+                 i + 1 < records_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+std::string JsonPathFromArgs(int argc, char** argv,
+                             const std::string& fallback) {
+  const std::string prefix = "--json=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+double TimeNsPerOp(const std::function<void()>& fn, double min_seconds,
+                   long* iterations_out) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warmup
+  long iterations = 0;
+  double elapsed = 0.0;
+  long batch = 1;
+  while (elapsed < min_seconds) {
+    const auto t0 = Clock::now();
+    for (long i = 0; i < batch; ++i) fn();
+    elapsed += std::chrono::duration<double>(Clock::now() - t0).count();
+    iterations += batch;
+    // Grow batches so the clock is read rarely once calls turn out cheap.
+    if (batch < (1L << 20)) batch *= 2;
+  }
+  if (iterations_out != nullptr) *iterations_out = iterations;
+  return elapsed * 1e9 / static_cast<double>(iterations);
 }
 
 void PrintBanner(const std::string& figure, const std::string& description,

@@ -1,6 +1,7 @@
 #ifndef LIMEQO_BENCH_BENCH_UTIL_H_
 #define LIMEQO_BENCH_BENCH_UTIL_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -86,6 +87,44 @@ std::vector<double> ResampleTrajectory(
 /// and which workload scale is in use.
 void PrintBanner(const std::string& figure, const std::string& description,
                  const std::string& scale_note);
+
+/// One timed measurement for the machine-readable bench output.
+struct BenchRecord {
+  std::string name;
+  double ns_per_op = 0.0;
+  long iterations = 0;
+  /// Thread-pool size the measurement ran with.
+  int threads = 1;
+};
+
+/// Collects BenchRecords, echoes each to stdout, and optionally writes the
+/// whole run as a JSON array so the perf trajectory can be tracked across
+/// commits (`--json=<path>`).
+class BenchReporter {
+ public:
+  /// Records a measurement and prints a one-line summary.
+  void Report(const std::string& name, double ns_per_op, long iterations,
+              int threads = 1);
+
+  /// Writes {"benchmarks": [...]} to `path`. Returns false on I/O error.
+  bool WriteJson(const std::string& path) const;
+
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+/// Extracts the value of a `--json=<path>` argument, or `fallback` when the
+/// flag is absent. Benches pass argc/argv straight through.
+std::string JsonPathFromArgs(int argc, char** argv,
+                             const std::string& fallback = "");
+
+/// Times `fn`, returning ns per call. Runs one warmup call, then repeats
+/// batches until `min_seconds` of measurement accumulate (at least one
+/// call). `iterations_out`, when non-null, receives the total timed calls.
+double TimeNsPerOp(const std::function<void()>& fn, double min_seconds = 0.3,
+                   long* iterations_out = nullptr);
 
 }  // namespace limeqo::bench
 

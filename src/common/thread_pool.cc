@@ -1,0 +1,134 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+namespace limeqo {
+namespace {
+
+// True while the current thread is executing a ParallelFor chunk; nested
+// calls run inline to avoid deadlocking a finite pool.
+thread_local bool t_in_parallel_region = false;
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("LIMEQO_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(DefaultNumThreads());
+  return *pool;
+}
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(num_threads, 1)) {
+  StartWorkers(num_threads_ - 1);
+}
+
+ThreadPool::~ThreadPool() { StopWorkers(); }
+
+void ThreadPool::SetNumThreads(int num_threads) {
+  num_threads = std::max(num_threads, 1);
+  if (num_threads == num_threads_) return;
+  StopWorkers();
+  num_threads_ = num_threads;
+  StartWorkers(num_threads_ - 1);
+}
+
+void ThreadPool::StartWorkers(int count) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = false;
+  }
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    t_in_parallel_region = true;
+    task.fn(task.begin, task.end);
+    t_in_parallel_region = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    task_done_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t, size_t)>& fn,
+                             size_t grain) {
+  if (begin >= end) return;
+  const size_t len = end - begin;
+  grain = std::max<size_t>(grain, 1);
+  size_t chunks = std::min<size_t>(num_threads_, (len + grain - 1) / grain);
+  if (chunks <= 1 || workers_.empty() || t_in_parallel_region) {
+    fn(begin, end);
+    return;
+  }
+  // Near-equal contiguous chunks; the first `rem` chunks get one extra index.
+  const size_t base = len / chunks;
+  const size_t rem = len % chunks;
+  std::vector<std::pair<size_t, size_t>> bounds;
+  bounds.reserve(chunks);
+  size_t at = begin;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t size_c = base + (c < rem ? 1 : 0);
+    bounds.emplace_back(at, at + size_c);
+    at += size_c;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t c = 1; c < chunks; ++c) {
+      queue_.push_back(Task{fn, bounds[c].first, bounds[c].second});
+      ++pending_;
+    }
+  }
+  task_ready_.notify_all();
+  // Run the first chunk on the calling thread.
+  t_in_parallel_region = true;
+  fn(bounds[0].first, bounds[0].second);
+  t_in_parallel_region = false;
+  std::unique_lock<std::mutex> lock(mu_);
+  task_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+int NumThreads() { return ThreadPool::Global().num_threads(); }
+
+void SetNumThreads(int num_threads) {
+  ThreadPool::Global().SetNumThreads(num_threads);
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& fn, size_t grain) {
+  ThreadPool::Global().ParallelFor(begin, end, fn, grain);
+}
+
+}  // namespace limeqo

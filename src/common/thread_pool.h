@@ -1,0 +1,89 @@
+#ifndef LIMEQO_COMMON_THREAD_POOL_H_
+#define LIMEQO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace limeqo {
+
+/// A fixed-size worker pool shared by all numeric kernels.
+///
+/// The only primitive is ParallelFor over a contiguous index range, split
+/// into one chunk per participating thread. Determinism contract: callers
+/// must make each index's result independent of the chunk boundaries (every
+/// output element is written by exactly one chunk, with a fixed inner
+/// accumulation order). Under that contract results are bitwise identical
+/// for any thread count, which the completion tests assert. Reductions must
+/// partition deterministically (fixed chunks combined in index order) and
+/// never use atomics; see the per-row residual reduction in
+/// SvtCompleter::Complete (src/core/svt.cc) for the pattern.
+class ThreadPool {
+ public:
+  /// The process-wide pool. Sized on first use from LIMEQO_THREADS if set,
+  /// else std::thread::hardware_concurrency().
+  static ThreadPool& Global();
+
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that participate in a ParallelFor (workers + the
+  /// calling thread).
+  int num_threads() const { return num_threads_; }
+
+  /// Resizes the pool. Used by tests to pin the thread count; not safe to
+  /// call concurrently with ParallelFor.
+  void SetNumThreads(int num_threads);
+
+  /// Invokes fn(chunk_begin, chunk_end) over a partition of [begin, end)
+  /// into at most num_threads() contiguous chunks and blocks until all
+  /// chunks complete. `grain` is the minimum chunk size: small ranges run
+  /// on fewer threads (or inline) so dispatch overhead never dominates.
+  /// Nested calls from inside a worker run inline on the caller.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t, size_t)>& fn,
+                   size_t grain = 1);
+
+ private:
+  struct Task {
+    std::function<void(size_t, size_t)> fn;
+    size_t begin = 0;
+    size_t end = 0;
+  };
+
+  void WorkerLoop();
+  void StartWorkers(int count);
+  void StopWorkers();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable task_done_;
+  std::vector<Task> queue_;
+  int pending_ = 0;  // submitted but not yet finished tasks
+  bool shutting_down_ = false;
+};
+
+/// Threads participating in Global() ParallelFor calls.
+int NumThreads();
+
+/// Pins the global pool to `num_threads` (>= 1). Tests use this to compare
+/// single- and multi-threaded results.
+void SetNumThreads(int num_threads);
+
+/// ParallelFor on the global pool.
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& fn,
+                 size_t grain = 1);
+
+}  // namespace limeqo
+
+#endif  // LIMEQO_COMMON_THREAD_POOL_H_

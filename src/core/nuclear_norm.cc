@@ -1,6 +1,8 @@
 #include "core/nuclear_norm.h"
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "linalg/svd.h"
 
@@ -32,20 +34,35 @@ StatusOr<linalg::Matrix> NuclearNormCompleter::Complete(
   const double mu_final = options_.mu_fraction * sv[0];
 
   linalg::Matrix x = zero_filled;
+  // The proximal step's observed-entry overwrite touches only these cells;
+  // precomputing them replaces a dense mask scan per inner iteration with a
+  // sparse scatter, and `filled` is reused across iterations (the copy
+  // assignment reuses its allocation).
+  std::vector<std::pair<size_t, double>> observed_cells;
+  const double* mask_d = mask.data();
+  const double* values_d = values.data();
+  for (size_t c = 0; c < n * k; ++c) {
+    if (mask_d[c] > 0.0) observed_cells.emplace_back(c, values_d[c]);
+  }
+  linalg::Matrix filled;
   // Continuation: geometric decay of the shrinkage level toward mu_final.
   double mu = sv[0] * options_.mu_decay;
   while (true) {
     for (int iter = 0; iter < options_.inner_iterations; ++iter) {
       // Proximal step: fill observed entries, shrink singular values.
-      linalg::Matrix filled = x;
-      for (size_t i = 0; i < n; ++i) {
-        for (size_t j = 0; j < k; ++j) {
-          if (mask(i, j) > 0.0) filled(i, j) = values(i, j);
-        }
-      }
+      filled = x;
+      double* filled_d = filled.data();
+      for (const auto& [c, v] : observed_cells) filled_d[c] = v;
       linalg::Matrix next = linalg::SvdSoftThreshold(filled, mu);
-      const double change = (next - x).FrobeniusNorm() /
-                            std::max(x.FrobeniusNorm(), 1e-12);
+      double diff_sq = 0.0;
+      const double* next_d = next.data();
+      const double* x_d = x.data();
+      for (size_t c = 0; c < n * k; ++c) {
+        const double d = next_d[c] - x_d[c];
+        diff_sq += d * d;
+      }
+      const double change =
+          std::sqrt(diff_sq) / std::max(x.FrobeniusNorm(), 1e-12);
       x = std::move(next);
       if (change < options_.tolerance) break;
     }
@@ -54,11 +71,8 @@ StatusOr<linalg::Matrix> NuclearNormCompleter::Complete(
   }
 
   x.ClampMin(0.0);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < k; ++j) {
-      if (mask(i, j) > 0.0) x(i, j) = values(i, j);
-    }
-  }
+  double* x_d = x.data();
+  for (const auto& [c, v] : observed_cells) x_d[c] = v;
   return x;
 }
 

@@ -1,7 +1,9 @@
 #include "core/svt.h"
 
 #include <cmath>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "linalg/svd.h"
 
 namespace limeqo::core {
@@ -38,30 +40,50 @@ StatusOr<linalg::Matrix> SvtCompleter::Complete(const WorkloadMatrix& w) {
 
   linalg::Matrix y = values.Hadamard(mask) * options_.delta;
   linalg::Matrix z(n, k);
+  // Per-row residual partials: rows are updated independently in parallel
+  // and the partials are combined serially in row order, so the residual
+  // (and therefore the stopping decision) is bitwise identical for any
+  // thread count — a chunked deterministic reduction, no atomics.
+  std::vector<double> row_resid(n, 0.0);
+  const double* values_d = values.data();
+  const double* mask_d = mask.data();
+  const double delta = options_.delta;
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     z = linalg::SvdSoftThreshold(y, tau);
-    // Residual on the observed set.
+    const double* z_d = z.data();
+    double* y_d = y.data();
+    ParallelFor(
+        0, n,
+        [&](size_t row_begin, size_t row_end) {
+          for (size_t i = row_begin; i < row_end; ++i) {
+            double rs = 0.0;
+            const size_t base = i * k;
+            for (size_t j = 0; j < k; ++j) {
+              const size_t c = base + j;
+              if (mask_d[c] > 0.0) {
+                const double d = values_d[c] - z_d[c];
+                rs += d * d;
+                y_d[c] += delta * d;
+              }
+            }
+            row_resid[i] = rs;
+          }
+        },
+        /*grain=*/std::max<size_t>(1, 2048 / (k + 1)));
     double resid = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = 0; j < k; ++j) {
-        if (mask(i, j) > 0.0) {
-          const double d = values(i, j) - z(i, j);
-          resid += d * d;
-          y(i, j) += options_.delta * d;
-        }
-      }
-    }
+    for (size_t i = 0; i < n; ++i) resid += row_resid[i];
     if (std::sqrt(resid) / observed_norm < options_.tolerance) break;
   }
 
   // Pass observed entries through; predictions must be physically
   // meaningful (latencies are positive).
   z.ClampMin(0.0);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < k; ++j) {
-      if (mask(i, j) > 0.0) z(i, j) = values(i, j);
+  double* z_d = z.data();
+  ParallelFor(0, n, [&](size_t row_begin, size_t row_end) {
+    for (size_t c = row_begin * k; c < row_end * k; ++c) {
+      if (mask_d[c] > 0.0) z_d[c] = values_d[c];
     }
-  }
+  });
   return z;
 }
 

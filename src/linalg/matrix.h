@@ -73,8 +73,16 @@ class Matrix {
   /// Transpose.
   Matrix Transposed() const;
 
-  /// Matrix product this * other.
+  /// Matrix product this * other (allocates; delegates to MultiplyInto).
   Matrix operator*(const Matrix& other) const;
+
+  /// Reshapes to rows x cols without initializing the contents. Reuses the
+  /// existing allocation when the element count already matches, so a
+  /// workspace matrix cycled through the completion loop never reallocates.
+  void ResizeUninitialized(size_t rows, size_t cols);
+
+  /// this += alpha * other (no temporaries).
+  void AddScaledInPlace(double alpha, const Matrix& other);
 
   /// Element-wise sum / difference / scaling.
   Matrix operator+(const Matrix& other) const;
@@ -125,6 +133,29 @@ class Matrix {
 
 /// scalar * M.
 inline Matrix operator*(double scalar, const Matrix& m) { return m * scalar; }
+
+/// Non-allocating product kernels for the completion hot path. All of them
+/// reshape `out` via ResizeUninitialized (a no-op when the caller passes a
+/// correctly sized workspace), overwrite it completely, and run blocked +
+/// threaded over the rows of the output. Each output element is produced by
+/// exactly one thread with a fixed accumulation order, so results are
+/// bitwise identical for any thread count. `out` must not alias an input.
+
+/// out = a * b.
+void MultiplyInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a * b^T without materializing the transpose. a is m x r, b is
+/// n x r, out is m x n: out(i, j) = <row i of a, row j of b>, which is the
+/// ALS fill step Q H^T with both factors read row-sequentially.
+void MultiplyTransposedInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a^T * b without materializing the transpose. a is m x n, b is
+/// m x r, out is n x r. This is the H-update right-hand side W^T Q.
+void TransposedMultiplyInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a^T * a (the Gram matrix), exploiting symmetry. a is m x r, out is
+/// r x r.
+void GramInto(const Matrix& a, Matrix* out);
 
 }  // namespace limeqo::linalg
 

@@ -4,32 +4,40 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/thread_pool.h"
+
 namespace limeqo::linalg {
 namespace {
 
 // One-sided Jacobi SVD on a matrix with rows >= cols. Orthogonalizes the
 // columns of a working copy of A; the column norms become singular values,
 // normalized columns become U, and accumulated rotations become V.
+//
+// The Gram matrix W^T W is computed once per sweep and updated analytically
+// after each rotation, so deciding whether a column pair needs rotating
+// costs O(1) instead of the seed's O(m) column scan; the O(m) work happens
+// only for pairs that actually rotate, threaded over the rows of W. Each
+// row is rotated by exactly one thread with the rotation parameters fixed
+// before the dispatch, so results are bitwise identical across thread
+// counts.
 SvdResult JacobiSvdTall(const Matrix& a) {
   const size_t m = a.rows();
   const size_t n = a.cols();
   Matrix w = a;                    // working copy, becomes U * diag(s)
   Matrix v = Matrix::Identity(n);  // accumulated right rotations
+  Matrix g;                        // cached Gram matrix W^T W
 
   const int kMaxSweeps = 60;
   const double kTol = 1e-14;
+  double* w_data = w.data();
   for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    // Fresh Gram each sweep washes out the rounding drift the incremental
+    // updates accumulate within a sweep.
+    GramInto(w, &g);
     double off = 0.0;
     for (size_t p = 0; p + 1 < n; ++p) {
       for (size_t q = p + 1; q < n; ++q) {
-        // Compute the 2x2 Gram block for columns p, q.
-        double app = 0.0, aqq = 0.0, apq = 0.0;
-        for (size_t i = 0; i < m; ++i) {
-          const double wp = w(i, p), wq = w(i, q);
-          app += wp * wp;
-          aqq += wq * wq;
-          apq += wp * wq;
-        }
+        const double app = g(p, p), aqq = g(q, q), apq = g(p, q);
         off = std::max(off, std::fabs(apq) / std::sqrt(app * aqq + 1e-300));
         if (std::fabs(apq) <= kTol * std::sqrt(app * aqq)) continue;
         // Jacobi rotation that annihilates apq.
@@ -38,16 +46,36 @@ SvdResult JacobiSvdTall(const Matrix& a) {
             1.0 / (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta)), zeta);
         const double c = 1.0 / std::sqrt(1.0 + t * t);
         const double s = c * t;
-        for (size_t i = 0; i < m; ++i) {
-          const double wp = w(i, p), wq = w(i, q);
-          w(i, p) = c * wp - s * wq;
-          w(i, q) = s * wp + c * wq;
-        }
+        ParallelFor(
+            0, m,
+            [&](size_t row_begin, size_t row_end) {
+              for (size_t i = row_begin; i < row_end; ++i) {
+                double* row = w_data + i * n;
+                const double wp = row[p], wq = row[q];
+                row[p] = c * wp - s * wq;
+                row[q] = s * wp + c * wq;
+              }
+            },
+            /*grain=*/1024);
         for (size_t i = 0; i < n; ++i) {
           const double vp = v(i, p), vq = v(i, q);
           v(i, p) = c * vp - s * vq;
           v(i, q) = s * vp + c * vq;
         }
+        // The rotation maps G to J^T G J, which only touches rows/columns
+        // p and q.
+        for (size_t x = 0; x < n; ++x) {
+          if (x == p || x == q) continue;
+          const double gxp = g(x, p), gxq = g(x, q);
+          g(x, p) = c * gxp - s * gxq;
+          g(p, x) = g(x, p);
+          g(x, q) = s * gxp + c * gxq;
+          g(q, x) = g(x, q);
+        }
+        g(p, p) = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+        g(q, q) = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+        g(p, q) = 0.0;
+        g(q, p) = 0.0;
       }
     }
     if (off < kTol) break;
@@ -91,7 +119,9 @@ Matrix SvdResult::Reconstruct() const {
   for (size_t i = 0; i < us.rows(); ++i) {
     for (size_t j = 0; j < us.cols(); ++j) us(i, j) *= singular_values[j];
   }
-  return us * v.Transposed();
+  Matrix out;
+  MultiplyTransposedInto(us, v, &out);
+  return out;
 }
 
 SvdResult ComputeSvd(const Matrix& a) {

@@ -1,6 +1,8 @@
+#include <atomic>
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -8,9 +10,61 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 
 namespace limeqo {
 namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    SetNumThreads(threads);
+    std::vector<int> hits(1013, 0);
+    ParallelFor(0, hits.size(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) ++hits[i];
+    });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i], 1) << "index " << i << " at " << threads
+                            << " threads";
+    }
+  }
+  SetNumThreads(1);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  SetNumThreads(4);
+  int calls = 0;
+  ParallelFor(5, 5, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::vector<int> hits(3, 0);
+  ParallelFor(0, hits.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_EQ(hits[0] + hits[1] + hits[2], 3);
+  SetNumThreads(1);
+}
+
+TEST(ThreadPoolTest, GrainLimitsChunkCount) {
+  SetNumThreads(8);
+  std::atomic<int> chunks{0};
+  ParallelFor(
+      0, 100, [&](size_t, size_t) { chunks.fetch_add(1); }, /*grain=*/50);
+  EXPECT_LE(chunks.load(), 2);
+  SetNumThreads(1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  SetNumThreads(4);
+  std::vector<int> hits(64, 0);
+  ParallelFor(0, 8, [&](size_t outer_begin, size_t outer_end) {
+    for (size_t o = outer_begin; o < outer_end; ++o) {
+      ParallelFor(0, 8, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) ++hits[o * 8 + i];
+      });
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i], 1);
+  SetNumThreads(1);
+}
 
 TEST(StatusTest, OkByDefault) {
   Status s;

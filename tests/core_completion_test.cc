@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "core/als.h"
 #include "core/nuclear_norm.h"
 #include "core/svt.h"
@@ -52,6 +55,60 @@ double UnobservedRmse(const PlantedProblem& prob, const linalg::Matrix& est) {
 double TruthScale(const PlantedProblem& prob) {
   return prob.truth.FrobeniusNorm() /
          std::sqrt(static_cast<double>(prob.truth.size()));
+}
+
+/// The threaded linalg core must not make completion results depend on the
+/// thread count: LIMEQO_THREADS=1 and LIMEQO_THREADS=8 (here pinned via
+/// SetNumThreads) have to produce bitwise-identical output.
+TEST(AlsTest, CompleteIsBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(77);
+  PlantedProblem prob = MakePlanted(120, 40, 4, 0.15, 7);
+  // Mix in censored observations so the clamp path runs threaded too.
+  for (int i = 0; i < prob.observed.num_queries(); ++i) {
+    for (int j = 0; j < prob.observed.num_hints(); ++j) {
+      if (prob.observed.IsUnobserved(i, j) && rng.Bernoulli(0.05)) {
+        prob.observed.ObserveCensored(i, j, prob.truth(i, j) * 0.5);
+      }
+    }
+  }
+  for (FitSpace space : {FitSpace::kLogRatio, FitSpace::kRaw}) {
+    AlsOptions opt;
+    opt.rank = 4;
+    opt.fit_space = space;
+    SetNumThreads(1);
+    AlsCompleter als_single(opt);
+    StatusOr<linalg::Matrix> single = als_single.Complete(prob.observed);
+    ASSERT_TRUE(single.ok());
+    SetNumThreads(8);
+    AlsCompleter als_multi(opt);
+    StatusOr<linalg::Matrix> multi = als_multi.Complete(prob.observed);
+    ASSERT_TRUE(multi.ok());
+    SetNumThreads(1);
+    ASSERT_EQ(single->size(), multi->size());
+    EXPECT_EQ(std::memcmp(single->data(), multi->data(),
+                          single->size() * sizeof(double)),
+              0)
+        << "ALS output depends on the thread count (fit_space="
+        << static_cast<int>(space) << ")";
+  }
+}
+
+TEST(SvtTest, CompleteIsBitwiseIdenticalAcrossThreadCounts) {
+  PlantedProblem prob = MakePlanted(80, 30, 3, 0.3, 9);
+  SetNumThreads(1);
+  SvtCompleter svt_single;
+  StatusOr<linalg::Matrix> single = svt_single.Complete(prob.observed);
+  ASSERT_TRUE(single.ok());
+  SetNumThreads(8);
+  SvtCompleter svt_multi;
+  StatusOr<linalg::Matrix> multi = svt_multi.Complete(prob.observed);
+  ASSERT_TRUE(multi.ok());
+  SetNumThreads(1);
+  ASSERT_EQ(single->size(), multi->size());
+  EXPECT_EQ(std::memcmp(single->data(), multi->data(),
+                        single->size() * sizeof(double)),
+            0)
+      << "SVT output depends on the thread count";
 }
 
 TEST(AlsTest, RecoversPlantedLowRankMatrix) {

@@ -1,8 +1,12 @@
+#include <array>
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "linalg/matrix.h"
 
 namespace limeqo::linalg {
@@ -95,6 +99,127 @@ TEST(MatrixTest, ApplyTransformsElements) {
   Matrix m = Matrix::FromRows({{1, 4}});
   m.Apply([](double x) { return x * x; });
   EXPECT_TRUE(m.ApproxEquals(Matrix::FromRows({{1, 16}})));
+}
+
+/// Reference implementation the fast kernels are checked against.
+Matrix NaiveMultiply(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      out(i, j) = s;
+    }
+  }
+  return out;
+}
+
+TEST(MatrixKernelTest, MultiplyIntoMatchesNaiveReference) {
+  Rng rng(11);
+  for (const auto& [m, k, n] : std::vector<std::array<size_t, 3>>{
+           {17, 9, 5}, {64, 33, 10}, {7, 128, 40}, {100, 10, 49}}) {
+    Matrix a = Matrix::RandomGaussian(m, k, &rng);
+    Matrix b = Matrix::RandomGaussian(k, n, &rng);
+    Matrix out;
+    MultiplyInto(a, b, &out);
+    EXPECT_TRUE(out.ApproxEquals(NaiveMultiply(a, b), 1e-12));
+  }
+}
+
+TEST(MatrixKernelTest, MultiplyTransposedIntoMatchesNaiveReference) {
+  Rng rng(12);
+  for (const auto& [m, n, r] : std::vector<std::array<size_t, 3>>{
+           {13, 7, 3}, {50, 49, 10}, {101, 23, 6}, {6, 5, 1}}) {
+    Matrix a = Matrix::RandomGaussian(m, r, &rng);
+    Matrix b = Matrix::RandomGaussian(n, r, &rng);
+    Matrix out;
+    MultiplyTransposedInto(a, b, &out);
+    EXPECT_TRUE(out.ApproxEquals(NaiveMultiply(a, b.Transposed()), 1e-12));
+  }
+}
+
+TEST(MatrixKernelTest, TransposedMultiplyIntoMatchesNaiveReference) {
+  Rng rng(13);
+  for (const auto& [m, n, r] : std::vector<std::array<size_t, 3>>{
+           {40, 9, 4}, {100, 49, 10}, {64, 33, 33}, {5, 2, 7}}) {
+    Matrix a = Matrix::RandomGaussian(m, n, &rng);
+    Matrix b = Matrix::RandomGaussian(m, r, &rng);
+    Matrix out;
+    TransposedMultiplyInto(a, b, &out);
+    EXPECT_TRUE(out.ApproxEquals(NaiveMultiply(a.Transposed(), b), 1e-12));
+  }
+}
+
+TEST(MatrixKernelTest, GramIntoMatchesNaiveReference) {
+  Rng rng(14);
+  for (const auto& [m, r] :
+       std::vector<std::array<size_t, 2>>{{30, 5}, {100, 10}, {9, 17}}) {
+    Matrix a = Matrix::RandomGaussian(m, r, &rng);
+    Matrix gram;
+    GramInto(a, &gram);
+    EXPECT_TRUE(gram.ApproxEquals(NaiveMultiply(a.Transposed(), a), 1e-12));
+    // Symmetry must be exact, not approximate: the mirror is copied.
+    for (size_t p = 0; p < r; ++p) {
+      for (size_t q = 0; q < r; ++q) {
+        EXPECT_EQ(gram(p, q), gram(q, p));
+      }
+    }
+  }
+}
+
+TEST(MatrixKernelTest, AddScaledInPlaceMatchesOperators) {
+  Rng rng(15);
+  Matrix a = Matrix::RandomGaussian(12, 7, &rng);
+  Matrix b = Matrix::RandomGaussian(12, 7, &rng);
+  Matrix expected = a + b * (-2.5);
+  a.AddScaledInPlace(-2.5, b);
+  EXPECT_TRUE(a.ApproxEquals(expected, 1e-12));
+}
+
+TEST(MatrixKernelTest, ResizeUninitializedReusesAllocation) {
+  Matrix m(10, 6, 1.0);
+  const double* before = m.data();
+  m.ResizeUninitialized(6, 10);  // same element count: no reallocation
+  EXPECT_EQ(m.data(), before);
+  EXPECT_EQ(m.rows(), 6u);
+  EXPECT_EQ(m.cols(), 10u);
+}
+
+/// The kernels must produce bitwise-identical output for any thread count:
+/// every output element is written by exactly one chunk with a fixed
+/// accumulation order.
+TEST(MatrixKernelTest, KernelsBitwiseStableAcrossThreadCounts) {
+  Rng rng(16);
+  Matrix a = Matrix::RandomGaussian(257, 49, &rng);
+  Matrix b = Matrix::RandomGaussian(49, 31, &rng);
+  Matrix q = Matrix::RandomGaussian(257, 10, &rng);
+
+  SetNumThreads(1);
+  Matrix product1, fill1, tm1;
+  MultiplyInto(a, b, &product1);
+  MultiplyTransposedInto(q, q, &fill1);
+  TransposedMultiplyInto(a, q, &tm1);
+
+  for (int threads : {2, 5, 8}) {
+    SetNumThreads(threads);
+    Matrix product_t, fill_t, tm_t;
+    MultiplyInto(a, b, &product_t);
+    MultiplyTransposedInto(q, q, &fill_t);
+    TransposedMultiplyInto(a, q, &tm_t);
+    ASSERT_EQ(product_t.size(), product1.size());
+    EXPECT_EQ(std::memcmp(product_t.data(), product1.data(),
+                          product1.size() * sizeof(double)),
+              0)
+        << "MultiplyInto differs at " << threads << " threads";
+    EXPECT_EQ(std::memcmp(fill_t.data(), fill1.data(),
+                          fill1.size() * sizeof(double)),
+              0)
+        << "MultiplyTransposedInto differs at " << threads << " threads";
+    EXPECT_EQ(
+        std::memcmp(tm_t.data(), tm1.data(), tm1.size() * sizeof(double)), 0)
+        << "TransposedMultiplyInto differs at " << threads << " threads";
+  }
+  SetNumThreads(1);
 }
 
 /// Property sweep: (A B)^T == B^T A^T for random shapes.
