@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bayesqo_test.dir/tests/bayesqo_test.cc.o"
+  "CMakeFiles/bayesqo_test.dir/tests/bayesqo_test.cc.o.d"
+  "bayesqo_test"
+  "bayesqo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bayesqo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

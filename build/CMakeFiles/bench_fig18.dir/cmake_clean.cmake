@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18.dir/bench/bench_fig18.cc.o"
+  "CMakeFiles/bench_fig18.dir/bench/bench_fig18.cc.o.d"
+  "bench_fig18"
+  "bench_fig18.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

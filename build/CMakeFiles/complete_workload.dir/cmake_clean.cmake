@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complete_workload.dir/examples/complete_workload.cc.o"
+  "CMakeFiles/complete_workload.dir/examples/complete_workload.cc.o.d"
+  "complete_workload"
+  "complete_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complete_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

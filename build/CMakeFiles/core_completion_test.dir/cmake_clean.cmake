@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_completion_test.dir/tests/core_completion_test.cc.o"
+  "CMakeFiles/core_completion_test.dir/tests/core_completion_test.cc.o.d"
+  "core_completion_test"
+  "core_completion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_completion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

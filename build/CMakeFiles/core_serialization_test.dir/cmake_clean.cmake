@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_serialization_test.dir/tests/core_serialization_test.cc.o"
+  "CMakeFiles/core_serialization_test.dir/tests/core_serialization_test.cc.o.d"
+  "core_serialization_test"
+  "core_serialization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bayesqo/bayesqo.cc" "CMakeFiles/limeqo.dir/src/bayesqo/bayesqo.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/bayesqo/bayesqo.cc.o.d"
+  "/root/repo/src/bayesqo/gaussian_process.cc" "CMakeFiles/limeqo.dir/src/bayesqo/gaussian_process.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/bayesqo/gaussian_process.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/limeqo.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/limeqo.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/limeqo.dir/src/common/status.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "CMakeFiles/limeqo.dir/src/common/table_printer.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/common/table_printer.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/limeqo.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/als.cc" "CMakeFiles/limeqo.dir/src/core/als.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/core/als.cc.o.d"
+  "/root/repo/src/core/explorer.cc" "CMakeFiles/limeqo.dir/src/core/explorer.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/core/explorer.cc.o.d"
+  "/root/repo/src/core/nuclear_norm.cc" "CMakeFiles/limeqo.dir/src/core/nuclear_norm.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/core/nuclear_norm.cc.o.d"
+  "/root/repo/src/core/online_explorer.cc" "CMakeFiles/limeqo.dir/src/core/online_explorer.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/core/online_explorer.cc.o.d"
+  "/root/repo/src/core/policy.cc" "CMakeFiles/limeqo.dir/src/core/policy.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/core/policy.cc.o.d"
+  "/root/repo/src/core/report.cc" "CMakeFiles/limeqo.dir/src/core/report.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/core/report.cc.o.d"
+  "/root/repo/src/core/serialization.cc" "CMakeFiles/limeqo.dir/src/core/serialization.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/core/serialization.cc.o.d"
+  "/root/repo/src/core/svt.cc" "CMakeFiles/limeqo.dir/src/core/svt.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/core/svt.cc.o.d"
+  "/root/repo/src/core/workload_matrix.cc" "CMakeFiles/limeqo.dir/src/core/workload_matrix.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/core/workload_matrix.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "CMakeFiles/limeqo.dir/src/linalg/matrix.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/solve.cc" "CMakeFiles/limeqo.dir/src/linalg/solve.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/linalg/solve.cc.o.d"
+  "/root/repo/src/linalg/svd.cc" "CMakeFiles/limeqo.dir/src/linalg/svd.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/linalg/svd.cc.o.d"
+  "/root/repo/src/nn/adam.cc" "CMakeFiles/limeqo.dir/src/nn/adam.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/nn/adam.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "CMakeFiles/limeqo.dir/src/nn/layers.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/nn/layers.cc.o.d"
+  "/root/repo/src/nn/tcnn.cc" "CMakeFiles/limeqo.dir/src/nn/tcnn.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/nn/tcnn.cc.o.d"
+  "/root/repo/src/nn/tcnn_predictor.cc" "CMakeFiles/limeqo.dir/src/nn/tcnn_predictor.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/nn/tcnn_predictor.cc.o.d"
+  "/root/repo/src/nn/tree_conv.cc" "CMakeFiles/limeqo.dir/src/nn/tree_conv.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/nn/tree_conv.cc.o.d"
+  "/root/repo/src/plan/featurize.cc" "CMakeFiles/limeqo.dir/src/plan/featurize.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/plan/featurize.cc.o.d"
+  "/root/repo/src/plan/plan_node.cc" "CMakeFiles/limeqo.dir/src/plan/plan_node.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/plan/plan_node.cc.o.d"
+  "/root/repo/src/simdb/catalog.cc" "CMakeFiles/limeqo.dir/src/simdb/catalog.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/simdb/catalog.cc.o.d"
+  "/root/repo/src/simdb/database.cc" "CMakeFiles/limeqo.dir/src/simdb/database.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/simdb/database.cc.o.d"
+  "/root/repo/src/simdb/hint.cc" "CMakeFiles/limeqo.dir/src/simdb/hint.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/simdb/hint.cc.o.d"
+  "/root/repo/src/simdb/latency_model.cc" "CMakeFiles/limeqo.dir/src/simdb/latency_model.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/simdb/latency_model.cc.o.d"
+  "/root/repo/src/simdb/plan_generator.cc" "CMakeFiles/limeqo.dir/src/simdb/plan_generator.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/simdb/plan_generator.cc.o.d"
+  "/root/repo/src/simdb/query.cc" "CMakeFiles/limeqo.dir/src/simdb/query.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/simdb/query.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "CMakeFiles/limeqo.dir/src/workloads/workloads.cc.o" "gcc" "CMakeFiles/limeqo.dir/src/workloads/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

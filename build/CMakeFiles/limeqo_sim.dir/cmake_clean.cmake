@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limeqo_sim.dir/tools/limeqo_sim.cc.o"
+  "CMakeFiles/limeqo_sim.dir/tools/limeqo_sim.cc.o.d"
+  "limeqo_sim"
+  "limeqo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limeqo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

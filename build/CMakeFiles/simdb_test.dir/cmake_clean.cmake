@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdb_test.dir/tests/simdb_test.cc.o"
+  "CMakeFiles/simdb_test.dir/tests/simdb_test.cc.o.d"
+  "simdb_test"
+  "simdb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
