@@ -1,0 +1,84 @@
+// Scenario-simulation bench: times a full SimulationDriver run (world
+// generation, offline exploration with drift, online serving, invariant
+// checks) over representative grid scenarios, so the generated worlds feed
+// the perf trajectory alongside the paper-figure benches. Also prints the
+// exploration quality each scenario reaches, as a drift canary for the
+// policy/completer stack.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "scenarios/scenario.h"
+#include "scenarios/simulation.h"
+
+namespace limeqo::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  PrintBanner("scenarios",
+              "Scenario-simulation subsystem: policy x completer invariant "
+              "runs over generated worlds",
+              "grid scenarios at their native (test-sized) shapes");
+
+  const std::vector<std::string> selected = {
+      "baseline", "large-sparse", "heavy-tail-extreme", "drift-repeated",
+      "online-tight-budget"};
+  BenchReporter reporter;
+
+  std::string skipped;
+  for (const scenarios::ScenarioSpec& spec : scenarios::ScenarioGrid()) {
+    bool wanted = false;
+    for (const std::string& name : selected) wanted |= spec.name == name;
+    if (!wanted) {
+      skipped += (skipped.empty() ? "" : ", ") + spec.name;
+      continue;
+    }
+
+    for (scenarios::PolicyKind policy :
+         {scenarios::PolicyKind::kRandom,
+          scenarios::PolicyKind::kModelGuided}) {
+      scenarios::SimulationResult last;
+      long iterations = 0;
+      const double ns = TimeNsPerOp(
+          [&] {
+            scenarios::SimulationDriver driver(spec);
+            last = driver.Run(policy);
+          },
+          /*min_seconds=*/0.2, &iterations);
+      reporter.Report(
+          "scenario/" + spec.name + "/" + scenarios::PolicyKindName(policy),
+          ns, iterations);
+      std::printf("    %-46s default %8.2fs -> final %8.2fs (optimal "
+                  "%8.2fs), %d violations\n",
+                  (spec.name + " [" + last.policy + "]").c_str(),
+                  last.default_latency, last.final_latency,
+                  last.optimal_latency,
+                  static_cast<int>(last.violations.size()));
+      if (!last.ok()) {
+        std::printf("    INVARIANT VIOLATIONS:\n%s\n",
+                    last.Summary().c_str());
+        return 1;
+      }
+    }
+  }
+
+  if (!skipped.empty()) {
+    std::printf("  (grid scenarios not benched: %s — add a name to the\n"
+                "   `selected` list above to put it on the trajectory)\n",
+                skipped.c_str());
+  }
+
+  const std::string json = JsonPathFromArgs(argc, argv);
+  if (!json.empty() && !reporter.WriteJson(json)) {
+    std::fprintf(stderr, "failed to write %s\n", json.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace limeqo::bench
+
+int main(int argc, char** argv) { return limeqo::bench::Main(argc, argv); }

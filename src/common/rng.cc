@@ -95,4 +95,11 @@ std::vector<int> Rng::Permutation(int n) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+uint64_t MixSeed(uint64_t a, uint64_t b) {
+  uint64_t x = a + 0x9E3779B97F4A7C15ULL * (b + 0x632BE59BD9B4E019ULL);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace limeqo

@@ -69,6 +69,15 @@ class Rng {
   double cached_gaussian_ = 0.0;
 };
 
+/// splitmix64-style finalizer combining two words into one well-mixed seed.
+/// Used for domain separation: deriving independent, reproducible streams
+/// (per module, per cell, per drift generation) from a single master seed
+/// without consuming any Rng state.
+uint64_t MixSeed(uint64_t a, uint64_t b);
+inline uint64_t MixSeed(uint64_t a, uint64_t b, uint64_t c) {
+  return MixSeed(MixSeed(a, b), c);
+}
+
 }  // namespace limeqo
 
 #endif  // LIMEQO_COMMON_RNG_H_

@@ -1,5 +1,6 @@
 #include "core/explorer.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -89,7 +90,10 @@ void OfflineExplorer::ExecuteCandidate(const Candidate& candidate) {
   // The exploration clock advances by the time actually spent (Eq. 3): the
   // full latency on completion, the timeout value on a cut-off.
   offline_seconds_ += r.observed_latency;
+  ++num_executions_;
+  max_single_charge_ = std::max(max_single_charge_, r.observed_latency);
   if (r.timed_out) {
+    ++num_timeouts_;
     // The whole plan-equivalence class shares the lower bound.
     for (int j : backend_->EquivalentHints(q, h)) {
       matrix_.ObserveCensored(q, j, r.observed_latency);

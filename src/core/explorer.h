@@ -80,6 +80,19 @@ class OfflineExplorer {
   /// Cumulative model overhead (wall time inside the policy).
   double overhead_seconds() const { return overhead_seconds_; }
 
+  /// Candidate executions charged to the offline clock (free observations —
+  /// defaults, post-drift re-observations — are not counted).
+  int num_executions() const { return num_executions_; }
+
+  /// Charged executions that were cut off by their timeout. Every one of
+  /// them produced censored cells, so this ties matrix censoring back to
+  /// BackendResult::timed_out for invariant checks.
+  int num_timeouts() const { return num_timeouts_; }
+
+  /// Largest single charge any execution added to the offline clock; the
+  /// budget in Explore can be overshot by at most this much.
+  double max_single_charge() const { return max_single_charge_; }
+
   /// Current workload latency P(W~).
   double WorkloadLatency() const { return matrix_.CurrentWorkloadLatency(); }
 
@@ -106,6 +119,9 @@ class OfflineExplorer {
   Rng rng_;
   double offline_seconds_ = 0.0;
   double overhead_seconds_ = 0.0;
+  int num_executions_ = 0;
+  int num_timeouts_ = 0;
+  double max_single_charge_ = 0.0;
 };
 
 }  // namespace limeqo::core

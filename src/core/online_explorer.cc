@@ -12,8 +12,10 @@ OnlineExplorationOptimizer::OnlineExplorationOptimizer(
       predictor_(predictor),
       options_(options),
       verified_(matrix),
-      predictions_(0, 0),
-      rng_(options.seed) {
+      predictions_(0, 0) {
+  Rng master(options.seed);
+  gate_rng_ = master.Fork();
+  pick_rng_ = master.Fork();
   LIMEQO_CHECK(matrix != nullptr && predictor != nullptr);
   LIMEQO_CHECK(options_.epsilon >= 0.0 && options_.epsilon <= 1.0);
   LIMEQO_CHECK(options_.min_predicted_ratio >= 0.0);
@@ -35,16 +37,15 @@ bool OnlineExplorationOptimizer::RefreshPredictions() {
 
 int OnlineExplorationOptimizer::ChooseHint(int query) {
   LIMEQO_CHECK(query >= 0 && query < matrix_->num_queries());
+  ++servings_;
   const int verified = verified_.ChooseHint(query);
   if (options_.epsilon <= 0.0 || budget_exhausted()) return verified;
-  if (!rng_.Bernoulli(options_.epsilon)) return verified;
+  if (!gate_rng_.Bernoulli(options_.epsilon)) return verified;
   // Per-serving risk gate: this query's baseline must be small relative to
   // the remaining budget, or a single bad probe could blow it.
   if (matrix_->IsComplete(query, verified)) {
-    const double remaining =
-        options_.regret_budget_seconds - regret_spent_;
     if (matrix_->observed(query, verified) >
-        options_.max_baseline_budget_fraction * remaining) {
+        options_.max_baseline_budget_fraction * remaining_regret_budget()) {
       return verified;
     }
   }
@@ -81,7 +82,7 @@ int OnlineExplorationOptimizer::ChooseHint(int query) {
     if (matrix_->IsUnobserved(query, j)) ++unobserved;
   }
   if (unobserved == 0) return verified;
-  int pick = static_cast<int>(rng_.NextUint64Below(unobserved));
+  int pick = static_cast<int>(pick_rng_.NextUint64Below(unobserved));
   for (int j = 0; j < matrix_->num_hints(); ++j) {
     if (!matrix_->IsUnobserved(query, j)) continue;
     if (pick-- == 0) return j;

@@ -38,6 +38,14 @@ struct OnlineExplorationOptions {
   /// predictions, flat predictions yield no candidates, and no candidate
   /// ever gets observed. Risk remains bounded by the regret budget.
   bool random_fallback = true;
+  /// Master seed. The epsilon-gate stream and the fallback-pick stream are
+  /// forked from it independently (see the constructor), so the explore/
+  /// serve gate sequence is a pure function of (seed, serving index) — it
+  /// cannot be desynchronized by prediction-dependent branches that happen
+  /// to draw a different number of fallback picks. Two optimizers with the
+  /// same seed over the same serving stream therefore produce identical
+  /// traces, bitwise, regardless of the thread count the completion model
+  /// runs with (the linalg core is thread-count-invariant by contract).
   uint64_t seed = 31;
 };
 
@@ -86,6 +94,17 @@ class OnlineExplorationOptimizer {
   /// Number of exploratory servings made so far.
   int explorations() const { return explorations_; }
 
+  /// Total ChooseHint calls so far. Together with explorations() this makes
+  /// the epsilon cap machine-checkable: exploratory servings are gated by a
+  /// Bernoulli(epsilon) draw per serving.
+  int servings() const { return servings_; }
+
+  /// Regret budget still available for exploration.
+  double remaining_regret_budget() const {
+    const double left = options_.regret_budget_seconds - regret_spent_;
+    return left > 0.0 ? left : 0.0;
+  }
+
  private:
   /// Re-runs the predictor if predictions are stale. Returns false when no
   /// prediction is available (e.g. an empty matrix).
@@ -100,7 +119,13 @@ class OnlineExplorationOptimizer {
   int updates_since_refresh_ = 0;
   double regret_spent_ = 0.0;
   int explorations_ = 0;
-  Rng rng_;
+  int servings_ = 0;
+  /// Independent streams forked from options.seed: gate_rng_ drives only
+  /// the per-serving Bernoulli(epsilon) gate, pick_rng_ only the random
+  /// fallback pick. Keeping them separate pins the gate sequence to the
+  /// serving index alone (see OnlineExplorationOptions::seed).
+  Rng gate_rng_;
+  Rng pick_rng_;
 };
 
 }  // namespace limeqo::core

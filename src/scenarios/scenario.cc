@@ -1,0 +1,152 @@
+#include "scenarios/scenario.h"
+
+#include <sstream>
+
+namespace limeqo::scenarios {
+
+std::vector<ScenarioSpec> ScenarioGrid() {
+  std::vector<ScenarioSpec> grid;
+
+  {
+    ScenarioSpec s;
+    s.name = "baseline";
+    s.seed = 101;
+    grid.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "large-sparse";
+    s.num_queries = 90;
+    s.num_hints = 16;
+    s.latent_rank = 4;
+    s.budget_fraction = 0.35;
+    s.batch_size = 12;
+    s.seed = 102;
+    grid.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "skinny";
+    s.num_queries = 120;
+    s.num_hints = 6;
+    s.latent_rank = 2;
+    s.seed = 103;
+    grid.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "rank1-strong-structure";
+    s.latent_rank = 1;
+    s.structure_strength = 1.0;
+    s.seed = 104;
+    grid.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "weak-structure";
+    s.latent_rank = 6;
+    s.structure_strength = 0.25;
+    s.seed = 105;
+    grid.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "heavy-tail-mild";
+    s.tail = TailModel::kParetoMix;
+    s.heavy_tail_prob = 0.05;
+    s.heavy_tail_scale = 10.0;
+    s.seed = 106;
+    grid.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "heavy-tail-extreme";
+    s.tail = TailModel::kParetoMix;
+    s.heavy_tail_prob = 0.15;
+    s.heavy_tail_scale = 50.0;
+    // Catastrophic cells make timeouts load-bearing: a tighter alpha keeps
+    // probes cheap.
+    s.timeout_alpha = 1.5;
+    s.seed = 107;
+    grid.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "no-timeouts";
+    s.use_timeouts = false;
+    s.seed = 108;
+    grid.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "tight-timeouts";
+    s.timeout_alpha = 1.05;
+    s.seed = 109;
+    grid.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "noisy-observations";
+    s.noise_sigma = 0.3;
+    s.seed = 110;
+    grid.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "plan-equivalence";
+    s.equivalence_class_size = 3;
+    s.seed = 111;
+    grid.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "drift-single";
+    s.drift = {{0.5, 0.5}};
+    s.seed = 112;
+    grid.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "drift-repeated";
+    s.drift = {{0.3, 0.3}, {0.7, 0.3}};
+    s.seed = 113;
+    grid.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "drift-severe-heavy-tail";
+    s.tail = TailModel::kParetoMix;
+    s.heavy_tail_prob = 0.08;
+    s.drift = {{0.5, 1.0}};
+    s.seed = 114;
+    grid.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "online-tight-budget";
+    s.online_servings = 600;
+    s.epsilon = 0.3;
+    s.online_regret_budget_seconds = 0.5;
+    s.seed = 115;
+    grid.push_back(s);
+  }
+
+  return grid;
+}
+
+std::string Describe(const ScenarioSpec& spec) {
+  std::ostringstream os;
+  os << spec.name << " n=" << spec.num_queries << " k=" << spec.num_hints
+     << " rank=" << spec.latent_rank << " tail="
+     << (spec.tail == TailModel::kParetoMix ? "pareto" : "lognormal")
+     << " tail_p=" << spec.heavy_tail_prob
+     << " timeouts=" << (spec.use_timeouts ? "on" : "off")
+     << " alpha=" << spec.timeout_alpha << " noise=" << spec.noise_sigma
+     << " eqclass=" << spec.equivalence_class_size
+     << " drift_events=" << spec.drift.size()
+     << " servings=" << spec.online_servings << " eps=" << spec.epsilon
+     << " seed=" << spec.seed;
+  return os.str();
+}
+
+}  // namespace limeqo::scenarios

@@ -1,0 +1,119 @@
+#ifndef LIMEQO_SCENARIOS_SCENARIO_H_
+#define LIMEQO_SCENARIOS_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace limeqo::scenarios {
+
+/// Tail behaviour of the generated latency surface.
+enum class TailModel {
+  /// Pure log-normal multipliers: well-behaved latencies (the bulk of
+  /// OLTP/reporting traffic).
+  kLogNormal = 0,
+  /// Log-normal bulk with a Pareto-mixed catastrophic tail: a fraction of
+  /// (query, hint) cells is orders of magnitude slower than the row base,
+  /// the regime where timeouts and censoring decide everything (paper
+  /// Sec. 1 "Trouble with timeouts").
+  kParetoMix,
+};
+
+/// One data-shift event in a scenario's drift schedule (Sec. 5.4): after
+/// `after_budget_fraction` of the offline budget has been spent, the
+/// underlying data changes and a `severity` fraction of query rows gets a
+/// freshly drawn latency profile (their optimal hint typically moves).
+struct DriftEvent {
+  double after_budget_fraction = 0.5;
+  double severity = 0.5;
+};
+
+/// A complete description of one synthetic world plus the regime it is
+/// explored under. A ScenarioSpec is *data*: the same spec + seed always
+/// compiles to the same world, so any failure reproduces from one line.
+///
+/// The defaults describe a mid-sized, moderately structured workload;
+/// ScenarioGrid() derives the named corner cases used by the grid tests.
+struct ScenarioSpec {
+  std::string name = "default";
+
+  // --- World shape -------------------------------------------------------
+  int num_queries = 40;
+  int num_hints = 12;
+  /// Rank of the latent structure tying hints to queries. The paper's
+  /// central premise is that real workload matrices are approximately
+  /// low-rank (Fig. 14); latent_rank controls how true that is here.
+  int latent_rank = 3;
+
+  // --- Base latency distribution ----------------------------------------
+  /// Per-query base latency is LogNormal(base_mu, base_sigma) seconds:
+  /// workloads mix millisecond point lookups with minute-scale reports.
+  double base_mu = 0.0;
+  double base_sigma = 1.2;
+
+  // --- Hint-correlation structure ---------------------------------------
+  /// Weight of the shared low-rank component in log space; the remainder is
+  /// i.i.d. noise. 1.0 = perfectly low-rank world, 0.0 = structureless.
+  double structure_strength = 0.8;
+  /// Fraction of non-default hints that are globally good (multiplier drawn
+  /// in [good_hint_gain, 0.95]) — the "some hints are globally good" effect
+  /// the leading singular value captures.
+  double good_hint_fraction = 0.25;
+  double good_hint_gain = 0.45;
+  /// Worst-case multiplier for globally bad hints.
+  double bad_hint_penalty = 4.0;
+
+  // --- Observation model -------------------------------------------------
+  /// Multiplicative log-normal execution noise per run (sigma in log
+  /// space); 0 disables run-to-run noise.
+  double noise_sigma = 0.02;
+  TailModel tail = TailModel::kLogNormal;
+  /// For kParetoMix: probability that a non-default cell carries a Pareto
+  /// catastrophic multiplier, and the scale of that multiplier.
+  double heavy_tail_prob = 0.0;
+  double heavy_tail_scale = 25.0;
+
+  // --- Plan equivalence ---------------------------------------------------
+  /// When > 1, hints are grouped into plan-identity classes of this size
+  /// (consecutive hints share one physical plan), exercising the free
+  /// cell-fill path of WorkloadBackend::EquivalentHints. 0/1 = no classes.
+  int equivalence_class_size = 0;
+
+  // --- Timeout regime -----------------------------------------------------
+  bool use_timeouts = true;
+  /// alpha of Algorithm 1 line 10 (timeout = alpha * predicted latency).
+  double timeout_alpha = 2.0;
+
+  // --- Offline exploration regime ----------------------------------------
+  int batch_size = 8;
+  /// Offline budget as a fraction of the default workload latency.
+  double budget_fraction = 0.6;
+  /// Drift schedule applied while the offline loop runs (may be empty).
+  std::vector<DriftEvent> drift;
+
+  // --- Online serving phase ----------------------------------------------
+  /// Round-robin servings pushed through OnlineExplorationOptimizer after
+  /// the offline loop; 0 skips the online phase.
+  int online_servings = 300;
+  double epsilon = 0.1;
+  double min_predicted_ratio = 0.05;
+  double online_regret_budget_seconds = 5.0;
+
+  /// Master seed: world generation, policy tie-breaks, and the online
+  /// streams all derive from it.
+  uint64_t seed = 1;
+};
+
+/// The named scenario grid exercised by tests/scenario_sim_test.cc and
+/// bench/bench_scenarios.cc: >= 12 configurations spanning well-behaved,
+/// heavy-tailed, timeout-free, tight-timeout, noisy, drifting, and
+/// plan-equivalence worlds.
+std::vector<ScenarioSpec> ScenarioGrid();
+
+/// Compact one-line description ("name n=40 k=12 seed=7 ...") used in test
+/// failure messages so any run reproduces from the log.
+std::string Describe(const ScenarioSpec& spec);
+
+}  // namespace limeqo::scenarios
+
+#endif  // LIMEQO_SCENARIOS_SCENARIO_H_

@@ -1,0 +1,361 @@
+#include "scenarios/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/als.h"
+#include "core/explorer.h"
+#include "core/nuclear_norm.h"
+#include "core/online.h"
+#include "core/online_explorer.h"
+#include "core/policy.h"
+#include "core/svt.h"
+
+namespace limeqo::scenarios {
+namespace {
+
+std::unique_ptr<core::Completer> MakeCompleter(CompleterKind kind,
+                                               uint64_t seed) {
+  switch (kind) {
+    case CompleterKind::kAls: {
+      core::AlsOptions options;
+      options.seed = seed;
+      return std::make_unique<core::AlsCompleter>(options);
+    }
+    case CompleterKind::kSvt:
+      return std::make_unique<core::SvtCompleter>();
+    case CompleterKind::kNuclearNorm:
+      return std::make_unique<core::NuclearNormCompleter>();
+  }
+  LIMEQO_CHECK(false);
+  return nullptr;
+}
+
+std::unique_ptr<core::ExplorationPolicy> MakePolicy(PolicyKind policy,
+                                                    CompleterKind completer,
+                                                    uint64_t seed) {
+  switch (policy) {
+    case PolicyKind::kRandom:
+      return std::make_unique<core::RandomPolicy>();
+    case PolicyKind::kGreedy:
+      return std::make_unique<core::GreedyPolicy>();
+    case PolicyKind::kModelGuided:
+      return std::make_unique<core::ModelGuidedPolicy>(
+          std::make_unique<core::CompleterPredictor>(
+              MakeCompleter(completer, seed)),
+          CompleterKindName(completer) + "-greedy");
+  }
+  LIMEQO_CHECK(false);
+  return nullptr;
+}
+
+void Violate(SimulationResult* result, const std::string& invariant,
+             const std::string& detail) {
+  result->violations.push_back(invariant + ": " + detail);
+}
+
+/// The serving rule's no-regression guarantee (Algorithm 1 lines 13-15),
+/// checked against the hints the *actual serving component* chose — not
+/// re-derived from the matrix, so a regression in OnlineOptimizer or
+/// OfflineExplorer::BestHints is what trips it. A non-default serving must
+/// be a complete (never censored) observation no slower than the observed
+/// default.
+void CheckNoRegression(const core::WorkloadMatrix& m,
+                       const std::vector<int>& served_hints,
+                       const char* phase, SimulationResult* result) {
+  LIMEQO_CHECK(static_cast<int>(served_hints.size()) == m.num_queries());
+  for (int q = 0; q < m.num_queries(); ++q) {
+    const int served = served_hints[q];
+    if (served == 0) continue;  // the default is always safe to serve
+    if (m.state(q, served) != core::CellState::kComplete) {
+      std::ostringstream os;
+      os << phase << " query " << q << " serves unverified hint " << served
+         << " (state "
+         << static_cast<int>(m.state(q, served)) << ")";
+      Violate(result, "no-regression", os.str());
+      continue;
+    }
+    if (m.IsComplete(q, 0) && m.observed(q, served) > m.observed(q, 0)) {
+      std::ostringstream os;
+      os << phase << " query " << q << " serves hint " << served << " ("
+         << m.observed(q, served) << "s) over default ("
+         << m.observed(q, 0) << "s)";
+      Violate(result, "no-regression", os.str());
+    }
+  }
+}
+
+/// Served hints per query as the online path would pick them.
+std::vector<int> OnlineServedHints(const core::WorkloadMatrix& m) {
+  core::OnlineOptimizer serving(&m);
+  std::vector<int> hints(m.num_queries());
+  for (int q = 0; q < m.num_queries(); ++q) {
+    hints[q] = serving.ChooseHint(q);
+  }
+  return hints;
+}
+
+/// The three aligned matrices must stay mutually consistent (Algorithm 2's
+/// input contract): mask marks exactly the complete cells, thresholds exist
+/// exactly for censored cells, and a censored cell's value is its
+/// threshold.
+void CheckMatrixConsistency(const core::WorkloadMatrix& m,
+                            SimulationResult* result) {
+  for (int q = 0; q < m.num_queries(); ++q) {
+    for (int j = 0; j < m.num_hints(); ++j) {
+      const core::CellState state = m.state(q, j);
+      const double value = m.values()(q, j);
+      const double mask = m.mask()(q, j);
+      const double threshold = m.timeouts()(q, j);
+      bool ok = true;
+      switch (state) {
+        case core::CellState::kComplete:
+          ok = mask == 1.0 && threshold == 0.0 && value >= 0.0;
+          break;
+        case core::CellState::kCensored:
+          ok = mask == 0.0 && threshold > 0.0 && value == threshold;
+          break;
+        case core::CellState::kUnobserved:
+          ok = mask == 0.0 && threshold == 0.0 && value == 0.0;
+          break;
+      }
+      if (!ok) {
+        std::ostringstream os;
+        os << "cell (" << q << "," << j << ") state/value/mask/threshold = "
+           << static_cast<int>(state) << "/" << value << "/" << mask << "/"
+           << threshold;
+        Violate(result, "matrix-consistency", os.str());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string PolicyKindName(PolicyKind p) {
+  switch (p) {
+    case PolicyKind::kRandom:
+      return "Random";
+    case PolicyKind::kGreedy:
+      return "Greedy";
+    case PolicyKind::kModelGuided:
+      return "ModelGuided";
+  }
+  return "?";
+}
+
+std::string CompleterKindName(CompleterKind c) {
+  switch (c) {
+    case CompleterKind::kAls:
+      return "ALS";
+    case CompleterKind::kSvt:
+      return "SVT";
+    case CompleterKind::kNuclearNorm:
+      return "NuclearNorm";
+  }
+  return "?";
+}
+
+std::string SimulationResult::Summary() const {
+  std::ostringstream os;
+  os << "scenario=" << scenario << " policy=" << policy << " seed=" << seed
+     << " default=" << default_latency << "s final=" << final_latency
+     << "s optimal=" << optimal_latency << "s offline=" << offline_seconds
+     << "s execs=" << executions << " timeouts=" << timeouts
+     << " servings=" << servings << " explorations=" << explorations
+     << " regret=" << regret_spent << "s violations=" << violations.size();
+  for (const std::string& v : violations) os << "\n  VIOLATED " << v;
+  return os.str();
+}
+
+SimulationResult SimulationDriver::Run(PolicyKind policy,
+                                       CompleterKind completer) {
+  SimulationResult result;
+  result.scenario = spec_.name;
+  result.seed = spec_.seed;
+
+  SyntheticBackend backend(spec_);
+  result.default_latency = backend.DefaultWorkloadLatency();
+  result.optimal_latency = backend.OptimalWorkloadLatency();
+
+  std::unique_ptr<core::ExplorationPolicy> exploration_policy =
+      MakePolicy(policy, completer, MixSeed(spec_.seed, 0x504Fu));
+  result.policy = exploration_policy->name();
+
+  core::ExplorerOptions options;
+  options.batch_size = spec_.batch_size;
+  options.timeout_alpha = spec_.timeout_alpha;
+  options.use_timeouts = spec_.use_timeouts;
+  options.seed = MixSeed(spec_.seed, 0x4558u);
+  core::OfflineExplorer explorer(&backend, exploration_policy.get(),
+                                 options);
+
+  // ---- Offline loop, drift events interleaved at their budget marks ----
+  const double budget =
+      spec_.budget_fraction * backend.DefaultWorkloadLatency();
+  std::vector<DriftEvent> drift = spec_.drift;
+  // stable_sort: events at the same budget mark must apply in spec order on
+  // every platform, or seed replay breaks across standard libraries.
+  std::stable_sort(drift.begin(), drift.end(),
+                   [](const DriftEvent& a, const DriftEvent& b) {
+                     return a.after_budget_fraction < b.after_budget_fraction;
+                   });
+  double spent_fraction = 0.0;
+  for (size_t e = 0; e <= drift.size(); ++e) {
+    const double until =
+        e < drift.size()
+            ? std::clamp(drift[e].after_budget_fraction, 0.0, 1.0)
+            : 1.0;
+    const std::vector<core::TrajectoryPoint> trajectory =
+        explorer.Explore((until - spent_fraction) * budget);
+    spent_fraction = until;
+    // Between drifts observations only accumulate on unobserved cells, so
+    // the served workload latency can only improve.
+    for (size_t t = 1; t < trajectory.size(); ++t) {
+      if (trajectory[t].workload_latency >
+          trajectory[t - 1].workload_latency + 1e-9) {
+        std::ostringstream os;
+        os << "segment " << e << " step " << t << ": "
+           << trajectory[t - 1].workload_latency << "s -> "
+           << trajectory[t].workload_latency << "s";
+        Violate(&result, "offline-monotonicity", os.str());
+      }
+    }
+    if (e < drift.size()) {
+      backend.ApplyDrift(drift[e].severity);
+      explorer.ResetAfterDataShift();
+    }
+  }
+
+  result.offline_seconds = explorer.offline_seconds();
+  result.overhead_seconds = explorer.overhead_seconds();
+  result.executions = explorer.num_executions();
+  result.timeouts = explorer.num_timeouts();
+
+  // ---- Offline invariants ----------------------------------------------
+  // Each Explore call may overshoot its deadline by at most one execution's
+  // charge, and the drift schedule splits the budget into drift.size() + 1
+  // calls — so that is the exact end-to-end overshoot bound.
+  const double overshoot_allowance =
+      static_cast<double>(drift.size() + 1) * explorer.max_single_charge();
+  if (explorer.offline_seconds() > budget + overshoot_allowance + 1e-9) {
+    std::ostringstream os;
+    os << explorer.offline_seconds() << "s spent vs budget " << budget
+       << "s + " << drift.size() + 1 << " segments x max charge "
+       << explorer.max_single_charge() << "s";
+    Violate(&result, "offline-budget", os.str());
+  }
+  if (explorer.num_timeouts() != backend.timeouts_reported()) {
+    std::ostringstream os;
+    os << "explorer counted " << explorer.num_timeouts()
+       << " timeouts, backend reported " << backend.timeouts_reported();
+    Violate(&result, "timeout-accounting", os.str());
+  }
+  if (!spec_.use_timeouts && (explorer.num_timeouts() != 0 ||
+                              explorer.matrix().NumCensored() != 0)) {
+    std::ostringstream os;
+    os << explorer.num_timeouts() << " timeouts / "
+       << explorer.matrix().NumCensored()
+       << " censored cells with timeouts disabled";
+    Violate(&result, "timeout-accounting", os.str());
+  }
+  CheckMatrixConsistency(explorer.matrix(), &result);
+  // Both real serving outputs: the offline loop's BestHints and the online
+  // path's OnlineOptimizer rule.
+  CheckNoRegression(explorer.matrix(), explorer.BestHints(), "offline",
+                    &result);
+  CheckNoRegression(explorer.matrix(), OnlineServedHints(explorer.matrix()),
+                    "offline-serving", &result);
+
+  // ---- Online serving phase --------------------------------------------
+  if (spec_.online_servings > 0) {
+    std::unique_ptr<core::Predictor> predictor =
+        std::make_unique<core::CompleterPredictor>(
+            MakeCompleter(completer, MixSeed(spec_.seed, 0x4F4Eu)));
+    core::OnlineExplorationOptions online;
+    online.epsilon = spec_.epsilon;
+    online.min_predicted_ratio = spec_.min_predicted_ratio;
+    online.regret_budget_seconds = spec_.online_regret_budget_seconds;
+    online.seed = MixSeed(spec_.seed, 0x534Fu);
+    core::OnlineExplorationOptimizer optimizer(&explorer.mutable_matrix(),
+                                               predictor.get(), online);
+    double max_served = 0.0;
+    for (int s = 0; s < spec_.online_servings; ++s) {
+      const int q = s % spec_.num_queries;
+      const int hint = optimizer.ChooseHint(q);
+      const core::BackendResult r =
+          backend.Execute(q, hint, /*timeout_seconds=*/0.0);
+      max_served = std::max(max_served, r.observed_latency);
+      optimizer.ReportLatency(q, hint, r.observed_latency);
+    }
+
+    // Record the run's metrics before any diagnostic traffic below so the
+    // freeze probes don't contaminate the reported numbers.
+    result.servings = optimizer.servings();
+    result.explorations = optimizer.explorations();
+    result.regret_spent = optimizer.regret_spent();
+    result.final_latency = explorer.matrix().CurrentWorkloadLatency();
+
+    // An exhausted budget must freeze exploration for good.
+    if (optimizer.budget_exhausted()) {
+      const int frozen = optimizer.explorations();
+      for (int s = 0; s < 50; ++s) {
+        const int q = s % spec_.num_queries;
+        const int hint = optimizer.ChooseHint(q);
+        const core::BackendResult r = backend.Execute(q, hint, 0.0);
+        optimizer.ReportLatency(q, hint, r.observed_latency);
+      }
+      if (optimizer.explorations() != frozen) {
+        std::ostringstream os;
+        os << optimizer.explorations() - frozen
+           << " explorations after budget exhaustion";
+        Violate(&result, "online-budget-freeze", os.str());
+      }
+    }
+
+    // Regret is checked *before* a serving, so a single serving can
+    // overshoot — by at most its own latency.
+    if (result.regret_spent >
+        online.regret_budget_seconds + max_served + 1e-9) {
+      std::ostringstream os;
+      os << result.regret_spent << "s regret vs budget "
+         << online.regret_budget_seconds << "s + one serving ("
+         << max_served << "s)";
+      Violate(&result, "online-regret-budget", os.str());
+    }
+    // Exploration is gated by one Bernoulli(epsilon) per serving: the count
+    // is stochastically dominated by Binomial(servings, epsilon). A 4-sigma
+    // band never flakes with deterministic seeds.
+    const double n = static_cast<double>(result.servings);
+    const double cap = n * spec_.epsilon +
+                       4.0 * std::sqrt(n * spec_.epsilon *
+                                       (1.0 - spec_.epsilon)) +
+                       2.0;
+    if (result.explorations > cap) {
+      std::ostringstream os;
+      os << result.explorations << " explorations in " << result.servings
+         << " servings exceeds epsilon cap " << cap;
+      Violate(&result, "online-epsilon-cap", os.str());
+    }
+    if (spec_.epsilon == 0.0 && result.explorations != 0) {
+      Violate(&result, "online-epsilon-cap",
+              "explorations with epsilon = 0");
+    }
+
+    CheckMatrixConsistency(explorer.matrix(), &result);
+    CheckNoRegression(explorer.matrix(), explorer.BestHints(), "online",
+                      &result);
+    CheckNoRegression(explorer.matrix(), OnlineServedHints(explorer.matrix()),
+                      "online-serving", &result);
+  } else {
+    result.final_latency = explorer.matrix().CurrentWorkloadLatency();
+  }
+  return result;
+}
+
+}  // namespace limeqo::scenarios

@@ -1,0 +1,97 @@
+#ifndef LIMEQO_SCENARIOS_SIMULATION_H_
+#define LIMEQO_SCENARIOS_SIMULATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenarios/scenario.h"
+#include "scenarios/synthetic_backend.h"
+
+namespace limeqo::scenarios {
+
+/// Exploration policies the driver can instantiate.
+enum class PolicyKind {
+  kRandom = 0,
+  kGreedy,
+  /// The paper's Algorithm 1 (ModelGuidedPolicy) over a matrix completer.
+  kModelGuided,
+};
+
+/// Completion models available to kModelGuided and to the online phase.
+enum class CompleterKind {
+  kAls = 0,
+  kSvt,
+  kNuclearNorm,
+};
+
+std::string PolicyKindName(PolicyKind p);
+std::string CompleterKindName(CompleterKind c);
+
+/// Outcome of one scenario run: headline metrics plus every invariant
+/// violation observed. `violations` empty means all paper invariants held.
+struct SimulationResult {
+  std::string scenario;
+  std::string policy;
+  uint64_t seed = 0;
+
+  // Workload quality.
+  double default_latency = 0.0;   // P(W) serving only defaults (true values)
+  double final_latency = 0.0;     // P(W~) after the run (observed values)
+  double optimal_latency = 0.0;   // oracle P(W) (true values)
+
+  // Offline accounting.
+  double offline_seconds = 0.0;
+  double overhead_seconds = 0.0;
+  int executions = 0;
+  int timeouts = 0;
+
+  // Online accounting (zeros when the scenario has no online phase).
+  int servings = 0;
+  int explorations = 0;
+  double regret_spent = 0.0;
+
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+
+  /// One-line run summary including the reproducing seed; appended to every
+  /// test failure message.
+  std::string Summary() const;
+};
+
+/// Runs one ScenarioSpec end to end — offline exploration (with drift
+/// events applied mid-budget), then the online serving loop — and checks
+/// the paper's invariants with ground-truth access no real deployment has:
+///
+///  * no-regression: every query's final serving is its verified best, and
+///    never a plan observed slower than the observed default (Algorithm 1
+///    lines 13-15);
+///  * budget accounting: the offline clock can overshoot the budget by at
+///    most one execution's charge, and the charge of every timed-out
+///    execution equals its timeout threshold;
+///  * timeout accounting: the explorer's censor count equals the number of
+///    BackendResult::timed_out results it was handed, censored cells never
+///    define a row best, and use_timeouts=false produces no censoring;
+///  * monotonicity: offline workload latency is non-increasing between
+///    drift events;
+///  * online bounds: cumulative regret <= regret_budget_seconds plus one
+///    serving's overshoot, exploration count stays under its binomial
+///    epsilon cap, and an exhausted budget freezes exploration.
+class SimulationDriver {
+ public:
+  explicit SimulationDriver(const ScenarioSpec& spec) : spec_(spec) {}
+
+  /// Builds a fresh world and runs the full scenario under `policy`
+  /// (model-guided variants use `completer`). Deterministic: equal
+  /// (spec, policy, completer) triples produce equal results.
+  SimulationResult Run(PolicyKind policy,
+                       CompleterKind completer = CompleterKind::kAls);
+
+ private:
+  ScenarioSpec spec_;
+};
+
+}  // namespace limeqo::scenarios
+
+#endif  // LIMEQO_SCENARIOS_SIMULATION_H_

@@ -1,0 +1,190 @@
+#include "scenarios/synthetic_backend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace limeqo::scenarios {
+namespace {
+
+// Domain-separation constants for the independent random streams derived
+// from the one scenario seed.
+constexpr uint64_t kWorldStream = 0x5741u;   // hint-level structure
+constexpr uint64_t kRowStream = 0x524Fu;     // per-row latency profiles
+constexpr uint64_t kDriftStream = 0x4452u;   // which rows a drift touches
+constexpr uint64_t kNoiseStream = 0x4E4Fu;   // per-execution noise
+
+}  // namespace
+
+SyntheticBackend::SyntheticBackend(const ScenarioSpec& spec)
+    : spec_(spec),
+      truth_(spec.num_queries, spec.num_hints),
+      visit_counts_(static_cast<size_t>(spec.num_queries) * spec.num_hints,
+                    0) {
+  LIMEQO_CHECK(spec_.num_queries > 0 && spec_.num_hints > 0);
+  LIMEQO_CHECK(spec_.latent_rank > 0);
+  LIMEQO_CHECK(spec_.structure_strength >= 0.0 &&
+               spec_.structure_strength <= 1.0);
+  LIMEQO_CHECK(spec_.heavy_tail_prob >= 0.0 && spec_.heavy_tail_prob <= 1.0);
+  // The hint-bias draws below are Uniform(good_hint_gain, 0.95) and
+  // Uniform(0.95, bad_hint_penalty); a reversed range would silently invert
+  // the world's semantics, so reject it here.
+  LIMEQO_CHECK(spec_.good_hint_gain > 0.0 && spec_.good_hint_gain <= 0.95);
+  LIMEQO_CHECK(spec_.bad_hint_penalty >= 0.95);
+
+  // Hint-level structure is world-level and survives drift: data shift
+  // moves which plan wins a query, not which plans exist.
+  Rng world(MixSeed(spec_.seed, kWorldStream));
+  const int k = spec_.num_hints;
+  const int r = spec_.latent_rank;
+  hint_factors_.assign(static_cast<size_t>(k) * r, 0.0);
+  hint_bias_.assign(k, 1.0);
+  const double factor_scale = 1.0 / std::sqrt(static_cast<double>(r));
+  for (int j = 0; j < k; ++j) {
+    if (ClassRepresentative(j) != j) continue;  // shared-plan hints copy
+    for (int d = 0; d < r; ++d) {
+      hint_factors_[static_cast<size_t>(j) * r + d] =
+          world.NextGaussian() * factor_scale;
+    }
+    if (j == 0) continue;  // hint 0 is the default plan: multiplier 1
+    if (world.Bernoulli(spec_.good_hint_fraction)) {
+      hint_bias_[j] = world.Uniform(spec_.good_hint_gain, 0.95);
+    } else {
+      hint_bias_[j] = world.Uniform(0.95, spec_.bad_hint_penalty);
+    }
+  }
+
+  for (int i = 0; i < spec_.num_queries; ++i) {
+    RegenerateRow(i, MixSeed(spec_.seed, kRowStream, MixSeed(generation_, i)));
+  }
+}
+
+int SyntheticBackend::ClassRepresentative(int hint) const {
+  if (spec_.equivalence_class_size <= 1) return hint;
+  return hint - hint % spec_.equivalence_class_size;
+}
+
+void SyntheticBackend::RegenerateRow(int query, uint64_t row_seed) {
+  Rng rng(row_seed);
+  const int k = spec_.num_hints;
+  const int r = spec_.latent_rank;
+  const double base = rng.LogNormal(spec_.base_mu, spec_.base_sigma);
+  std::vector<double> q_factor(r);
+  const double factor_scale = 1.0 / std::sqrt(static_cast<double>(r));
+  for (int d = 0; d < r; ++d) q_factor[d] = rng.NextGaussian() * factor_scale;
+
+  for (int j = 0; j < k; ++j) {
+    if (ClassRepresentative(j) != j) {
+      // Identical physical plan => identical latency, by construction.
+      truth_(query, j) = truth_(query, ClassRepresentative(j));
+      continue;
+    }
+    if (j == 0) {
+      truth_(query, 0) = std::max(base, 1e-4);
+      continue;
+    }
+    double z = 0.0;
+    for (int d = 0; d < r; ++d) {
+      z += q_factor[d] * hint_factors_[static_cast<size_t>(j) * r + d];
+    }
+    // Correlated + idiosyncratic log-multiplier, spread 0.5 in log space.
+    const double e = rng.NextGaussian();
+    const double log_mult = 0.5 * (spec_.structure_strength * z +
+                                   (1.0 - spec_.structure_strength) * e);
+    double latency = base * hint_bias_[j] * std::exp(log_mult);
+    if (spec_.tail == TailModel::kParetoMix &&
+        rng.Bernoulli(spec_.heavy_tail_prob)) {
+      // Pareto(alpha = 1.5) tail, clamped so a single cell stays finite.
+      const double u = std::max(rng.NextDouble(), 1e-6);
+      latency *= 1.0 + spec_.heavy_tail_scale * std::pow(u, -1.0 / 1.5);
+    }
+    truth_(query, j) = std::max(latency, 1e-4);
+  }
+}
+
+core::BackendResult SyntheticBackend::Execute(int query, int hint,
+                                              double timeout_seconds) {
+  LIMEQO_CHECK(query >= 0 && query < spec_.num_queries);
+  LIMEQO_CHECK(hint >= 0 && hint < spec_.num_hints);
+  const size_t cell =
+      static_cast<size_t>(query) * spec_.num_hints + hint;
+  const int visit = visit_counts_[cell]++;
+
+  double latency = truth_(query, hint);
+  if (spec_.noise_sigma > 0.0) {
+    // Keyed by (cell, visit, generation), not by global call order: the
+    // i-th run of a cell observes the same latency in every interleaving.
+    Rng noise(MixSeed(spec_.seed, kNoiseStream,
+                  MixSeed(cell, MixSeed(visit, generation_))));
+    latency *= std::exp(spec_.noise_sigma * noise.NextGaussian());
+  }
+
+  ++executions_;
+  core::BackendResult result;
+  if (timeout_seconds > 0.0 && latency > timeout_seconds) {
+    result.observed_latency = timeout_seconds;
+    result.timed_out = true;
+    ++timeouts_reported_;
+  } else {
+    result.observed_latency = latency;
+    result.timed_out = false;
+  }
+  max_single_charge_ = std::max(max_single_charge_, result.observed_latency);
+  return result;
+}
+
+std::vector<int> SyntheticBackend::EquivalentHints(int query, int hint) const {
+  (void)query;
+  if (spec_.equivalence_class_size <= 1) return {hint};
+  const int first = ClassRepresentative(hint);
+  const int last =
+      std::min(first + spec_.equivalence_class_size, spec_.num_hints);
+  std::vector<int> out;
+  out.reserve(last - first);
+  for (int j = first; j < last; ++j) out.push_back(j);
+  return out;
+}
+
+void SyntheticBackend::ApplyDrift(double severity) {
+  LIMEQO_CHECK(severity >= 0.0 && severity <= 1.0);
+  ++generation_;
+  Rng pick(MixSeed(spec_.seed, kDriftStream, generation_));
+  for (int i = 0; i < spec_.num_queries; ++i) {
+    if (!pick.Bernoulli(severity)) continue;
+    RegenerateRow(i, MixSeed(spec_.seed, kRowStream, MixSeed(generation_, i)));
+  }
+  // New data: re-runs of a cell are fresh measurements.
+  std::fill(visit_counts_.begin(), visit_counts_.end(), 0);
+}
+
+double SyntheticBackend::DefaultWorkloadLatency() const {
+  double total = 0.0;
+  for (int i = 0; i < spec_.num_queries; ++i) total += truth_(i, 0);
+  return total;
+}
+
+double SyntheticBackend::OptimalWorkloadLatency() const {
+  double total = 0.0;
+  for (int i = 0; i < spec_.num_queries; ++i) {
+    double best = truth_(i, 0);
+    for (int j = 1; j < spec_.num_hints; ++j) {
+      best = std::min(best, truth_(i, j));
+    }
+    total += best;
+  }
+  return total;
+}
+
+double SyntheticBackend::MaxTrueLatency() const {
+  double worst = 0.0;
+  for (int i = 0; i < spec_.num_queries; ++i) {
+    for (int j = 0; j < spec_.num_hints; ++j) {
+      worst = std::max(worst, truth_(i, j));
+    }
+  }
+  return worst;
+}
+
+}  // namespace limeqo::scenarios

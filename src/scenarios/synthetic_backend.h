@@ -1,0 +1,82 @@
+#ifndef LIMEQO_SCENARIOS_SYNTHETIC_BACKEND_H_
+#define LIMEQO_SCENARIOS_SYNTHETIC_BACKEND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/backend.h"
+#include "linalg/matrix.h"
+#include "scenarios/scenario.h"
+
+namespace limeqo::scenarios {
+
+/// A WorkloadBackend compiled from a ScenarioSpec: a planted latency
+/// surface with controllable rank, tail, noise, plan equivalence, and data
+/// drift. Fully deterministic — the world is a pure function of
+/// (spec, seed, drift generation), and per-execution noise is a pure
+/// function of (cell, visit count), *not* of global call order. Two runs
+/// that execute the same cells the same number of times observe identical
+/// latencies even if they interleave differently, which is what lets the
+/// scenario tests assert bitwise trace equality across thread counts.
+///
+/// Ground truth stays accessible (TrueLatency, OptimalWorkloadLatency) so
+/// the simulation driver can check invariants no real deployment could.
+class SyntheticBackend : public core::WorkloadBackend {
+ public:
+  explicit SyntheticBackend(const ScenarioSpec& spec);
+
+  int num_queries() const override { return spec_.num_queries; }
+  int num_hints() const override { return spec_.num_hints; }
+
+  core::BackendResult Execute(int query, int hint,
+                              double timeout_seconds) override;
+
+  /// Hints sharing (query, hint)'s physical plan; driven by
+  /// spec.equivalence_class_size (consecutive hints form one class).
+  std::vector<int> EquivalentHints(int query, int hint) const override;
+
+  /// Data shift (Sec. 5.4): a `severity` fraction of query rows gets a
+  /// freshly drawn latency profile. Advances the drift generation, which
+  /// also re-keys the execution-noise stream.
+  void ApplyDrift(double severity);
+
+  // --- Ground truth (for invariant checking only) ------------------------
+  /// Noise-free latency of (query, hint) in the current generation.
+  double TrueLatency(int query, int hint) const { return truth_(query, hint); }
+  /// Sum over queries of the default hint's true latency (P(W) at hint 0).
+  double DefaultWorkloadLatency() const;
+  /// Sum over queries of the per-row true minimum (the oracle's P(W)).
+  double OptimalWorkloadLatency() const;
+  /// Largest true latency in the current world.
+  double MaxTrueLatency() const;
+
+  // --- Execution accounting ----------------------------------------------
+  int executions() const { return executions_; }
+  /// Executions that reported BackendResult::timed_out.
+  int timeouts_reported() const { return timeouts_reported_; }
+  /// Largest observed_latency any Execute call has returned.
+  double max_single_charge() const { return max_single_charge_; }
+  int generation() const { return generation_; }
+
+ private:
+  /// (Re)draws the latency profile of one query row into truth_.
+  void RegenerateRow(int query, uint64_t row_seed);
+  int ClassRepresentative(int hint) const;
+
+  ScenarioSpec spec_;
+  linalg::Matrix truth_;
+  /// Hint-level structure (k x latent_rank factors, per-hint multipliers);
+  /// drawn once and kept across drift.
+  std::vector<double> hint_factors_;
+  std::vector<double> hint_bias_;
+  int generation_ = 0;
+  std::vector<int> visit_counts_;  // per cell, reset on drift
+
+  int executions_ = 0;
+  int timeouts_reported_ = 0;
+  double max_single_charge_ = 0.0;
+};
+
+}  // namespace limeqo::scenarios
+
+#endif  // LIMEQO_SCENARIOS_SYNTHETIC_BACKEND_H_

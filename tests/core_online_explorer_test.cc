@@ -1,10 +1,12 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/als.h"
 #include "core/online_explorer.h"
 
@@ -155,6 +157,67 @@ TEST(OnlineExplorerTest, RandomFallbackBootstrapsFromColdStart) {
   OnlineExplorationOptimizer opt(&h.matrix, h.predictor.get(), options);
   h.Serve(&opt, 200);
   EXPECT_GT(opt.explorations(), 100);
+}
+
+/// The online analogue of the PR-1 completer determinism tests: a serving
+/// trace is a pure function of (options.seed, serving stream). Two drivers
+/// with the same seed must produce bitwise-identical traces even when the
+/// completion model runs on different thread counts — the gate and
+/// fallback-pick streams are forked independently from the seed, and the
+/// threaded linalg core is thread-count-invariant by contract.
+TEST(OnlineExplorerTest, TraceIsBitwiseIdenticalAcrossThreadCounts) {
+  OnlineExplorationOptions options;
+  options.epsilon = 0.3;
+  options.min_predicted_ratio = 0.05;
+  options.regret_budget_seconds = 50.0;
+  options.seed = 12345;
+
+  auto run_trace = [&](int threads, std::vector<int>* hints,
+                       double* regret) {
+    SetNumThreads(threads);
+    Harness h(42);
+    OnlineExplorationOptimizer opt(&h.matrix, h.predictor.get(), options);
+    for (int s = 0; s < 800; ++s) {
+      const int q = s % Harness::kQueries;
+      const int hint = opt.ChooseHint(q);
+      hints->push_back(hint);
+      opt.ReportLatency(q, hint, h.truth(q, hint));
+    }
+    *regret = opt.regret_spent();
+    EXPECT_EQ(opt.servings(), 800);
+  };
+
+  std::vector<int> hints_single, hints_multi;
+  double regret_single = 0.0, regret_multi = 0.0;
+  run_trace(1, &hints_single, &regret_single);
+  run_trace(8, &hints_multi, &regret_multi);
+  SetNumThreads(1);
+
+  ASSERT_EQ(hints_single.size(), hints_multi.size());
+  EXPECT_EQ(hints_single, hints_multi)
+      << "online serving trace depends on the thread count";
+  EXPECT_EQ(regret_single, regret_multi);
+}
+
+TEST(OnlineExplorerTest, SameSeedSameTraceDifferentSeedDifferentTrace) {
+  auto run_trace = [](uint64_t seed) {
+    Harness h(9);
+    OnlineExplorationOptions options;
+    options.epsilon = 0.4;
+    options.regret_budget_seconds = 1e9;
+    options.seed = seed;
+    OnlineExplorationOptimizer opt(&h.matrix, h.predictor.get(), options);
+    std::vector<int> hints;
+    for (int s = 0; s < 400; ++s) {
+      const int q = s % Harness::kQueries;
+      const int hint = opt.ChooseHint(q);
+      hints.push_back(hint);
+      opt.ReportLatency(q, hint, h.truth(q, hint));
+    }
+    return hints;
+  };
+  EXPECT_EQ(run_trace(7), run_trace(7));
+  EXPECT_NE(run_trace(7), run_trace(8));
 }
 
 TEST(OnlineExplorerTest, RiskGateTapersExplorationNearBudget) {

@@ -1,9 +1,14 @@
+#include <cmath>
+#include <iostream>
+#include <limits>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "core/serialization.h"
+#include "proptest.h"
 
 namespace limeqo::core {
 namespace {
@@ -110,6 +115,79 @@ TEST(SerializationTest, FileRoundTrip) {
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->NumComplete(), w.NumComplete());
   EXPECT_EQ(loaded->NumCensored(), w.NumCensored());
+}
+
+/// Property: any reachable WorkloadMatrix state — censored cells, zero
+/// latencies, denormals, huge magnitudes — survives save -> load -> save
+/// with byte-identical output and cell-exact state. Catches both precision
+/// loss (not enough digits) and format drift (load/save disagreeing).
+TEST(SerializationTest, RandomMatrixStatesRoundTripByteIdentically) {
+  proptest::Check(
+      "save -> load -> save is byte-identical",
+      [](proptest::Params& p) {
+        const int n = static_cast<int>(p.Int(1, 60));
+        const int k = static_cast<int>(p.Int(1, 16));
+        WorkloadMatrix w(n, k);
+        Rng value_rng(p.case_seed() ^ 0x53455231ULL);
+        for (int i = 0; i < n; ++i) {
+          for (int j = 0; j < k; ++j) {
+            const int64_t roll = p.Int(0, 9);
+            if (roll < 4) continue;  // unobserved
+            // Magnitudes spanning denormals to near-overflow, plus exact
+            // edge values; every one must survive the text round trip.
+            double value;
+            switch (roll) {
+              case 4:
+                value = 0.0;  // legal complete observation
+                break;
+              case 5:
+                value = std::numeric_limits<double>::denorm_min();
+                break;
+              case 6:
+                value = std::numeric_limits<double>::max();
+                break;
+              default:
+                value = std::exp(value_rng.Uniform(-280.0, 280.0));
+                break;
+            }
+            if (p.Bool(0.3) && value > 0.0) {
+              w.ObserveCensored(i, j, value);
+            } else {
+              w.Observe(i, j, value);
+            }
+          }
+        }
+
+        std::stringstream first;
+        if (!SaveWorkloadMatrix(w, first).ok()) return false;
+        StatusOr<WorkloadMatrix> loaded = LoadWorkloadMatrix(first);
+        if (!loaded.ok()) {
+          std::cerr << "load failed: " << loaded.status() << "\n";
+          return false;
+        }
+        for (int i = 0; i < n; ++i) {
+          for (int j = 0; j < k; ++j) {
+            if (loaded->state(i, j) != w.state(i, j)) {
+              std::cerr << "state mismatch at (" << i << "," << j << ")\n";
+              return false;
+            }
+            if (w.state(i, j) != CellState::kUnobserved &&
+                loaded->observed(i, j) != w.observed(i, j)) {
+              std::cerr << "value mismatch at (" << i << "," << j << "): "
+                        << w.observed(i, j) << " vs "
+                        << loaded->observed(i, j) << "\n";
+              return false;
+            }
+          }
+        }
+        std::stringstream second;
+        if (!SaveWorkloadMatrix(*loaded, second).ok()) return false;
+        if (first.str() != second.str()) {
+          std::cerr << "save -> load -> save not byte-identical\n";
+          return false;
+        }
+        return true;
+      });
 }
 
 TEST(SerializationTest, FileErrorsSurfaceAsStatus) {

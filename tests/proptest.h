@@ -1,0 +1,230 @@
+#ifndef LIMEQO_TESTS_PROPTEST_H_
+#define LIMEQO_TESTS_PROPTEST_H_
+
+/// A minimal seeded property-testing harness (quickcheck-style) for the
+/// test suite. Design goals, in order:
+///
+///  1. *Reproducibility*: every generated case derives from one 64-bit
+///     seed. A failure prints `LIMEQO_PROPTEST_SEED=<seed>`; exporting that
+///     variable re-runs exactly the failing case.
+///  2. *Shrinking*: after a failure the harness re-runs the property with
+///     individual drawn values pushed toward their lower bounds (bounded by
+///     Config::max_shrink_attempts) and reports the smallest still-failing
+///     assignment.
+///  3. *No framework magic*: a property is a callable `bool(Params&)` that
+///     returns false on violation. Properties should signal failure through
+///     the return value — not gtest macros — so that shrink re-runs stay
+///     silent; print diagnostics to stderr when returning false instead.
+///
+/// Usage:
+///
+///   proptest::Check("matrix round-trips", [](proptest::Params& p) {
+///     const int n = p.Int(1, 50);
+///     const double x = p.Double(0.0, 1e6);
+///     ...
+///     return condition_held;
+///   });
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace limeqo::proptest {
+
+struct Config {
+  /// Generated cases per Check call (LIMEQO_PROPTEST_RUNS overrides).
+  int runs = 25;
+  /// Master seed; per-case seeds derive from it. LIMEQO_PROPTEST_SEED
+  /// replays a single case instead.
+  uint64_t seed = 0x11320DD5CA1EULL;
+  /// Total property re-runs the shrinker may spend.
+  int max_shrink_attempts = 150;
+  bool shrink = true;
+};
+
+/// The value source handed to a property. Draws are uniform, recorded, and
+/// individually overridable — the override mechanism always consumes the
+/// underlying random stream too, so overriding draw i never desynchronizes
+/// draws i+1... (the standard record-and-replay shrinking trick).
+class Params {
+ public:
+  explicit Params(uint64_t case_seed,
+                  std::vector<std::optional<double>> overrides = {})
+      : case_seed_(case_seed),
+        rng_(case_seed),
+        overrides_(std::move(overrides)) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Int(int64_t lo, int64_t hi) {
+    const double raw = static_cast<double>(rng_.UniformInt(lo, hi));
+    return static_cast<int64_t>(Record(/*is_int=*/true,
+                                       static_cast<double>(lo),
+                                       static_cast<double>(hi), raw));
+  }
+
+  /// Uniform double in [lo, hi).
+  double Double(double lo, double hi) {
+    return Record(/*is_int=*/false, lo, hi, rng_.Uniform(lo, hi));
+  }
+
+  /// True with probability p. Shrinks toward false.
+  bool Bool(double p = 0.5) {
+    const double raw = rng_.Bernoulli(p) ? 1.0 : 0.0;
+    return Record(/*is_int=*/true, 0.0, 1.0, raw) != 0.0;
+  }
+
+  uint64_t case_seed() const { return case_seed_; }
+
+  // --- Harness internals --------------------------------------------------
+  struct Draw {
+    bool is_int = false;
+    double lo = 0.0;
+    double hi = 0.0;
+    double value = 0.0;
+  };
+  const std::vector<Draw>& draws() const { return draws_; }
+
+ private:
+  double Record(bool is_int, double lo, double hi, double raw) {
+    const size_t index = draws_.size();
+    double value = raw;
+    if (index < overrides_.size() && overrides_[index].has_value()) {
+      value = *overrides_[index];
+      if (value < lo) value = lo;
+      if (value > hi) value = hi;
+      if (is_int) value = static_cast<double>(static_cast<int64_t>(value));
+    }
+    draws_.push_back(Draw{is_int, lo, hi, value});
+    return value;
+  }
+
+  uint64_t case_seed_;
+  Rng rng_;
+  std::vector<std::optional<double>> overrides_;
+  std::vector<Draw> draws_;
+};
+
+using Property = std::function<bool(Params&)>;
+
+namespace internal {
+
+inline std::string FormatDraws(const std::vector<Params::Draw>& draws) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < draws.size(); ++i) {
+    if (i > 0) os << ", ";
+    if (draws[i].is_int) {
+      os << static_cast<int64_t>(draws[i].value);
+    } else {
+      os << draws[i].value;
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+/// Re-runs `prop` on (case_seed, overrides); true when it still FAILS.
+inline bool StillFails(const Property& prop, uint64_t case_seed,
+                       const std::vector<std::optional<double>>& overrides,
+                       std::vector<Params::Draw>* draws_out) {
+  Params params(case_seed, overrides);
+  const bool held = prop(params);
+  if (draws_out != nullptr) *draws_out = params.draws();
+  return !held;
+}
+
+/// Greedy bounded shrink: walk the recorded draws, repeatedly trying the
+/// lower bound and then the midpoint toward it, keeping any substitution
+/// under which the property still fails. Overriding a draw replays the
+/// whole property, so control-flow changes (fewer/more draws) are handled
+/// naturally.
+inline std::vector<Params::Draw> Shrink(const Property& prop,
+                                        uint64_t case_seed,
+                                        std::vector<Params::Draw> failing,
+                                        int max_attempts) {
+  std::vector<std::optional<double>> committed(failing.size());
+  int attempts = 0;
+  bool improved = true;
+  while (improved && attempts < max_attempts) {
+    improved = false;
+    for (size_t i = 0; i < failing.size() && attempts < max_attempts; ++i) {
+      const Params::Draw current = failing[i];
+      const double candidates[2] = {
+          current.lo,
+          current.is_int
+              ? std::floor((current.lo + current.value) / 2.0)
+              : (current.lo + current.value) / 2.0,
+      };
+      for (double candidate : candidates) {
+        if (attempts >= max_attempts) break;
+        if (candidate == current.value) continue;
+        const std::optional<double> previous =
+            i < committed.size() ? committed[i] : std::nullopt;
+        if (i >= committed.size()) committed.resize(i + 1);
+        committed[i] = candidate;
+        ++attempts;
+        std::vector<Params::Draw> draws;
+        if (StillFails(prop, case_seed, committed, &draws)) {
+          failing = std::move(draws);
+          committed.resize(failing.size());
+          improved = true;
+          break;  // re-evaluate this index against its new value
+        }
+        committed[i] = previous;
+      }
+    }
+  }
+  return failing;
+}
+
+}  // namespace internal
+
+/// Runs `prop` against Config::runs generated cases (or the single case
+/// named by LIMEQO_PROPTEST_SEED). On failure, shrinks and reports the
+/// reproducing seed plus the smallest failing draw assignment via
+/// ADD_FAILURE, so the surrounding gtest test fails with a replayable
+/// message.
+inline void Check(const std::string& name, const Property& prop,
+                  Config config = {}) {
+  std::vector<uint64_t> case_seeds;
+  if (const char* env = std::getenv("LIMEQO_PROPTEST_SEED")) {
+    case_seeds.push_back(std::strtoull(env, nullptr, 0));
+  } else {
+    if (const char* env_runs = std::getenv("LIMEQO_PROPTEST_RUNS")) {
+      const long runs = std::strtol(env_runs, nullptr, 0);
+      if (runs > 0) config.runs = static_cast<int>(runs);
+    }
+    Rng master(config.seed);
+    for (int r = 0; r < config.runs; ++r) {
+      case_seeds.push_back(master.NextUint64());
+    }
+  }
+
+  for (uint64_t case_seed : case_seeds) {
+    Params params(case_seed);
+    if (prop(params)) continue;
+    std::vector<Params::Draw> smallest = params.draws();
+    if (config.shrink) {
+      smallest = internal::Shrink(prop, case_seed, std::move(smallest),
+                                  config.max_shrink_attempts);
+    }
+    ADD_FAILURE() << "property \"" << name << "\" failed; reproduce with "
+                  << "LIMEQO_PROPTEST_SEED=" << case_seed
+                  << "\n  shrunk draws: "
+                  << internal::FormatDraws(smallest);
+    return;  // one counterexample per Check is enough
+  }
+}
+
+}  // namespace limeqo::proptest
+
+#endif  // LIMEQO_TESTS_PROPTEST_H_
