@@ -3,14 +3,23 @@
 // budget) the remaining 30% arrive as new workload-matrix rows. LimeQO's
 // completed matrix transfers what it learned about the hint space to the
 // new rows and recovers within ~0.5 h; Greedy has no model to transfer.
+//
+// A second section runs the scenario grid's workload-shift worlds
+// (arrival schedules in ScenarioSpec) through the SimulationDriver with
+// invariant checks on, timing each run so the Fig. 9 path sits on the perf
+// trajectory; `--json=<path>` writes the measurements alongside
+// BENCH_micro.json.
 
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
+#include "scenarios/scenario.h"
+#include "scenarios/simulation.h"
 
 namespace limeqo::bench {
 namespace {
@@ -40,6 +49,51 @@ ShiftResult RunWithShift(simdb::SimulatedDatabase* db, Technique t,
     result.latencies.push_back(explorer.WorkloadLatency());
   }
   return result;
+}
+
+// Scenario-grid variant: every grid world with an arrival schedule, run
+// end-to-end (offline with arrivals, online serving, invariant checks)
+// under the matrix-completer arm on the synthetic surface and the LimeQO+
+// arm through the simdb bridge. Returns non-zero when any invariant broke.
+int RunScenarioVariant(BenchReporter* reporter) {
+  std::printf(
+      "\nScenario-grid workload-shift variant (arrival schedules, invariant "
+      "checks on):\n");
+  for (const scenarios::ScenarioSpec& spec : scenarios::ScenarioGrid()) {
+    if (spec.arrivals.empty()) continue;
+    struct Arm {
+      const char* label;
+      scenarios::RunConfig config;
+    };
+    scenarios::RunConfig matrix_arm;  // defaults: ALS on the surface
+    scenarios::RunConfig neural_arm;
+    neural_arm.world = scenarios::WorldKind::kSimDb;
+    neural_arm.arm = scenarios::PredictorArm::kLimeQoPlus;
+    for (const Arm& arm : {Arm{"ALS", matrix_arm}, Arm{"LimeQO+", neural_arm}}) {
+      scenarios::SimulationResult last;
+      long iterations = 0;
+      const double ns = TimeNsPerOp(
+          [&] {
+            scenarios::SimulationDriver driver(spec);
+            last = driver.Run(arm.config);
+          },
+          /*min_seconds=*/0.2, &iterations);
+      reporter->Report("fig9/scenario/" + spec.name + "/" + arm.label, ns,
+                       iterations);
+      std::printf(
+          "    %-34s default %8.2fs -> final %8.2fs (optimal %8.2fs), "
+          "%d arrivals, %d violations\n",
+          (spec.name + " [" + last.policy + "]").c_str(),
+          last.default_latency, last.final_latency, last.optimal_latency,
+          last.arrivals, static_cast<int>(last.violations.size()));
+      if (!last.ok()) {
+        std::printf("    INVARIANT VIOLATIONS:\n%s\n",
+                    last.Summary().c_str());
+        return 1;
+      }
+    }
+  }
+  return 0;
 }
 
 void Run() {
@@ -81,7 +135,19 @@ void Run() {
       "with-shift Greedy stays above no-shift Greedy for > 4x.\n");
 }
 
+int Main(int argc, char** argv) {
+  Run();
+  BenchReporter reporter;
+  if (int rc = RunScenarioVariant(&reporter); rc != 0) return rc;
+  const std::string json = JsonPathFromArgs(argc, argv);
+  if (!json.empty() && !reporter.WriteJson(json)) {
+    std::fprintf(stderr, "failed to write %s\n", json.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace limeqo::bench
 
-int main() { limeqo::bench::Run(); }
+int main(int argc, char** argv) { return limeqo::bench::Main(argc, argv); }

@@ -23,8 +23,9 @@ int Main(int argc, char** argv) {
               "grid scenarios at their native (test-sized) shapes");
 
   const std::vector<std::string> selected = {
-      "baseline", "large-sparse", "heavy-tail-extreme", "drift-repeated",
-      "online-tight-budget"};
+      "baseline",        "large-sparse",        "heavy-tail-extreme",
+      "drift-repeated",  "online-tight-budget", "arrival-midstream",
+      "arrival-bursts"};
   BenchReporter reporter;
 
   std::string skipped;

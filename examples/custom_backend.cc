@@ -7,7 +7,7 @@
 // it. In production the Execute() method would submit the hinted query to
 // your DBMS and time it.
 //
-//   build/examples/custom_backend
+//   build/custom_backend
 
 #include <cmath>
 #include <cstdio>

@@ -4,7 +4,7 @@
 // only verified plans (no regressions), and newly added dashboard panels
 // (new queries) join the workload matrix as new rows.
 //
-//   build/examples/dashboard_fleet
+//   build/dashboard_fleet
 
 #include <cstdio>
 #include <memory>

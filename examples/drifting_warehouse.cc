@@ -4,7 +4,7 @@
 // LimeQO re-validates each query's current best hint on the new data (free:
 // those plans keep serving production) and resumes exploration.
 //
-//   build/examples/drifting_warehouse
+//   build/drifting_warehouse
 
 #include <cstdio>
 #include <memory>

@@ -5,7 +5,7 @@
 // anyway; cumulative slowdown versus the verified plans is capped by an
 // explicit regret budget.
 //
-//   build/examples/online_exploration
+//   build/online_exploration
 
 #include <cstdio>
 #include <memory>

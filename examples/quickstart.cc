@@ -1,7 +1,7 @@
 // Quickstart: explore a repetitive workload offline with LimeQO and print
 // the no-regression hint selections.
 //
-//   build/examples/quickstart
+//   build/quickstart
 //
 // Walks through the whole public API surface in ~60 lines: build a
 // (simulated) workload, wrap it in a backend, run Algorithm 1 with the

@@ -1,6 +1,12 @@
 #ifndef LIMEQO_CORE_EXPLORER_H_
 #define LIMEQO_CORE_EXPLORER_H_
 
+/// \file
+/// The offline exploration driver of the paper's Algorithm 1: batched
+/// policy-driven execution against a WorkloadBackend with timeout
+/// censoring, budget accounting, and the workload-shift entry points
+/// (AddNewQueries, ResetAfterDataShift).
+
 #include <memory>
 #include <vector>
 
@@ -36,7 +42,9 @@ struct TrajectoryPoint {
   double workload_latency = 0.0;
   /// Cumulative model overhead (prediction/selection wall time) in seconds.
   double overhead_seconds = 0.0;
+  /// Workload-matrix cells with a complete observation at this point.
   int complete_cells = 0;
+  /// Workload-matrix cells holding a censored (timed-out) lower bound.
   int censored_cells = 0;
 };
 
@@ -71,7 +79,10 @@ class OfflineExplorer {
   /// zero offline cost (those executions happen on the online path).
   void ResetAfterDataShift();
 
+  /// The partially observed workload matrix W-tilde built so far.
   const WorkloadMatrix& matrix() const { return matrix_; }
+  /// Mutable access for components that keep observing after the offline
+  /// loop (e.g. OnlineExplorationOptimizer feeding servings back in).
   WorkloadMatrix& mutable_matrix() { return matrix_; }
 
   /// Cumulative offline execution time spent so far.

@@ -1,6 +1,11 @@
 #ifndef LIMEQO_CORE_ONLINE_EXPLORER_H_
 #define LIMEQO_CORE_ONLINE_EXPLORER_H_
 
+/// \file
+/// Bounded online exploration (the paper's Sec. 6 direction): an
+/// epsilon-gated, regret-budgeted serving rule that lets production
+/// traffic itself fill workload-matrix cells without unbounded regressions.
+
 #include <cstdint>
 
 #include "common/rng.h"

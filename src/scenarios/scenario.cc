@@ -130,6 +130,35 @@ std::vector<ScenarioSpec> ScenarioGrid() {
     s.seed = 115;
     grid.push_back(s);
   }
+  {
+    // Fig. 9's workload shift: explore 70% of the queries, the other 30%
+    // arrive after two thirds of the budget.
+    ScenarioSpec s;
+    s.name = "arrival-midstream";
+    s.arrivals = {{2.0 / 3.0, 12}};
+    s.seed = 116;
+    grid.push_back(s);
+  }
+  {
+    // Repeated arrival bursts: the workload grows twice mid-budget, so the
+    // model must transfer what it learned about the hint space twice.
+    ScenarioSpec s;
+    s.name = "arrival-bursts";
+    s.num_queries = 48;
+    s.arrivals = {{0.4, 8}, {0.75, 8}};
+    s.seed = 117;
+    grid.push_back(s);
+  }
+  {
+    // The hardest shift regime: data drifts *and* new queries arrive in one
+    // run, exercising ResetAfterDataShift and AddNewQueries together.
+    ScenarioSpec s;
+    s.name = "arrival-under-drift";
+    s.drift = {{0.3, 0.4}};
+    s.arrivals = {{0.6, 10}};
+    s.seed = 118;
+    grid.push_back(s);
+  }
 
   return grid;
 }
@@ -144,7 +173,13 @@ std::string Describe(const ScenarioSpec& spec) {
      << " alpha=" << spec.timeout_alpha << " noise=" << spec.noise_sigma
      << " eqclass=" << spec.equivalence_class_size
      << " drift_events=" << spec.drift.size()
-     << " servings=" << spec.online_servings << " eps=" << spec.epsilon
+     << " arrivals=" << spec.arrivals.size();
+  if (!spec.arrivals.empty()) {
+    int arriving = 0;
+    for (const ArrivalEvent& a : spec.arrivals) arriving += a.count;
+    os << " arriving=" << arriving;
+  }
+  os << " servings=" << spec.online_servings << " eps=" << spec.epsilon
      << " seed=" << spec.seed;
   return os.str();
 }

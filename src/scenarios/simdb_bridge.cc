@@ -1,0 +1,115 @@
+#include "scenarios/simdb_bridge.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace limeqo::scenarios {
+namespace {
+
+// Domain-separation constants for the bridge's seed-derived streams,
+// disjoint from SyntheticBackend's so compiling a spec never perturbs the
+// latency surface the same spec produces without the bridge.
+constexpr uint64_t kCatalogStream = 0x4341u;  // table statistics
+constexpr uint64_t kQueryStream = 0x5155u;    // query shapes
+constexpr uint64_t kHintStream = 0x4849u;     // class -> hint-config map
+constexpr uint64_t kCostStream = 0x434Fu;     // cost-model distortion
+
+}  // namespace
+
+simdb::SimulatedDatabase SimDbScenarioBackend::Compile(
+    const ScenarioSpec& spec, const SyntheticBackend& surface) {
+  LIMEQO_CHECK(spec.num_hints <= simdb::kNumHints);
+
+  simdb::PlantedDatabaseSpec planted;
+
+  // Catalog sized from the matrix shape: roughly one table per two queries,
+  // bounded so small grids still get a joinable schema and large ones stay
+  // IMDb-sized.
+  Rng catalog_rng(MixSeed(spec.seed, kCatalogStream));
+  const int num_tables = std::clamp(spec.num_queries / 2, 8, 48);
+  planted.catalog = simdb::Catalog::Random(num_tables, &catalog_rng);
+
+  // Query shapes: analytic join queries over the catalog. Join counts stay
+  // modest so plan trees are featurizable at test sizes.
+  Rng query_rng(MixSeed(spec.seed, kQueryStream));
+  simdb::QueryGenerator qgen(&planted.catalog, 2, std::min(6, num_tables));
+  planted.queries.reserve(spec.num_queries);
+  for (int i = 0; i < spec.num_queries; ++i) {
+    planted.queries.push_back(qgen.Generate(&query_rng));
+  }
+
+  // One distinct optimizer configuration per plan-equivalence class, drawn
+  // from a seed-shuffled pool; members of a class share their
+  // representative's configuration, which is what makes their plan trees
+  // literally identical. Column 0 keeps the default configuration.
+  std::vector<int> pool;
+  pool.reserve(simdb::kNumHints - 1);
+  for (int id = 1; id < simdb::kNumHints; ++id) pool.push_back(id);
+  Rng hint_rng(MixSeed(spec.seed, kHintStream));
+  hint_rng.Shuffle(&pool);
+  planted.hint_configs.assign(spec.num_hints, 0);
+  size_t next = 0;
+  for (int j = 0; j < spec.num_hints; ++j) {
+    const int rep = SyntheticBackend::ClassRepresentative(spec, j);
+    if (rep == 0) {
+      planted.hint_configs[j] = 0;
+    } else if (rep == j) {
+      LIMEQO_CHECK(next < pool.size());
+      planted.hint_configs[j] = pool[next++];
+    } else {
+      planted.hint_configs[j] = planted.hint_configs[rep];
+    }
+  }
+
+  // Plan-equivalence table (query-independent in scenario worlds) and the
+  // planted truth, copied from the surface so the bridge's ground truth is
+  // bitwise the spec's.
+  planted.representative.reserve(
+      static_cast<size_t>(spec.num_queries) * spec.num_hints);
+  for (int i = 0; i < spec.num_queries; ++i) {
+    for (int j = 0; j < spec.num_hints; ++j) {
+      planted.representative.push_back(
+          SyntheticBackend::ClassRepresentative(spec, j));
+    }
+  }
+  planted.truth = surface.truth();
+
+  planted.cost_error_sigma = spec.cost_error_sigma;
+  planted.seed = MixSeed(spec.seed, kCostStream);
+
+  StatusOr<simdb::SimulatedDatabase> db =
+      simdb::SimulatedDatabase::CreateFromPlanted(std::move(planted));
+  LIMEQO_CHECK(db.ok());
+  return std::move(db).value();
+}
+
+SimDbScenarioBackend::SimDbScenarioBackend(const ScenarioSpec& spec)
+    : surface_(spec), db_(Compile(spec, surface_)) {}
+
+core::BackendResult SimDbScenarioBackend::Execute(int query, int hint,
+                                                  double timeout_seconds) {
+  return surface_.Execute(query, hint, timeout_seconds);
+}
+
+double SimDbScenarioBackend::OptimizerCost(int query, int hint) const {
+  return db_.OptimizerCost(query, hint);
+}
+
+const plan::PlanNode* SimDbScenarioBackend::Plan(int query, int hint) const {
+  return &db_.Plan(query, hint);
+}
+
+std::vector<int> SimDbScenarioBackend::EquivalentHints(int query,
+                                                       int hint) const {
+  return surface_.EquivalentHints(query, hint);
+}
+
+void SimDbScenarioBackend::ApplyDrift(double severity) {
+  surface_.ApplyDrift(severity);
+  db_.ReplacePlantedSurface(surface_.truth());
+}
+
+}  // namespace limeqo::scenarios

@@ -1,0 +1,116 @@
+#ifndef LIMEQO_SCENARIOS_SIMDB_BRIDGE_H_
+#define LIMEQO_SCENARIOS_SIMDB_BRIDGE_H_
+
+/// \file
+/// The scenario -> simdb bridge: compiles a ScenarioSpec into a full
+/// simdb::SimulatedDatabase (catalog, queries, per-class plan trees, cost
+/// estimates) around the spec's planted latency surface, so the neural
+/// arms run under the scenario grid.
+
+#include <vector>
+
+#include "scenarios/scenario.h"
+#include "scenarios/scenario_backend.h"
+#include "scenarios/synthetic_backend.h"
+#include "simdb/database.h"
+
+namespace limeqo::scenarios {
+
+/// The scenario -> simdb bridge: compiles a ScenarioSpec into a full
+/// simdb::SimulatedDatabase and serves it through the ScenarioBackend
+/// contract, so every arm of the paper — including the plan-tree-hungry
+/// neural predictors (TCNN / LimeQO+) — runs under the same scenario grid
+/// and invariant checks as the matrix-only policies.
+///
+/// The compilation:
+///  * *surface*: an internal SyntheticBackend provides the planted
+///    low-rank-plus-noise latency surface, per-execution noise keyed by
+///    (cell, visit, generation), drift, and execution accounting — bitwise
+///    identical to what the same spec produces without the bridge;
+///  * *catalog*: tables/statistics sized from the spec's matrix shape
+///    (roughly one table per two queries, log-uniform row counts), drawn
+///    from a seed-derived stream;
+///  * *hint columns*: each of the spec's plan-equivalence classes is
+///    assigned one distinct optimizer configuration from simdb::AllHints()
+///    (column 0 keeps the default, all-enabled configuration), so hints in
+///    one class produce literally identical plan trees — which is exactly
+///    what makes them plan-equivalent;
+///  * *plans + costs*: plan trees are generated per equivalence class by
+///    simdb::PlanGenerator and cost-anchored to the planted truth distorted
+///    by lognormal cost-model error (spec.cost_error_sigma), so
+///    plan::Featurize yields features that are informative-but-imperfect
+///    predictors of latency, as in a real DBMS.
+///
+/// Determinism: the database, plans, and costs are pure functions of the
+/// spec; Execute() delegates to the surface, so observation streams are a
+/// pure function of (cell, visit count, drift generation) and the whole
+/// bridge is bitwise reproducible across runs and thread counts.
+class SimDbScenarioBackend : public ScenarioBackend {
+ public:
+  /// Compiles the spec (requires spec.num_hints <= simdb::kNumHints).
+  explicit SimDbScenarioBackend(const ScenarioSpec& spec);
+
+  /// Number of queries (spec.num_queries).
+  int num_queries() const override { return surface_.num_queries(); }
+  /// Number of hints (spec.num_hints).
+  int num_hints() const override { return surface_.num_hints(); }
+
+  /// Executes through the scenario surface: planted truth, visit-keyed
+  /// noise, timeout censoring, and accounting all match SyntheticBackend.
+  core::BackendResult Execute(int query, int hint,
+                              double timeout_seconds) override;
+
+  /// Optimizer cost estimate: planted truth distorted by the fixed
+  /// lognormal cost-model error (identical within a plan class).
+  double OptimizerCost(int query, int hint) const override;
+
+  /// Physical plan tree for (query, hint), generated per equivalence class
+  /// and cost-anchored to OptimizerCost. Never nullptr.
+  const plan::PlanNode* Plan(int query, int hint) const override;
+
+  /// Hints sharing (query, hint)'s physical plan — the spec's equivalence
+  /// classes, which the compiled database realizes as identical plan trees.
+  std::vector<int> EquivalentHints(int query, int hint) const override;
+
+  /// Drifts the planted surface (severity fraction of rows redrawn) and
+  /// swaps the new truth into the database: plan caches drop so cost
+  /// anchors rebuild against the new latencies.
+  void ApplyDrift(double severity) override;
+
+  double TrueLatency(int query, int hint) const override {
+    return surface_.TrueLatency(query, hint);
+  }
+  double DefaultWorkloadLatency() const override {
+    return surface_.DefaultWorkloadLatency();
+  }
+  double OptimalWorkloadLatency() const override {
+    return surface_.OptimalWorkloadLatency();
+  }
+  double MaxTrueLatency() const override {
+    return surface_.MaxTrueLatency();
+  }
+
+  int executions() const override { return surface_.executions(); }
+  int timeouts_reported() const override {
+    return surface_.timeouts_reported();
+  }
+  double max_single_charge() const override {
+    return surface_.max_single_charge();
+  }
+
+  /// The compiled database (inspection/tests; the exploration components
+  /// only ever see the WorkloadBackend interface above).
+  const simdb::SimulatedDatabase& database() const { return db_; }
+
+ private:
+  /// Runs the compilation described in the class comment.
+  static simdb::SimulatedDatabase Compile(const ScenarioSpec& spec,
+                                          const SyntheticBackend& surface);
+
+  SyntheticBackend surface_;  // must precede db_: Compile reads its truth
+  simdb::SimulatedDatabase db_;
+};
+
+}  // namespace limeqo::scenarios
+
+#endif  // LIMEQO_SCENARIOS_SIMDB_BRIDGE_H_

@@ -15,6 +15,8 @@
 #include "core/online_explorer.h"
 #include "core/policy.h"
 #include "core/svt.h"
+#include "nn/tcnn_predictor.h"
+#include "scenarios/simdb_bridge.h"
 
 namespace limeqo::scenarios {
 namespace {
@@ -36,19 +38,53 @@ std::unique_ptr<core::Completer> MakeCompleter(CompleterKind kind,
   return nullptr;
 }
 
-std::unique_ptr<core::ExplorationPolicy> MakePolicy(PolicyKind policy,
-                                                    CompleterKind completer,
-                                                    uint64_t seed) {
-  switch (policy) {
+/// Display name of the predictive model picked by `config` (feeds the
+/// "<model>-greedy" policy name).
+std::string ModelName(const RunConfig& config) {
+  switch (config.arm) {
+    case PredictorArm::kCompleter:
+      return CompleterKindName(config.completer);
+    case PredictorArm::kTcnn:
+      return "TCNN";
+    case PredictorArm::kLimeQoPlus:
+      return "LimeQO+";
+  }
+  return "?";
+}
+
+/// Builds the predictive model for `config`. Neural arms featurize plan
+/// trees from `backend`, which must outlive the predictor.
+std::unique_ptr<core::Predictor> MakePredictor(const RunConfig& config,
+                                               const ScenarioBackend* backend,
+                                               uint64_t seed) {
+  switch (config.arm) {
+    case PredictorArm::kCompleter:
+      return std::make_unique<core::CompleterPredictor>(
+          MakeCompleter(config.completer, seed));
+    case PredictorArm::kTcnn:
+    case PredictorArm::kLimeQoPlus: {
+      nn::TcnnOptions options = config.tcnn;
+      options.use_embeddings = config.arm == PredictorArm::kLimeQoPlus;
+      options.seed = seed;
+      return std::make_unique<nn::TcnnPredictor>(backend, options,
+                                                 ModelName(config));
+    }
+  }
+  LIMEQO_CHECK(false);
+  return nullptr;
+}
+
+std::unique_ptr<core::ExplorationPolicy> MakePolicy(
+    const RunConfig& config, const ScenarioBackend* backend, uint64_t seed) {
+  switch (config.policy) {
     case PolicyKind::kRandom:
       return std::make_unique<core::RandomPolicy>();
     case PolicyKind::kGreedy:
       return std::make_unique<core::GreedyPolicy>();
     case PolicyKind::kModelGuided:
       return std::make_unique<core::ModelGuidedPolicy>(
-          std::make_unique<core::CompleterPredictor>(
-              MakeCompleter(completer, seed)),
-          CompleterKindName(completer) + "-greedy");
+          MakePredictor(config, backend, seed),
+          ModelName(config) + "-greedy");
   }
   LIMEQO_CHECK(false);
   return nullptr;
@@ -135,6 +171,92 @@ void CheckMatrixConsistency(const core::WorkloadMatrix& m,
   }
 }
 
+/// One entry of the merged drift+arrival timeline. Events sort by budget
+/// mark; at equal marks, drift events apply before arrivals and spec order
+/// is preserved within each kind (stable sort over drift-then-arrival
+/// construction order), so replay is platform-independent.
+struct TimelineEvent {
+  double at = 0.0;
+  bool is_arrival = false;
+  double severity = 0.0;  // drift events
+  int count = 0;          // arrival events
+};
+
+std::vector<TimelineEvent> BuildTimeline(const ScenarioSpec& spec) {
+  std::vector<TimelineEvent> events;
+  events.reserve(spec.drift.size() + spec.arrivals.size());
+  for (const DriftEvent& d : spec.drift) {
+    events.push_back(
+        {std::clamp(d.after_budget_fraction, 0.0, 1.0), false, d.severity, 0});
+  }
+  for (const ArrivalEvent& a : spec.arrivals) {
+    LIMEQO_CHECK(a.count >= 1);
+    events.push_back(
+        {std::clamp(a.after_budget_fraction, 0.0, 1.0), true, 0.0, a.count});
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TimelineEvent& x, const TimelineEvent& y) {
+                     return x.at < y.at;
+                   });
+  return events;
+}
+
+/// Applies one arrival through OfflineExplorer::AddNewQueries while
+/// machine-checking the arrival-integrity invariants: every pre-existing
+/// cell survives bitwise, and each new row joins with exactly its default
+/// plan class observed (everything else unobserved).
+void ApplyArrivalChecked(core::OfflineExplorer* explorer,
+                         const ScenarioBackend& backend, int count,
+                         SimulationResult* result) {
+  const core::WorkloadMatrix& m = explorer->matrix();
+  const int old_n = m.num_queries();
+  const int k = m.num_hints();
+  const linalg::Matrix values = m.values();
+  const linalg::Matrix mask = m.mask();
+  const linalg::Matrix timeouts = m.timeouts();
+  std::vector<core::CellState> states(static_cast<size_t>(old_n) * k);
+  for (int q = 0; q < old_n; ++q) {
+    for (int j = 0; j < k; ++j) {
+      states[static_cast<size_t>(q) * k + j] = m.state(q, j);
+    }
+  }
+
+  explorer->AddNewQueries(count);
+
+  for (int q = 0; q < old_n; ++q) {
+    for (int j = 0; j < k; ++j) {
+      const bool intact =
+          m.state(q, j) == states[static_cast<size_t>(q) * k + j] &&
+          m.values()(q, j) == values(q, j) && m.mask()(q, j) == mask(q, j) &&
+          m.timeouts()(q, j) == timeouts(q, j);
+      if (!intact) {
+        std::ostringstream os;
+        os << "cell (" << q << "," << j << ") changed during arrival of "
+           << count << " queries";
+        Violate(result, "arrival-preserves-observations", os.str());
+      }
+    }
+  }
+  for (int q = old_n; q < old_n + count; ++q) {
+    const std::vector<int> default_class = backend.EquivalentHints(q, 0);
+    for (int j = 0; j < k; ++j) {
+      const bool in_default_class =
+          std::find(default_class.begin(), default_class.end(), j) !=
+          default_class.end();
+      const core::CellState expected = in_default_class
+                                           ? core::CellState::kComplete
+                                           : core::CellState::kUnobserved;
+      if (m.state(q, j) != expected) {
+        std::ostringstream os;
+        os << "new row " << q << " hint " << j << " arrived in state "
+           << static_cast<int>(m.state(q, j)) << ", expected "
+           << static_cast<int>(expected);
+        Violate(result, "arrival-fresh-rows", os.str());
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::string PolicyKindName(PolicyKind p) {
@@ -161,12 +283,48 @@ std::string CompleterKindName(CompleterKind c) {
   return "?";
 }
 
+std::string PredictorArmName(PredictorArm a) {
+  switch (a) {
+    case PredictorArm::kCompleter:
+      return "Completer";
+    case PredictorArm::kTcnn:
+      return "TCNN";
+    case PredictorArm::kLimeQoPlus:
+      return "LimeQO+";
+  }
+  return "?";
+}
+
+std::string WorldKindName(WorldKind w) {
+  switch (w) {
+    case WorldKind::kSynthetic:
+      return "Synthetic";
+    case WorldKind::kSimDb:
+      return "SimDb";
+  }
+  return "?";
+}
+
+nn::TcnnOptions ScenarioTcnnOptions() {
+  nn::TcnnOptions options;
+  options.conv_channels = {16, 8};
+  options.fc_hidden = {16};
+  options.embedding_dim = 4;
+  options.dropout_p = 0.15;
+  options.batch_size = 16;
+  options.max_epochs = 12;
+  options.convergence_window = 4;
+  return options;
+}
+
 std::string SimulationResult::Summary() const {
   std::ostringstream os;
-  os << "scenario=" << scenario << " policy=" << policy << " seed=" << seed
+  os << "scenario=" << scenario << " policy=" << policy << " world=" << world
+     << " seed=" << seed
      << " default=" << default_latency << "s final=" << final_latency
      << "s optimal=" << optimal_latency << "s offline=" << offline_seconds
      << "s execs=" << executions << " timeouts=" << timeouts
+     << " arrivals=" << arrivals
      << " servings=" << servings << " explorations=" << explorations
      << " regret=" << regret_spent << "s violations=" << violations.size();
   for (const std::string& v : violations) os << "\n  VIOLATED " << v;
@@ -175,46 +333,61 @@ std::string SimulationResult::Summary() const {
 
 SimulationResult SimulationDriver::Run(PolicyKind policy,
                                        CompleterKind completer) {
+  RunConfig config;
+  config.policy = policy;
+  config.completer = completer;
+  return Run(config);
+}
+
+SimulationResult SimulationDriver::Run(const RunConfig& config) {
+  // Plan trees only exist behind the bridge; a neural arm on the bare
+  // surface is a configuration error, not a world property.
+  LIMEQO_CHECK(config.arm == PredictorArm::kCompleter ||
+               config.world == WorldKind::kSimDb);
+
   SimulationResult result;
   result.scenario = spec_.name;
   result.seed = spec_.seed;
+  result.world = WorldKindName(config.world);
 
-  SyntheticBackend backend(spec_);
-  result.default_latency = backend.DefaultWorkloadLatency();
-  result.optimal_latency = backend.OptimalWorkloadLatency();
+  std::unique_ptr<ScenarioBackend> backend;
+  if (config.world == WorldKind::kSimDb) {
+    backend = std::make_unique<SimDbScenarioBackend>(spec_);
+  } else {
+    backend = std::make_unique<SyntheticBackend>(spec_);
+  }
+  result.default_latency = backend->DefaultWorkloadLatency();
+  result.optimal_latency = backend->OptimalWorkloadLatency();
 
   std::unique_ptr<core::ExplorationPolicy> exploration_policy =
-      MakePolicy(policy, completer, MixSeed(spec_.seed, 0x504Fu));
+      MakePolicy(config, backend.get(), MixSeed(spec_.seed, 0x504Fu));
   result.policy = exploration_policy->name();
+
+  int total_arrivals = 0;
+  for (const ArrivalEvent& a : spec_.arrivals) total_arrivals += a.count;
+  LIMEQO_CHECK(total_arrivals < spec_.num_queries);
 
   core::ExplorerOptions options;
   options.batch_size = spec_.batch_size;
   options.timeout_alpha = spec_.timeout_alpha;
   options.use_timeouts = spec_.use_timeouts;
   options.seed = MixSeed(spec_.seed, 0x4558u);
-  core::OfflineExplorer explorer(&backend, exploration_policy.get(),
+  options.initial_queries =
+      total_arrivals > 0 ? spec_.num_queries - total_arrivals : -1;
+  core::OfflineExplorer explorer(backend.get(), exploration_policy.get(),
                                  options);
 
-  // ---- Offline loop, drift events interleaved at their budget marks ----
+  // ---- Offline loop, drift + arrival events at their budget marks -------
   const double budget =
-      spec_.budget_fraction * backend.DefaultWorkloadLatency();
-  std::vector<DriftEvent> drift = spec_.drift;
-  // stable_sort: events at the same budget mark must apply in spec order on
-  // every platform, or seed replay breaks across standard libraries.
-  std::stable_sort(drift.begin(), drift.end(),
-                   [](const DriftEvent& a, const DriftEvent& b) {
-                     return a.after_budget_fraction < b.after_budget_fraction;
-                   });
+      spec_.budget_fraction * backend->DefaultWorkloadLatency();
+  const std::vector<TimelineEvent> events = BuildTimeline(spec_);
   double spent_fraction = 0.0;
-  for (size_t e = 0; e <= drift.size(); ++e) {
-    const double until =
-        e < drift.size()
-            ? std::clamp(drift[e].after_budget_fraction, 0.0, 1.0)
-            : 1.0;
+  for (size_t e = 0; e <= events.size(); ++e) {
+    const double until = e < events.size() ? events[e].at : 1.0;
     const std::vector<core::TrajectoryPoint> trajectory =
         explorer.Explore((until - spent_fraction) * budget);
     spent_fraction = until;
-    // Between drifts observations only accumulate on unobserved cells, so
+    // Between events observations only accumulate on unobserved cells, so
     // the served workload latency can only improve.
     for (size_t t = 1; t < trajectory.size(); ++t) {
       if (trajectory[t].workload_latency >
@@ -226,9 +399,14 @@ SimulationResult SimulationDriver::Run(PolicyKind policy,
         Violate(&result, "offline-monotonicity", os.str());
       }
     }
-    if (e < drift.size()) {
-      backend.ApplyDrift(drift[e].severity);
-      explorer.ResetAfterDataShift();
+    if (e < events.size()) {
+      if (events[e].is_arrival) {
+        ApplyArrivalChecked(&explorer, *backend, events[e].count, &result);
+        result.arrivals += events[e].count;
+      } else {
+        backend->ApplyDrift(events[e].severity);
+        explorer.ResetAfterDataShift();
+      }
     }
   }
 
@@ -239,21 +417,21 @@ SimulationResult SimulationDriver::Run(PolicyKind policy,
 
   // ---- Offline invariants ----------------------------------------------
   // Each Explore call may overshoot its deadline by at most one execution's
-  // charge, and the drift schedule splits the budget into drift.size() + 1
+  // charge, and the event timeline splits the budget into events.size() + 1
   // calls — so that is the exact end-to-end overshoot bound.
   const double overshoot_allowance =
-      static_cast<double>(drift.size() + 1) * explorer.max_single_charge();
+      static_cast<double>(events.size() + 1) * explorer.max_single_charge();
   if (explorer.offline_seconds() > budget + overshoot_allowance + 1e-9) {
     std::ostringstream os;
     os << explorer.offline_seconds() << "s spent vs budget " << budget
-       << "s + " << drift.size() + 1 << " segments x max charge "
+       << "s + " << events.size() + 1 << " segments x max charge "
        << explorer.max_single_charge() << "s";
     Violate(&result, "offline-budget", os.str());
   }
-  if (explorer.num_timeouts() != backend.timeouts_reported()) {
+  if (explorer.num_timeouts() != backend->timeouts_reported()) {
     std::ostringstream os;
     os << "explorer counted " << explorer.num_timeouts()
-       << " timeouts, backend reported " << backend.timeouts_reported();
+       << " timeouts, backend reported " << backend->timeouts_reported();
     Violate(&result, "timeout-accounting", os.str());
   }
   if (!spec_.use_timeouts && (explorer.num_timeouts() != 0 ||
@@ -263,6 +441,12 @@ SimulationResult SimulationDriver::Run(PolicyKind policy,
        << explorer.matrix().NumCensored()
        << " censored cells with timeouts disabled";
     Violate(&result, "timeout-accounting", os.str());
+  }
+  if (explorer.matrix().num_queries() != spec_.num_queries) {
+    std::ostringstream os;
+    os << explorer.matrix().num_queries() << " matrix rows after the "
+       << "arrival schedule, expected " << spec_.num_queries;
+    Violate(&result, "arrival-fresh-rows", os.str());
   }
   CheckMatrixConsistency(explorer.matrix(), &result);
   // Both real serving outputs: the offline loop's BestHints and the online
@@ -275,8 +459,7 @@ SimulationResult SimulationDriver::Run(PolicyKind policy,
   // ---- Online serving phase --------------------------------------------
   if (spec_.online_servings > 0) {
     std::unique_ptr<core::Predictor> predictor =
-        std::make_unique<core::CompleterPredictor>(
-            MakeCompleter(completer, MixSeed(spec_.seed, 0x4F4Eu)));
+        MakePredictor(config, backend.get(), MixSeed(spec_.seed, 0x4F4Eu));
     core::OnlineExplorationOptions online;
     online.epsilon = spec_.epsilon;
     online.min_predicted_ratio = spec_.min_predicted_ratio;
@@ -289,7 +472,7 @@ SimulationResult SimulationDriver::Run(PolicyKind policy,
       const int q = s % spec_.num_queries;
       const int hint = optimizer.ChooseHint(q);
       const core::BackendResult r =
-          backend.Execute(q, hint, /*timeout_seconds=*/0.0);
+          backend->Execute(q, hint, /*timeout_seconds=*/0.0);
       max_served = std::max(max_served, r.observed_latency);
       optimizer.ReportLatency(q, hint, r.observed_latency);
     }
@@ -307,7 +490,7 @@ SimulationResult SimulationDriver::Run(PolicyKind policy,
       for (int s = 0; s < 50; ++s) {
         const int q = s % spec_.num_queries;
         const int hint = optimizer.ChooseHint(q);
-        const core::BackendResult r = backend.Execute(q, hint, 0.0);
+        const core::BackendResult r = backend->Execute(q, hint, 0.0);
         optimizer.ReportLatency(q, hint, r.observed_latency);
       }
       if (optimizer.explorations() != frozen) {

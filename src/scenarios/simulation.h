@@ -1,58 +1,131 @@
 #ifndef LIMEQO_SCENARIOS_SIMULATION_H_
 #define LIMEQO_SCENARIOS_SIMULATION_H_
 
+/// \file
+/// SimulationDriver: runs one ScenarioSpec end to end (offline exploration
+/// with drift/arrival events, then online serving) under a configurable
+/// policy / predictor arm / world backend, machine-checking the paper's
+/// invariants throughout.
+
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "nn/tcnn.h"
 #include "scenarios/scenario.h"
+#include "scenarios/scenario_backend.h"
 #include "scenarios/synthetic_backend.h"
 
 namespace limeqo::scenarios {
 
 /// Exploration policies the driver can instantiate.
 enum class PolicyKind {
+  /// Uniformly random unobserved cells (baseline).
   kRandom = 0,
+  /// Longest-current-best queries first (paper Sec. 4.2 "Greedy").
   kGreedy,
-  /// The paper's Algorithm 1 (ModelGuidedPolicy) over a matrix completer.
+  /// The paper's Algorithm 1 (ModelGuidedPolicy) over a predictive model.
   kModelGuided,
 };
 
-/// Completion models available to kModelGuided and to the online phase.
+/// Completion models available to the kCompleter predictor arm.
 enum class CompleterKind {
+  /// Censored alternating least squares (the paper's LimeQO).
   kAls = 0,
+  /// Singular value thresholding.
   kSvt,
+  /// Nuclear-norm minimization.
   kNuclearNorm,
 };
 
+/// Which predictive model drives kModelGuided and the online phase.
+enum class PredictorArm {
+  /// A matrix completer (CompleterKind picks which) — LimeQO.
+  kCompleter = 0,
+  /// The plain Bao-style TCNN over plan trees (no embeddings). Requires a
+  /// world that provides plans, i.e. WorldKind::kSimDb.
+  kTcnn,
+  /// The transductive TCNN with query/hint embeddings — LimeQO+. Requires
+  /// WorldKind::kSimDb.
+  kLimeQoPlus,
+};
+
+/// Which backend realizes the scenario world.
+enum class WorldKind {
+  /// SyntheticBackend: the bare planted latency surface (no plans/costs).
+  kSynthetic = 0,
+  /// SimDbScenarioBackend: the same surface compiled into a
+  /// simdb::SimulatedDatabase with catalog, plan trees, and cost estimates
+  /// (the scenario->simdb bridge) — the only world the neural arms run on.
+  kSimDb,
+};
+
+/// Display name of `p` ("Random", "Greedy", "ModelGuided").
 std::string PolicyKindName(PolicyKind p);
+/// Display name of `c` ("ALS", "SVT", "NuclearNorm").
 std::string CompleterKindName(CompleterKind c);
+/// Display name of `a` ("Completer", "TCNN", "LimeQO+").
+std::string PredictorArmName(PredictorArm a);
+/// Display name of `w` ("Synthetic", "SimDb").
+std::string WorldKindName(WorldKind w);
+
+/// A scenario-sized TCNN configuration for the neural arms: the paper's
+/// architecture family shrunk (fewer channels, fewer epochs) so a full
+/// grid run finishes in test time. Deterministic and thread-count-free, so
+/// runs stay bitwise reproducible.
+nn::TcnnOptions ScenarioTcnnOptions();
+
+/// Everything that varies between runs of one ScenarioSpec: the policy,
+/// the predictive model behind it, and the world backend. The defaults
+/// reproduce the pre-bridge behaviour (model-guided ALS on the synthetic
+/// surface).
+struct RunConfig {
+  /// Offline exploration policy.
+  PolicyKind policy = PolicyKind::kModelGuided;
+  /// Predictive model for kModelGuided and for the online phase.
+  PredictorArm arm = PredictorArm::kCompleter;
+  /// Completion algorithm when arm == kCompleter.
+  CompleterKind completer = CompleterKind::kAls;
+  /// World backend; neural arms require kSimDb.
+  WorldKind world = WorldKind::kSynthetic;
+  /// TCNN hyper-parameters for the neural arms (seed is overridden from
+  /// the scenario seed per phase).
+  nn::TcnnOptions tcnn = ScenarioTcnnOptions();
+};
 
 /// Outcome of one scenario run: headline metrics plus every invariant
 /// violation observed. `violations` empty means all paper invariants held.
 struct SimulationResult {
+  /// Scenario name (ScenarioSpec::name).
   std::string scenario;
+  /// Policy display name (e.g. "ALS-greedy", "LimeQO+-greedy").
   std::string policy;
+  /// World backend display name ("Synthetic" or "SimDb").
+  std::string world;
+  /// The reproducing master seed (ScenarioSpec::seed).
   uint64_t seed = 0;
 
   // Workload quality.
-  double default_latency = 0.0;   // P(W) serving only defaults (true values)
-  double final_latency = 0.0;     // P(W~) after the run (observed values)
-  double optimal_latency = 0.0;   // oracle P(W) (true values)
+  double default_latency = 0.0;   ///< P(W) serving only defaults (true values)
+  double final_latency = 0.0;     ///< P(W~) after the run (observed values)
+  double optimal_latency = 0.0;   ///< oracle P(W) (true values)
 
   // Offline accounting.
-  double offline_seconds = 0.0;
-  double overhead_seconds = 0.0;
-  int executions = 0;
-  int timeouts = 0;
+  double offline_seconds = 0.0;   ///< simulated execution time spent
+  double overhead_seconds = 0.0;  ///< model/selection wall time
+  int executions = 0;             ///< charged offline executions
+  int timeouts = 0;               ///< executions cut off by their timeout
+  int arrivals = 0;               ///< queries that joined via the schedule
 
   // Online accounting (zeros when the scenario has no online phase).
-  int servings = 0;
-  int explorations = 0;
-  double regret_spent = 0.0;
+  int servings = 0;               ///< online ChooseHint calls
+  int explorations = 0;           ///< exploratory servings
+  double regret_spent = 0.0;      ///< cumulative regret charged (seconds)
 
+  /// Human-readable invariant violations; empty means the run is clean.
   std::vector<std::string> violations;
 
+  /// True when every checked invariant held.
   bool ok() const { return violations.empty(); }
 
   /// One-line run summary including the reproducing seed; appended to every
@@ -60,31 +133,39 @@ struct SimulationResult {
   std::string Summary() const;
 };
 
-/// Runs one ScenarioSpec end to end — offline exploration (with drift
-/// events applied mid-budget), then the online serving loop — and checks
-/// the paper's invariants with ground-truth access no real deployment has:
+/// Runs one ScenarioSpec end to end — offline exploration (with drift and
+/// arrival events applied mid-budget), then the online serving loop — and
+/// checks the paper's invariants with ground-truth access no real
+/// deployment has:
 ///
 ///  * no-regression: every query's final serving is its verified best, and
 ///    never a plan observed slower than the observed default (Algorithm 1
 ///    lines 13-15);
 ///  * budget accounting: the offline clock can overshoot the budget by at
-///    most one execution's charge, and the charge of every timed-out
-///    execution equals its timeout threshold;
+///    most one execution's charge per exploration segment, and the charge
+///    of every timed-out execution equals its timeout threshold;
 ///  * timeout accounting: the explorer's censor count equals the number of
 ///    BackendResult::timed_out results it was handed, censored cells never
 ///    define a row best, and use_timeouts=false produces no censoring;
 ///  * monotonicity: offline workload latency is non-increasing between
-///    drift events;
+///    drift/arrival events;
+///  * arrival integrity: a mid-budget arrival never alters any existing
+///    observation, and new rows join with exactly the default plan class
+///    observed (all other cells unobserved);
 ///  * online bounds: cumulative regret <= regret_budget_seconds plus one
 ///    serving's overshoot, exploration count stays under its binomial
 ///    epsilon cap, and an exhausted budget freezes exploration.
 class SimulationDriver {
  public:
+  /// Captures the spec; each Run compiles a fresh world from it.
   explicit SimulationDriver(const ScenarioSpec& spec) : spec_(spec) {}
 
-  /// Builds a fresh world and runs the full scenario under `policy`
-  /// (model-guided variants use `completer`). Deterministic: equal
-  /// (spec, policy, completer) triples produce equal results.
+  /// Builds a fresh world and runs the full scenario under `config`.
+  /// Deterministic: equal (spec, config) pairs produce equal results,
+  /// bitwise, regardless of thread count.
+  SimulationResult Run(const RunConfig& config);
+
+  /// Legacy shorthand: model configuration only, synthetic world.
   SimulationResult Run(PolicyKind policy,
                        CompleterKind completer = CompleterKind::kAls);
 

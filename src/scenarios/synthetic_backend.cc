@@ -61,11 +61,6 @@ SyntheticBackend::SyntheticBackend(const ScenarioSpec& spec)
   }
 }
 
-int SyntheticBackend::ClassRepresentative(int hint) const {
-  if (spec_.equivalence_class_size <= 1) return hint;
-  return hint - hint % spec_.equivalence_class_size;
-}
-
 void SyntheticBackend::RegenerateRow(int query, uint64_t row_seed) {
   Rng rng(row_seed);
   const int k = spec_.num_hints;

@@ -1,12 +1,17 @@
 #ifndef LIMEQO_SCENARIOS_SYNTHETIC_BACKEND_H_
 #define LIMEQO_SCENARIOS_SYNTHETIC_BACKEND_H_
 
+/// \file
+/// SyntheticBackend: a ScenarioSpec compiled into a bare planted latency
+/// surface — the matrix-only scenario world (no plans, no costs).
+
 #include <cstdint>
 #include <vector>
 
 #include "core/backend.h"
 #include "linalg/matrix.h"
 #include "scenarios/scenario.h"
+#include "scenarios/scenario_backend.h"
 
 namespace limeqo::scenarios {
 
@@ -21,13 +26,18 @@ namespace limeqo::scenarios {
 ///
 /// Ground truth stays accessible (TrueLatency, OptimalWorkloadLatency) so
 /// the simulation driver can check invariants no real deployment could.
-class SyntheticBackend : public core::WorkloadBackend {
+class SyntheticBackend : public ScenarioBackend {
  public:
+  /// Compiles the spec into a planted world (pure function of the spec).
   explicit SyntheticBackend(const ScenarioSpec& spec);
 
+  /// Number of queries (spec.num_queries).
   int num_queries() const override { return spec_.num_queries; }
+  /// Number of hints (spec.num_hints).
   int num_hints() const override { return spec_.num_hints; }
 
+  /// Executes (query, hint): planted truth times visit-keyed noise,
+  /// censored at timeout_seconds when positive.
   core::BackendResult Execute(int query, int hint,
                               double timeout_seconds) override;
 
@@ -38,30 +48,48 @@ class SyntheticBackend : public core::WorkloadBackend {
   /// Data shift (Sec. 5.4): a `severity` fraction of query rows gets a
   /// freshly drawn latency profile. Advances the drift generation, which
   /// also re-keys the execution-noise stream.
-  void ApplyDrift(double severity);
+  void ApplyDrift(double severity) override;
 
   // --- Ground truth (for invariant checking only) ------------------------
   /// Noise-free latency of (query, hint) in the current generation.
-  double TrueLatency(int query, int hint) const { return truth_(query, hint); }
+  double TrueLatency(int query, int hint) const override {
+    return truth_(query, hint);
+  }
   /// Sum over queries of the default hint's true latency (P(W) at hint 0).
-  double DefaultWorkloadLatency() const;
+  double DefaultWorkloadLatency() const override;
   /// Sum over queries of the per-row true minimum (the oracle's P(W)).
-  double OptimalWorkloadLatency() const;
+  double OptimalWorkloadLatency() const override;
   /// Largest true latency in the current world.
-  double MaxTrueLatency() const;
+  double MaxTrueLatency() const override;
+
+  /// The full planted truth matrix of the current generation.
+  const linalg::Matrix& truth() const { return truth_; }
 
   // --- Execution accounting ----------------------------------------------
-  int executions() const { return executions_; }
+  int executions() const override { return executions_; }
   /// Executions that reported BackendResult::timed_out.
-  int timeouts_reported() const { return timeouts_reported_; }
+  int timeouts_reported() const override { return timeouts_reported_; }
   /// Largest observed_latency any Execute call has returned.
-  double max_single_charge() const { return max_single_charge_; }
+  double max_single_charge() const override { return max_single_charge_; }
+  /// Drift generation counter (0 until the first ApplyDrift).
   int generation() const { return generation_; }
+
+  /// The spec's plan-equivalence layout: smallest hint sharing `hint`'s
+  /// physical plan (consecutive hints form classes of
+  /// spec.equivalence_class_size). The single source of truth for the
+  /// class structure — the simdb bridge builds its representative table
+  /// from this.
+  static int ClassRepresentative(const ScenarioSpec& spec, int hint) {
+    if (spec.equivalence_class_size <= 1) return hint;
+    return hint - hint % spec.equivalence_class_size;
+  }
 
  private:
   /// (Re)draws the latency profile of one query row into truth_.
   void RegenerateRow(int query, uint64_t row_seed);
-  int ClassRepresentative(int hint) const;
+  int ClassRepresentative(int hint) const {
+    return ClassRepresentative(spec_, hint);
+  }
 
   ScenarioSpec spec_;
   linalg::Matrix truth_;

@@ -76,6 +76,79 @@ StatusOr<SimulatedDatabase> SimulatedDatabase::Create(
   return db;
 }
 
+StatusOr<SimulatedDatabase> SimulatedDatabase::CreateFromPlanted(
+    PlantedDatabaseSpec spec) {
+  const int n = static_cast<int>(spec.truth.rows());
+  const int k = static_cast<int>(spec.truth.cols());
+  if (n <= 0 || k <= 0) {
+    return Status::InvalidArgument("planted truth matrix is empty");
+  }
+  if (static_cast<int>(spec.queries.size()) != n) {
+    return Status::InvalidArgument("need one QuerySpec per truth row");
+  }
+  if (static_cast<int>(spec.hint_configs.size()) != k) {
+    return Status::InvalidArgument("need one hint config per truth column");
+  }
+  if (spec.hint_configs[0] != 0) {
+    return Status::InvalidArgument(
+        "hint column 0 must map to the default configuration");
+  }
+  for (int id : spec.hint_configs) {
+    if (id < 0 || id >= kNumHints) {
+      return Status::InvalidArgument("hint config index out of range");
+    }
+  }
+  if (spec.representative.size() != static_cast<size_t>(n) * k) {
+    return Status::InvalidArgument("representative table has wrong shape");
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) {
+      const int rep = spec.representative[static_cast<size_t>(i) * k + j];
+      if (rep < 0 || rep > j ||
+          spec.representative[static_cast<size_t>(i) * k + rep] != rep) {
+        return Status::InvalidArgument(
+            "representative table is not canonical (rep(i,j) must be the "
+            "smallest member of its class)");
+      }
+      // The planted contract: one class = one physical plan = one latency.
+      if (spec.hint_configs[rep] != spec.hint_configs[j]) {
+        return Status::InvalidArgument(
+            "plan-equivalent columns map to different hint configs");
+      }
+      if (spec.truth(i, rep) != spec.truth(i, j)) {
+        return Status::InvalidArgument(
+            "plan-equivalent cells carry different planted latencies");
+      }
+    }
+  }
+
+  SimulatedDatabase db;
+  db.catalog_ = std::move(spec.catalog);
+  db.queries_ = std::move(spec.queries);
+  db.rep_ = std::move(spec.representative);
+  db.hint_configs_ = std::move(spec.hint_configs);
+  db.latency_model_ = LatencyModel::FromPlantedMatrix(std::move(spec.truth));
+
+  Rng rng(spec.seed);
+  db.cost_distortion_ = linalg::Matrix(n, k);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) {
+      db.cost_distortion_(i, j) =
+          std::exp(rng.Gaussian(0.0, spec.cost_error_sigma));
+    }
+  }
+  db.plan_cache_.resize(static_cast<size_t>(n) * k);
+  db.etl_rng_ = rng.Fork();
+  return db;
+}
+
+void SimulatedDatabase::ReplacePlantedSurface(linalg::Matrix truth) {
+  LIMEQO_CHECK(latency_model_.is_planted());
+  latency_model_.ReplaceMatrix(std::move(truth));
+  // Plans carry stale cost anchors; rebuild them against the new surface.
+  for (auto& p : plan_cache_) p.reset();
+}
+
 ExecutionResult SimulatedDatabase::Execute(int query, int hint,
                                            double timeout_seconds) const {
   const double truth = TrueLatency(query, hint);
@@ -109,7 +182,7 @@ int SimulatedDatabase::RepresentativeHint(int query, int hint) const {
   LIMEQO_CHECK(query >= 0 && query < num_queries());
   LIMEQO_CHECK(hint >= 0 && hint < num_hints());
   if (rep_.empty()) return hint;
-  return rep_[static_cast<size_t>(query) * kNumHints + hint];
+  return rep_[static_cast<size_t>(query) * num_hints() + hint];
 }
 
 std::vector<int> SimulatedDatabase::EquivalentHints(int query,
@@ -136,16 +209,20 @@ void ScaleCosts(plan::PlanNode* node, double factor) {
 const plan::PlanNode& SimulatedDatabase::Plan(int query, int hint) const {
   LIMEQO_CHECK(query >= 0 && query < num_queries());
   LIMEQO_CHECK(hint >= 0 && hint < num_hints());
-  const size_t idx = static_cast<size_t>(query) * kNumHints + hint;
+  // Hints in one plan-equivalence class share a single physical plan (their
+  // configs produce identical trees and identical cost anchors), so the
+  // cache is keyed by the class representative: one build serves the class.
+  const int rep = RepresentativeHint(query, hint);
+  const size_t idx = static_cast<size_t>(query) * num_hints() + rep;
   if (!plan_cache_[idx]) {
     // Built on the fly: a PlanGenerator is just a catalog pointer, and
     // storing one as a member would dangle when the database is moved.
     PlanGenerator generator(&catalog_);
     std::unique_ptr<plan::PlanNode> plan =
-        generator.BuildPlan(queries_[query], AllHints()[hint]);
+        generator.BuildPlan(queries_[query], AllHints()[HintConfigId(rep)]);
     // Anchor the root cost to the optimizer's estimate so plan features are
     // predictive of latency (modulo cost-model error), as in a real system.
-    const double target = OptimizerCost(query, hint);
+    const double target = OptimizerCost(query, rep);
     if (plan->est_cost > 0.0) {
       ScaleCosts(plan.get(), target / plan->est_cost);
     }
@@ -162,6 +239,7 @@ void SimulatedDatabase::ApplyDrift(const DriftOptions& options) {
 }
 
 int SimulatedDatabase::AppendEtlQuery(double latency_seconds) {
+  const int k = num_hints();
   latency_model_.AppendEtlQuery(latency_seconds, &etl_rng_);
   QueryGenerator qgen(&catalog_, 2, 2);
   QuerySpec spec = qgen.GenerateEtl(&etl_rng_);
@@ -169,14 +247,14 @@ int SimulatedDatabase::AppendEtlQuery(double latency_seconds) {
   queries_.push_back(std::move(spec));
   if (!rep_.empty()) {
     // Identity classes: ETL latency is flat across hints anyway.
-    for (int j = 0; j < kNumHints; ++j) rep_.push_back(j);
+    for (int j = 0; j < k; ++j) rep_.push_back(j);
   }
-  std::vector<double> distortion(kNumHints);
+  std::vector<double> distortion(k);
   for (double& d : distortion) {
     d = std::exp(etl_rng_.Gaussian(0.0, 0.8));
   }
   cost_distortion_.AppendRow(distortion);
-  plan_cache_.resize(static_cast<size_t>(num_queries()) * kNumHints);
+  plan_cache_.resize(static_cast<size_t>(num_queries()) * k);
   return num_queries() - 1;
 }
 

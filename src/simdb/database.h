@@ -1,6 +1,12 @@
 #ifndef LIMEQO_SIMDB_DATABASE_H_
 #define LIMEQO_SIMDB_DATABASE_H_
 
+/// \file
+/// The simulated DBMS: a catalog-backed workload with plan trees, cost
+/// estimates, timeout-censored execution, and oracle-only ground truth —
+/// generated-and-calibrated (Create) or planted by the scenario bridge
+/// (CreateFromPlanted).
+
 #include <memory>
 #include <vector>
 
@@ -22,30 +28,74 @@ struct ExecutionResult {
   /// timeout value (a *lower bound* on the true latency — a censored
   /// observation, paper Sec. 4.1).
   double observed_latency = 0.0;
+  /// True when the execution was cut off by its timeout.
   bool timed_out = false;
 };
 
 /// Configuration of a simulated database + workload instance.
 struct DatabaseOptions {
+  /// Number of catalog tables generated.
   int num_tables = 40;
+  /// Minimum tables referenced per analytic query.
   int min_tables_per_query = 2;
+  /// Maximum tables referenced per analytic query.
   int max_tables_per_query = 8;
+  /// Planted structure of the ground-truth latency matrix.
   LatencyModelOptions latency;
   /// Lognormal sigma of the optimizer's cost-model error relative to true
   /// latency. Cost estimates are informative but imperfect, which is what
   /// makes the QO-Advisor baseline plausible-but-beatable.
   double cost_error_sigma = 0.8;
+  /// Master seed for catalog, queries, truth, and cost distortion.
+  uint64_t seed = 42;
+};
+
+/// Externally supplied components for CreateFromPlanted: a database whose
+/// ground truth is *planted* by the caller rather than generated and
+/// calibrated internally. This is the construction path of the
+/// scenario->simdb bridge (`scenarios::SimDbScenarioBackend`), which
+/// compiles a `ScenarioSpec`'s synthetic latency surface into a database
+/// with a matching catalog, queries, plan-equivalence structure, and plan
+/// trees — so the neural predictors (TCNN / LimeQO+) can run against
+/// scenario worlds.
+struct PlantedDatabaseSpec {
+  /// Schema/statistics catalog the plan generator builds against.
+  Catalog catalog;
+  /// One QuerySpec per truth row, in row order.
+  std::vector<QuerySpec> queries;
+  /// Maps each hint column j to an index into AllHints() — the optimizer
+  /// configuration whose plan realizes that column. Element 0 must be 0
+  /// (the default, all-enabled configuration). Columns in one
+  /// plan-equivalence class must map to the same configuration, so their
+  /// plans are literally identical trees.
+  std::vector<int> hint_configs;
+  /// Row-major n x k plan-equivalence table: representative[i * k + j] is
+  /// the smallest column index whose plan is identical to column j's for
+  /// query i. Entry (i, 0) must be 0. Cells in one class must carry equal
+  /// `truth` values (identical plan => identical latency).
+  std::vector<int> representative;
+  /// Ground-truth latency matrix (n queries x k hint columns, seconds).
+  linalg::Matrix truth;
+  /// Lognormal sigma of the optimizer's cost-model error (see
+  /// DatabaseOptions::cost_error_sigma).
+  double cost_error_sigma = 0.8;
+  /// Seed for the cost-distortion draw.
   uint64_t seed = 42;
 };
 
 /// A self-contained simulated DBMS + repetitive workload.
 ///
 /// Provides everything the paper assumes of the system under study:
-///  * a fixed set of queries, each with kNumHints alternative plans,
+///  * a fixed set of queries, each with a finite set of alternative plans,
 ///  * an execution interface with timeouts (censored observations),
 ///  * plan trees with cost/cardinality estimates (for TCNN / Bao /
 ///    QO-Advisor),
 ///  * ground truth for oracle evaluation only (never exposed to policies).
+///
+/// Two construction paths exist: Create() generates and calibrates a
+/// workload internally (kNumHints columns, one per valid HintConfig), and
+/// CreateFromPlanted() accepts externally planted truth with a caller-chosen
+/// subset of hint configurations (the scenario bridge).
 class SimulatedDatabase {
  public:
   /// Builds a workload of `num_queries` queries calibrated to
@@ -53,8 +103,17 @@ class SimulatedDatabase {
   static StatusOr<SimulatedDatabase> Create(int num_queries,
                                             const DatabaseOptions& options);
 
+  /// Builds a database around an externally planted ground-truth surface.
+  /// Validates the shape/consistency contracts documented on
+  /// PlantedDatabaseSpec and returns InvalidArgument on violation.
+  static StatusOr<SimulatedDatabase> CreateFromPlanted(
+      PlantedDatabaseSpec spec);
+
+  /// Number of queries (truth-matrix rows).
   int num_queries() const { return latency_model_.num_queries(); }
-  int num_hints() const { return kNumHints; }
+  /// Number of hint columns: kNumHints for Create(), the planted column
+  /// count for CreateFromPlanted().
+  int num_hints() const { return latency_model_.num_hints(); }
 
   /// Executes query i under hint j. If timeout_seconds > 0 and the true
   /// latency exceeds it, the execution is cut off: the result reports the
@@ -76,19 +135,32 @@ class SimulatedDatabase {
   /// are scaled so the root cost equals OptimizerCost(query, hint).
   const plan::PlanNode& Plan(int query, int hint) const;
 
+  /// Shape (join graph, selectivities) of query `i`.
   const QuerySpec& query(int i) const {
     LIMEQO_CHECK(i >= 0 && i < num_queries());
     return queries_[i];
   }
 
+  /// The schema/statistics catalog plans are generated against.
   const Catalog& catalog() const { return catalog_; }
 
+  /// True if `query` is a hint-insensitive (ETL/COPY-like) row.
   bool IsEtl(int query) const { return latency_model_.IsEtl(query); }
 
+  /// Total true latency under the default hint: sum_i w_i0 (paper Eq. 2).
   double DefaultTotal() const { return latency_model_.DefaultTotal(); }
+  /// Total true latency with per-query optimal hints: sum_i min_j w_ij.
   double OptimalTotal() const { return latency_model_.OptimalTotal(); }
+  /// Index of the fastest hint for `query` (oracle/test use).
   int OptimalHint(int query) const {
     return latency_model_.OptimalHint(query);
+  }
+
+  /// The AllHints() index realizing hint column `hint`: identity for
+  /// Create() databases, the planted hint_configs mapping otherwise.
+  int HintConfigId(int hint) const {
+    LIMEQO_CHECK(hint >= 0 && hint < num_hints());
+    return hint_configs_.empty() ? hint : hint_configs_[hint];
   }
 
   /// Representative (smallest-index) hint whose plan is structurally
@@ -103,7 +175,15 @@ class SimulatedDatabase {
   /// Replaces the latency model with a drifted version (data shift). Plan
   /// caches and cost distortions for existing queries are preserved; costs
   /// track the new latencies through the stored distortion factors.
+  /// Create() databases only — planted databases drift through
+  /// ReplacePlantedSurface().
   void ApplyDrift(const DriftOptions& options);
+
+  /// Swaps in a new planted ground-truth surface (same shape) after the
+  /// owner drifted it. Plan caches are dropped so cost anchors rebuild
+  /// against the new latencies; cost distortions are preserved, exactly as
+  /// ApplyDrift() does for generated databases. Planted databases only.
+  void ReplacePlantedSurface(linalg::Matrix truth);
 
   /// Appends an ETL query with the given fixed latency (Fig. 8). Returns the
   /// new query's row index.
@@ -122,7 +202,11 @@ class SimulatedDatabase {
   linalg::Matrix cost_distortion_;  // n x k lognormal factors
   /// Row-major n x k plan-equivalence representative table.
   std::vector<int> rep_;
-  /// Lazily built plan cache, indexed [query * kNumHints + hint].
+  /// Hint-column -> AllHints() index mapping; empty means identity.
+  std::vector<int> hint_configs_;
+  /// Lazily built plan cache, indexed [query * num_hints() + hint] but
+  /// populated only at class-representative slots: Plan() maps a hint to
+  /// its RepresentativeHint first, so one tree serves the whole class.
   mutable std::vector<std::unique_ptr<plan::PlanNode>> plan_cache_;
   mutable Rng etl_rng_{0};
 };

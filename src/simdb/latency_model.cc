@@ -145,6 +145,28 @@ StatusOr<LatencyModel> LatencyModel::Create(
   return model;
 }
 
+LatencyModel LatencyModel::FromPlantedMatrix(linalg::Matrix latency,
+                                             std::vector<bool> etl_flags) {
+  LIMEQO_CHECK(latency.rows() > 0 && latency.cols() > 0);
+  LatencyModel model;
+  model.planted_ = true;
+  if (etl_flags.empty()) {
+    model.etl_.assign(latency.rows(), false);
+  } else {
+    LIMEQO_CHECK(etl_flags.size() == latency.rows());
+    model.etl_ = std::move(etl_flags);
+  }
+  model.latency_ = std::move(latency);
+  return model;
+}
+
+void LatencyModel::ReplaceMatrix(linalg::Matrix latency) {
+  LIMEQO_CHECK(planted_);
+  LIMEQO_CHECK(latency.rows() == latency_.rows() &&
+               latency.cols() == latency_.cols());
+  latency_ = std::move(latency);
+}
+
 void LatencyModel::Rebuild() {
   const size_t n = query_factors_.rows();
   const size_t k = hint_factors_.rows();
@@ -232,6 +254,9 @@ double LatencyModel::OptimalTotal() const {
 }
 
 LatencyModel LatencyModel::Drifted(const DriftOptions& options) const {
+  // Planted models have no latent factors to blend; their owner drifts the
+  // planted surface itself and swaps it in via ReplaceMatrix().
+  LIMEQO_CHECK(!planted_);
   LIMEQO_CHECK(options.severity >= 0.0 && options.severity <= 1.0);
   LatencyModel drifted = *this;
   Rng rng(options.seed);
@@ -259,6 +284,7 @@ LatencyModel LatencyModel::Drifted(const DriftOptions& options) const {
 }
 
 void LatencyModel::AppendEtlQuery(double latency_seconds, Rng* rng) {
+  LIMEQO_CHECK(!planted_);
   LIMEQO_CHECK(latency_seconds > 0.0);
   const size_t r = query_factors_.cols();
   const size_t k = hint_factors_.rows();

@@ -74,6 +74,25 @@ class LatencyModel {
   /// Constructs an empty (0-query) model; use Create() to build a real one.
   LatencyModel() = default;
 
+  /// Builds a *planted* model that serves exactly `latency` as its ground
+  /// truth, bypassing factor generation and calibration entirely. Used by
+  /// the scenario->simdb bridge, which compiles a ScenarioSpec's planted
+  /// low-rank surface into a database: the surface already has the desired
+  /// structure, so no calibration must perturb it. `etl_flags`, when
+  /// non-empty, must have one entry per row; rows default to non-ETL.
+  /// Planted models reject Drifted()/AppendEtlQuery() (no latent factors to
+  /// evolve); the owner swaps surfaces wholesale via ReplaceMatrix().
+  static LatencyModel FromPlantedMatrix(linalg::Matrix latency,
+                                        std::vector<bool> etl_flags = {});
+
+  /// Replaces the ground-truth matrix of a planted model (drift support for
+  /// the scenario bridge: the bridge regenerates its surface and swaps it
+  /// in). The new matrix must have the same shape. Planted models only.
+  void ReplaceMatrix(linalg::Matrix latency);
+
+  /// True for models built by FromPlantedMatrix (no latent factors).
+  bool is_planted() const { return planted_; }
+
   /// Builds and calibrates a model. Returns InvalidArgument when the targets
   /// are infeasible (optimal >= default, or non-positive).
   ///
@@ -143,6 +162,8 @@ class LatencyModel {
   double gamma_ = 1.0;
   LatencyModelOptions options_;
   linalg::Matrix latency_;  // materialized n x k truth
+  /// True when latency_ was planted directly (no factors to rebuild from).
+  bool planted_ = false;
 };
 
 }  // namespace limeqo::simdb

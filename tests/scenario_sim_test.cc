@@ -169,6 +169,7 @@ TEST(ScenarioGridTest, GridCoversRequiredRegimes) {
   // drift, heavy-tail, and timeout regimes.
   EXPECT_GE(grid.size(), 12u);
   int with_drift = 0;
+  int with_arrivals = 0;
   int heavy_tail = 0;
   int no_timeouts = 0;
   int tight_timeouts = 0;
@@ -176,6 +177,7 @@ TEST(ScenarioGridTest, GridCoversRequiredRegimes) {
   for (const ScenarioSpec& s : grid) {
     names.insert(s.name);
     if (!s.drift.empty()) ++with_drift;
+    if (!s.arrivals.empty()) ++with_arrivals;
     if (s.tail == TailModel::kParetoMix && s.heavy_tail_prob > 0.0) {
       ++heavy_tail;
     }
@@ -187,6 +189,7 @@ TEST(ScenarioGridTest, GridCoversRequiredRegimes) {
   }
   EXPECT_EQ(names.size(), grid.size()) << "duplicate scenario names";
   EXPECT_GE(with_drift, 3);
+  EXPECT_GE(with_arrivals, 3);
   EXPECT_GE(heavy_tail, 3);
   EXPECT_GE(no_timeouts, 1);
   EXPECT_GE(tight_timeouts, 1);
