@@ -87,6 +87,59 @@ void AlsBenches(BenchReporter* reporter) {
   SetNumThreads(1);
 }
 
+/// Warm-started vs cold refits on the train plane's refresh path: a
+/// structured (planted low-rank) 1000x49 surface at 10% fill, completed
+/// with the convergence criterion on. The warm fit starts from the
+/// previous factors (the CompleteFrom contract) and exits after the
+/// patience window; the cold fit first has to climb out of its random
+/// initialization. This is the per-refresh cost the serving engine pays
+/// every refresh_every observations.
+void AlsRefreshBenches(BenchReporter* reporter) {
+  constexpr int n = 1000;
+  constexpr int k = 49;
+  constexpr int planted_rank = 4;
+  Rng rng(11);
+  std::vector<double> hint_factor(static_cast<size_t>(k) * planted_rank);
+  for (double& v : hint_factor) v = rng.NextGaussian() * 0.5;
+  core::WorkloadMatrix w(n, k);
+  for (int i = 0; i < n; ++i) {
+    const double base = rng.LogNormal(0.0, 1.0);
+    std::vector<double> qf(planted_rank);
+    for (double& v : qf) v = rng.NextGaussian() * 0.5;
+    for (int j = 0; j < k; ++j) {
+      double z = 0.0;
+      for (int d = 0; d < planted_rank; ++d) {
+        z += qf[d] * hint_factor[static_cast<size_t>(j) * planted_rank + d];
+      }
+      const double latency = std::max(base * std::exp(1.2 * z), 1e-4);
+      if (j == 0 || rng.Bernoulli(0.1)) w.Observe(i, j, latency);
+    }
+  }
+
+  core::AlsOptions options;
+  options.rank = 10;
+  options.convergence_tol = 1e-3;
+  core::AlsCompleter als(options);
+  core::CompletionFactors steady;
+  (void)als.CompleteFrom(w, &steady);  // reach the steady state once
+
+  long iters = 0;
+  double ns = TimeNsPerOp(
+      [&] {
+        core::CompletionFactors factors = steady;
+        (void)als.CompleteFrom(w, &factors);
+      },
+      0.5, &iters);
+  const int warm_sweeps = als.last_iterations();
+  reporter->Report("als_refresh_warm_rank10_1000x49", ns, iters);
+
+  ns = TimeNsPerOp([&] { (void)als.CompleteFrom(w, nullptr); }, 0.5, &iters);
+  const int cold_sweeps = als.last_iterations();
+  reporter->Report("als_refresh_cold_rank10_1000x49", ns, iters);
+  std::printf("    (warm refit: %d sweeps, cold refit: %d sweeps)\n",
+              warm_sweeps, cold_sweeps);
+}
+
 void NeuralAndGpBenches(BenchReporter* reporter) {
   simdb::SimulatedDatabase db(
       std::move(workloads::MakeWorkload(workloads::WorkloadId::kJob, 1.0, 42))
@@ -140,6 +193,7 @@ int Main(int argc, char** argv) {
   BenchReporter reporter;
   LinalgBenches(&reporter);
   AlsBenches(&reporter);
+  AlsRefreshBenches(&reporter);
   NeuralAndGpBenches(&reporter);
   if (!json_path.empty()) {
     if (reporter.WriteJson(json_path)) {

@@ -65,6 +65,39 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // Revisit-censored arms (ROADMAP item, measured here on the Pareto
+  // heavy-tail worlds): the same model-guided runs with censored cells
+  // eligible for re-probing. The interesting trajectory is the final
+  // latency delta against the plain arm above — queries whose planted
+  // optimum was censored behind a tight model-driven timeout only recover
+  // under the revisit variant.
+  for (const scenarios::ScenarioSpec& spec : scenarios::ScenarioGrid()) {
+    if (spec.tail != scenarios::TailModel::kParetoMix) continue;
+    scenarios::RunConfig config;
+    config.revisit_censored = true;
+    scenarios::SimulationResult last;
+    long iterations = 0;
+    const double ns = TimeNsPerOp(
+        [&] {
+          scenarios::SimulationDriver driver(spec);
+          last = driver.Run(config);
+        },
+        /*min_seconds=*/0.2, &iterations);
+    reporter.Report("scenario/" + spec.name + "/ModelGuided+revisit", ns,
+                    iterations);
+    std::printf("    %-46s default %8.2fs -> final %8.2fs (optimal "
+                "%8.2fs), %d violations\n",
+                (spec.name + " [" + last.policy + "]").c_str(),
+                last.default_latency, last.final_latency,
+                last.optimal_latency,
+                static_cast<int>(last.violations.size()));
+    if (!last.ok()) {
+      std::printf("    INVARIANT VIOLATIONS:\n%s\n",
+                  last.Summary().c_str());
+      return 1;
+    }
+  }
+
   if (!skipped.empty()) {
     std::printf("  (grid scenarios not benched: %s — add a name to the\n"
                 "   `selected` list above to put it on the trajectory)\n",

@@ -1,0 +1,173 @@
+// Serving-plane bench: servings/sec through the two-plane exploration
+// engine as a function of serving-thread count, plus snapshot staleness
+// (how many servings old the snapshot a decision used was). The serving
+// threads run the real lock-free protocol — version probe, cached
+// snapshot, ChooseHint, ServeLatency, Report — while the background train
+// plane drains the observation queue, refits the (warm-started) completion
+// model, and republishes snapshots.
+//
+// Results are written as machine-readable JSON (default BENCH_serving.json,
+// override with --json=<path>) and uploaded by CI next to the other bench
+// artifacts, so the serving-path throughput trajectory is tracked commit
+// to commit. Note the CI/container caveat: on a single hardware core the
+// serving threads time-slice, so throughput holds roughly flat rather than
+// scaling; the interesting regressions are collapses (lock contention
+// would show as superlinear slowdown) and staleness blow-ups.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/als.h"
+#include "core/engine.h"
+#include "core/explorer.h"
+#include "core/policy.h"
+#include "scenarios/scenario.h"
+#include "scenarios/synthetic_backend.h"
+
+namespace limeqo::bench {
+namespace {
+
+constexpr int kServingsPerConfig = 60000;
+
+double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One throughput measurement: `threads` serving threads push
+/// kServingsPerConfig servings through a fresh engine while the train
+/// plane free-runs. Returns ns/serving; *staleness_out receives the mean
+/// snapshot age (in servings) at decision time.
+double MeasureServing(const scenarios::ScenarioSpec& spec, int threads,
+                      double* staleness_out) {
+  scenarios::SyntheticBackend backend(spec);
+
+  // Seed the matrix the way deployment would: defaults known, a short
+  // offline exploration pass for initial verified plans.
+  core::RandomPolicy policy;
+  core::ExplorerOptions options;
+  options.seed = 42;
+  core::OfflineExplorer explorer(&backend, &policy, options);
+  explorer.Explore(0.2 * backend.DefaultWorkloadLatency());
+
+  core::AlsOptions als;
+  als.convergence_tol = 1e-3;
+  als.seed = 7;
+  core::CompleterPredictor predictor(
+      std::make_unique<core::AlsCompleter>(als));
+  core::ExplorationEngine& engine = explorer.engine();
+  engine.SetPredictor(&predictor);
+  core::OnlineExplorationOptions online;
+  online.epsilon = 0.1;
+  online.min_predicted_ratio = 0.05;
+  online.regret_budget_seconds = 1e9;
+  online.seed = 31;
+  engine.ConfigureServing(online);
+  engine.RefreshPredictions(/*force=*/true);
+  engine.Publish();
+
+  const int n = backend.num_queries();
+  std::vector<double> staleness_sums(threads, 0.0);
+  std::vector<long> served_counts(threads, 0);
+
+  engine.StartTraining();
+  const double t0 = WallSeconds();
+  std::vector<std::thread> servers;
+  servers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    servers.emplace_back([&, t] {
+      std::shared_ptr<const core::ServingSnapshot> snap = engine.snapshot();
+      uint64_t version = snap->version();
+      double stale = 0.0;
+      long count = 0;
+      while (true) {
+        const uint64_t seq = engine.AcquireServingIndex();
+        if (seq >= static_cast<uint64_t>(kServingsPerConfig)) break;
+        // Steady-state read path: one relaxed version probe per serving;
+        // the shared_ptr swap only happens when the train plane published.
+        if (engine.snapshot_version() != version) {
+          snap = engine.snapshot();
+          version = snap->version();
+        }
+        if (seq > snap->published_seq()) {
+          stale += static_cast<double>(seq - snap->published_seq());
+        }
+        const int q = static_cast<int>(seq % n);
+        const int hint = snap->ChooseHint(q, seq);
+        const double latency = backend.ServeLatency(q, hint, seq);
+        engine.Report(snap->MakeObservation(seq, q, hint, latency));
+        ++count;
+      }
+      staleness_sums[t] = stale;
+      served_counts[t] = count;
+    });
+  }
+  for (std::thread& t : servers) t.join();
+  const double elapsed = WallSeconds() - t0;
+  engine.StopTraining();
+
+  double stale_total = 0.0;
+  long served_total = 0;
+  for (int t = 0; t < threads; ++t) {
+    stale_total += staleness_sums[t];
+    served_total += served_counts[t];
+  }
+  if (staleness_out != nullptr) {
+    *staleness_out = served_total > 0 ? stale_total / served_total : 0.0;
+  }
+  return elapsed / kServingsPerConfig * 1e9;
+}
+
+int Main(int argc, char** argv) {
+  const std::string json_path =
+      JsonPathFromArgs(argc, argv, "BENCH_serving.json");
+  PrintBanner("bench_serving",
+              "lock-free serving plane: servings/sec vs serving threads, "
+              "snapshot staleness",
+              "200-query synthetic world, warm-started ALS train plane");
+
+  scenarios::ScenarioSpec spec;
+  spec.name = "serving-bench";
+  spec.num_queries = 200;
+  spec.num_hints = 16;
+  spec.latent_rank = 4;
+  spec.structure_strength = 0.9;
+  spec.noise_sigma = 0.02;
+  spec.online_servings = 0;
+  spec.seed = 4242;
+
+  BenchReporter reporter;
+  for (int threads : {1, 2, 4, 8}) {
+    double staleness = 0.0;
+    const double ns = MeasureServing(spec, threads, &staleness);
+    reporter.Report("serving_ns_per_op", ns, kServingsPerConfig, threads);
+    // Staleness is reported through the same record shape: the "ns" slot
+    // carries the mean snapshot age in servings (see the name).
+    reporter.Report("serving_snapshot_staleness_servings", staleness,
+                    kServingsPerConfig, threads);
+    std::printf("    %d thread(s): %.1f ns/serving (%.2fM servings/s), "
+                "mean snapshot staleness %.1f servings\n",
+                threads, ns, 1e3 / ns, staleness);
+  }
+
+  if (!json_path.empty()) {
+    if (reporter.WriteJson(json_path)) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace limeqo::bench
+
+int main(int argc, char** argv) { return limeqo::bench::Main(argc, argv); }

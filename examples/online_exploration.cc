@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "core/als.h"
+#include "core/engine.h"
 #include "core/online_explorer.h"
 #include "workloads/workloads.h"
 
@@ -22,17 +23,19 @@ int main() {
   if (!db.ok()) return 1;
   const int n = db->num_queries();
 
-  // The serving-side state: the workload matrix (defaults observed from
-  // normal operation) and a linear completion model.
+  // The serving-side state: the exploration engine owning the workload
+  // matrix (defaults observed from normal operation) and a linear
+  // completion model, warm-started across the periodic refreshes.
   core::WorkloadMatrix matrix(n, db->num_hints());
   for (int q = 0; q < n; ++q) matrix.Observe(q, 0, db->TrueLatency(q, 0));
   core::CompleterPredictor predictor(std::make_unique<core::AlsCompleter>());
+  core::ExplorationEngine engine(std::move(matrix), &predictor);
 
   core::OnlineExplorationOptions options;
   options.epsilon = 0.10;               // at most 10% of servings explore
   options.min_predicted_ratio = 0.10;   // only clearly promising plans
   options.regret_budget_seconds = 30.0; // hard cap on total extra time
-  core::OnlineExplorationOptimizer optimizer(&matrix, &predictor, options);
+  core::OnlineExplorationOptimizer optimizer(&engine, options);
 
   std::printf("JOB: %d queries, default pass %.0f s, optimal %.0f s\n", n,
               db->DefaultTotal(), db->OptimalTotal());

@@ -145,6 +145,21 @@ AlsCompleter::AlsCompleter(AlsOptions options) : options_(options) {
 }
 
 StatusOr<linalg::Matrix> AlsCompleter::Complete(const WorkloadMatrix& w) {
+  return CompleteInternal(w, nullptr);
+}
+
+StatusOr<linalg::Matrix> AlsCompleter::CompleteFrom(
+    const WorkloadMatrix& w, CompletionFactors* factors) {
+  StatusOr<linalg::Matrix> result = CompleteInternal(w, factors);
+  if (result.ok() && factors != nullptr) {
+    factors->query_factors = q_;
+    factors->hint_factors = h_;
+  }
+  return result;
+}
+
+StatusOr<linalg::Matrix> AlsCompleter::CompleteInternal(
+    const WorkloadMatrix& w, const CompletionFactors* warm) {
   if (w.NumComplete() == 0) {
     return Status::FailedPrecondition(
         "ALS needs at least one complete observation");
@@ -202,15 +217,58 @@ StatusOr<linalg::Matrix> AlsCompleter::Complete(const WorkloadMatrix& w) {
     }
   }
 
-  // Initialize the factors (Algorithm 2 line 1). In raw space, positive
-  // random values scaled per row so the initial prediction for query i is
-  // near its mean observed latency: latencies span orders of magnitude, so
-  // a row-aware warm start matters. In log-ratio space the biases already
-  // absorb the scale, so small signed factors around zero are correct.
+  // Initialize the factors (Algorithm 2 line 1). A warm start (the
+  // CompleteFrom contract) copies the previous fit's factors when their
+  // shapes are compatible: same rank, same hint count, and at most as many
+  // query rows as today's matrix — rows that arrived since the last fit
+  // fall through to the cold initialization below. Otherwise, in raw
+  // space, positive random values scaled per row so the initial prediction
+  // for query i is near its mean observed latency: latencies span orders
+  // of magnitude, so a row-aware start matters. In log-ratio space the
+  // biases already absorb the scale, so small signed factors around zero
+  // are correct.
+  const bool warm_compatible =
+      warm != nullptr && !warm->empty() && warm->query_factors.cols() == r &&
+      warm->hint_factors.cols() == r && warm->hint_factors.rows() == k &&
+      warm->query_factors.rows() <= n;
+  const size_t warm_rows = warm_compatible ? warm->query_factors.rows() : 0;
   Rng rng(options_.seed);
   q_ = linalg::Matrix(n, r);
   h_ = linalg::Matrix(k, r);
-  if (log_space) {
+  if (warm_compatible) {
+    for (size_t i = 0; i < warm_rows; ++i) {
+      for (size_t c = 0; c < r; ++c) q_(i, c) = warm->query_factors(i, c);
+    }
+    for (size_t j = 0; j < k; ++j) {
+      for (size_t c = 0; c < r; ++c) h_(j, c) = warm->hint_factors(j, c);
+    }
+    // Fresh rows (queries that arrived after the warm factors were fitted)
+    // get the same per-space cold initialization as below: small signed
+    // factors in log-ratio space, row-mean-scaled positive factors in raw
+    // space. The scale matters in raw space: the first fill seeds the
+    // row's unobserved targets from these factors, so a near-zero init
+    // would anchor a fresh row's predictions at ~0 and manufacture
+    // phantom improvement ratios for every newly arrived query.
+    for (size_t i = warm_rows; i < n; ++i) {
+      if (log_space) {
+        for (size_t c = 0; c < r; ++c) q_(i, c) = rng.Uniform(-0.1, 0.1);
+        continue;
+      }
+      double row_mean = 0.0;
+      int row_count = 0;
+      for (size_t j = 0; j < k; ++j) {
+        if (in.mask(i, j) > 0.0) {
+          row_mean += in.values(i, j);
+          ++row_count;
+        }
+      }
+      row_mean = row_count > 0 ? row_mean / row_count : 1.0;
+      const double scale = std::max(row_mean, 1e-6) / r;
+      for (size_t c = 0; c < r; ++c) {
+        q_(i, c) = scale * rng.Uniform(0.6, 1.4);
+      }
+    }
+  } else if (log_space) {
     for (size_t i = 0; i < n; ++i) {
       for (size_t c = 0; c < r; ++c) q_(i, c) = rng.Uniform(-0.1, 0.1);
     }
@@ -301,7 +359,30 @@ StatusOr<linalg::Matrix> AlsCompleter::Complete(const WorkloadMatrix& w) {
   linalg::Matrix q_next;
   linalg::Matrix h_next;
   double best_val_rmse = std::numeric_limits<double>::infinity();
+  auto validation_rmse = [&]() {
+    double se = 0.0;
+    for (const auto& [i, j] : validation) {
+      double pred = 0.0;
+      for (size_t c = 0; c < r; ++c) pred += q_(i, c) * h_(j, c);
+      const double d = pred - in.values(i, j);
+      se += d * d;
+    }
+    return std::sqrt(se / validation.size());
+  };
+  // Under the convergence criterion the *initial* factors are the first
+  // candidate fit: a warm start already at the alternating fixed point
+  // then exits after just the patience window. (Skipped when tol == 0 so
+  // the fixed-iteration path reproduces Algorithm 2 byte for byte.)
+  const bool converging = options_.convergence_tol > 0.0;
+  if (converging && !validation.empty()) {
+    best_val_rmse = validation_rmse();
+    best_q = q_;
+    best_h = h_;
+  }
+  int stalled_sweeps = 0;
+  last_iterations_ = 0;
   for (int iter = 0; iter < options_.iterations; ++iter) {
+    ++last_iterations_;
     // Q update (Algorithm 2 lines 3-7): Q <- W_hat H (H^T H + lambda I)^-1.
     fill();
     Status q_st =
@@ -320,18 +401,41 @@ StatusOr<linalg::Matrix> AlsCompleter::Complete(const WorkloadMatrix& w) {
     if (non_negative) h_.ClampMin(0.0);
 
     if (!validation.empty()) {
-      double se = 0.0;
-      for (const auto& [i, j] : validation) {
-        double pred = 0.0;
-        for (size_t c = 0; c < r; ++c) pred += q_(i, c) * h_(j, c);
-        const double d = pred - in.values(i, j);
-        se += d * d;
-      }
-      const double val_rmse = std::sqrt(se / validation.size());
+      const double val_rmse = validation_rmse();
+      const bool improved_enough =
+          val_rmse < best_val_rmse * (1.0 - options_.convergence_tol);
       if (val_rmse < best_val_rmse) {
         best_val_rmse = val_rmse;
         best_q = q_;
         best_h = h_;
+      }
+      // Validation-stall convergence: once held-out error stops improving
+      // the best factors are frozen anyway (the early-stopping guard), so
+      // further sweeps only burn time.
+      if (converging) {
+        stalled_sweeps = improved_enough ? 0 : stalled_sweeps + 1;
+        if (stalled_sweeps >= options_.convergence_patience) break;
+      }
+    } else if (converging) {
+      // No validation split (tiny matrices): fall back to the relative
+      // factor movement per sweep — q_next / h_next hold the pre-sweep
+      // factors (the swaps above), so the delta costs no extra copies.
+      // Serial loops keep the check thread-count-invariant.
+      double delta = 0.0;
+      double norm = 0.0;
+      for (size_t c = 0; c < q_.size(); ++c) {
+        const double d = q_.data()[c] - q_next.data()[c];
+        delta += d * d;
+        norm += q_.data()[c] * q_.data()[c];
+      }
+      for (size_t c = 0; c < h_.size(); ++c) {
+        const double d = h_.data()[c] - h_next.data()[c];
+        delta += d * d;
+        norm += h_.data()[c] * h_.data()[c];
+      }
+      if (std::sqrt(delta) <=
+          options_.convergence_tol * std::sqrt(norm) + 1e-30) {
+        break;
       }
     }
   }

@@ -9,6 +9,26 @@
 
 namespace limeqo::core {
 
+/// The factor state a warm-startable completion algorithm carries between
+/// refits: the query-side (n x r) and hint-side (k x r) factor matrices of
+/// the last fit. An empty state means "cold-start the next fit". The state
+/// is a pure function of the observation matrices it was fitted on — it
+/// must never be reused across a data shift (see Completer::CompleteFrom).
+struct CompletionFactors {
+  linalg::Matrix query_factors;
+  linalg::Matrix hint_factors;
+
+  /// True when no factor state is held (the next fit cold-starts).
+  bool empty() const {
+    return query_factors.size() == 0 || hint_factors.size() == 0;
+  }
+  /// Drops the state; the next CompleteFrom cold-starts.
+  void clear() {
+    query_factors = linalg::Matrix();
+    hint_factors = linalg::Matrix();
+  }
+};
+
 /// A matrix-completion algorithm: estimates the full workload matrix W-hat
 /// from the partial observations in a WorkloadMatrix. Implementations:
 /// AlsCompleter (the paper's Algorithm 2), SvtCompleter and
@@ -21,6 +41,28 @@ class Completer {
   /// through unchanged; unobserved entries are predictions. Returns an error
   /// when the input has no complete observations to learn from.
   virtual StatusOr<linalg::Matrix> Complete(const WorkloadMatrix& w) = 0;
+
+  /// The warm-start contract for the train plane's refresh path: complete
+  /// `w`, seeding the solver from `factors` when they are compatible with
+  /// the problem shape (cold-starting otherwise), and write the refit
+  /// factor state back into `factors` for the next call.
+  ///
+  /// Contract:
+  ///  * the result depends only on (w, *factors) — never on matrices fed
+  ///    to earlier calls, so the caller fully controls what state leaks
+  ///    between refits (clear the factors across a data shift and nothing
+  ///    from the old data can influence the new fit);
+  ///  * a warm-started fit must agree with the cold-started fit on the same
+  ///    matrix up to the solver's convergence tolerance;
+  ///  * `factors == nullptr` requests a plain cold start.
+  ///
+  /// The base implementation is for solvers with no factor form: it clears
+  /// `factors` and delegates to Complete.
+  virtual StatusOr<linalg::Matrix> CompleteFrom(const WorkloadMatrix& w,
+                                                CompletionFactors* factors) {
+    if (factors != nullptr) factors->clear();
+    return Complete(w);
+  }
 
   /// Display name for reports, e.g. "ALS".
   virtual std::string name() const = 0;

@@ -1,0 +1,386 @@
+#include "core/engine.h"
+
+#include "core/online.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace limeqo::core {
+namespace {
+
+// Domain-separation tags for the per-serving decision streams.
+constexpr uint64_t kGateStream = 0x47415445u;  // "GATE"
+constexpr uint64_t kPickStream = 0x5049434Bu;  // "PICK"
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 64;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ServingSnapshot
+// ---------------------------------------------------------------------------
+
+int ServingSnapshot::ChooseHint(int query, uint64_t serving_index) const {
+  LIMEQO_CHECK(query >= 0 && query < num_queries_);
+  const int verified = verified_best_[query];
+  const OnlineExplorationOptions& opt = options_;
+  if (opt.epsilon <= 0.0 || budget_exhausted()) return verified;
+  // The epsilon gate for serving s is its own stream: a pure function of
+  // (seed, s), so the gate sequence is identical no matter which thread
+  // serves which index.
+  Rng gate(MixSeed(gate_seed_, serving_index));
+  if (!gate.Bernoulli(opt.epsilon)) return verified;
+
+  // Per-serving risk gate against the *frozen* ledger: regret charged
+  // since publication is invisible here by design (see the regret
+  // accounting contract in docs/ARCHITECTURE.md).
+  const double remaining =
+      std::max(opt.regret_budget_seconds - regret_spent_, 0.0);
+  const double baseline = verified_latency_[query];
+  if (std::isfinite(baseline) &&
+      baseline > opt.max_baseline_budget_fraction * remaining) {
+    return verified;
+  }
+
+  // Predicted-best unobserved hint for the row and its improvement ratio
+  // against the serving baseline (Eq. 6 applied online).
+  if (have_predictions_) {
+    int best_j = -1;
+    double best_pred = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < num_hints_; ++j) {
+      if (state(query, j) != CellState::kUnobserved) continue;
+      if ((*predictions_)(query, j) < best_pred) {
+        best_pred = (*predictions_)(query, j);
+        best_j = j;
+      }
+    }
+    if (best_j >= 0 && std::isfinite(baseline)) {
+      const double ratio = (baseline - best_pred) / std::max(best_pred, 1e-9);
+      if (ratio >= opt.min_predicted_ratio) return best_j;
+    }
+  }
+  if (!opt.random_fallback) return verified;
+  // Algorithm 1 lines 8-9, online: no promising model candidate, so
+  // bootstrap with a random unobserved hint (regret stays budget-bounded).
+  int unobserved = 0;
+  for (int j = 0; j < num_hints_; ++j) {
+    if (state(query, j) == CellState::kUnobserved) ++unobserved;
+  }
+  if (unobserved == 0) return verified;
+  Rng pick_rng(MixSeed(pick_seed_, serving_index));
+  int pick = static_cast<int>(pick_rng.NextUint64Below(unobserved));
+  for (int j = 0; j < num_hints_; ++j) {
+    if (state(query, j) != CellState::kUnobserved) continue;
+    if (pick-- == 0) return j;
+  }
+  return verified;
+}
+
+ServingObservation ServingSnapshot::MakeObservation(uint64_t seq, int query,
+                                                    int hint,
+                                                    double latency) const {
+  LIMEQO_CHECK(query >= 0 && query < num_queries_);
+  LIMEQO_CHECK(hint >= 0 && hint < num_hints_);
+  LIMEQO_CHECK(latency >= 0.0);
+  ServingObservation obs;
+  obs.seq = seq;
+  obs.query = query;
+  obs.hint = hint;
+  obs.latency = latency;
+  obs.exploratory = hint != verified_best_[query] &&
+                    state(query, hint) != CellState::kComplete;
+  const double baseline = verified_latency_[query];
+  if (obs.exploratory && std::isfinite(baseline) && latency > baseline) {
+    obs.regret_delta = latency - baseline;
+  }
+  return obs;
+}
+
+// ---------------------------------------------------------------------------
+// ExplorationEngine
+// ---------------------------------------------------------------------------
+
+ExplorationEngine::ExplorationEngine(WorkloadMatrix matrix,
+                                     Predictor* predictor,
+                                     const EngineOptions& options)
+    : options_(options),
+      matrix_(std::move(matrix)),
+      predictor_(predictor),
+      slots_(RoundUpPow2(options.queue_capacity)) {
+  queue_mask_ = slots_.size() - 1;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i].turn.store(i, std::memory_order_relaxed);
+  }
+  Publish();
+}
+
+ExplorationEngine::~ExplorationEngine() {
+  if (training_) StopTraining();
+}
+
+void ExplorationEngine::ConfigureServing(
+    const OnlineExplorationOptions& online) {
+  options_.online = online;
+}
+
+void ExplorationEngine::Report(const ServingObservation& obs) {
+  Slot& slot = slots_[obs.seq & queue_mask_];
+  // Wait for the drain to free the slot from the previous lap; only
+  // possible when producers run a full queue length ahead.
+  while (slot.turn.load(std::memory_order_acquire) != obs.seq) {
+    std::this_thread::yield();
+  }
+  slot.obs = obs;
+  slot.turn.store(obs.seq + 1, std::memory_order_release);
+}
+
+void ExplorationEngine::ServeEpoch(
+    uint64_t begin, uint64_t end, int threads,
+    const std::function<double(int query, int hint, uint64_t seq)>& execute,
+    const std::function<void(uint64_t seq, int query, int hint,
+                             double latency)>& record) {
+  LIMEQO_CHECK(threads >= 1);
+  LIMEQO_CHECK(begin <= end);
+  std::shared_ptr<const ServingSnapshot> snap = snapshot();
+  const uint64_t n = static_cast<uint64_t>(snap->num_queries());
+  // The whole epoch decides on one snapshot, but Report would deadlock if
+  // the range outran the queue by a full lap with nobody draining (the
+  // lanes only join at the end). Chunking to the queue capacity with a
+  // drain between chunks keeps arbitrary epoch sizes safe and changes
+  // nothing observable: decisions still use the epoch snapshot, and the
+  // drain still applies in sequence order.
+  const uint64_t chunk = slots_.size();
+  for (uint64_t chunk_begin = begin; chunk_begin < end;
+       chunk_begin += chunk) {
+    const uint64_t chunk_end = std::min(end, chunk_begin + chunk);
+    auto serve_lane = [&, snap](int lane) {
+      for (uint64_t s = chunk_begin + lane; s < chunk_end;
+           s += static_cast<uint64_t>(threads)) {
+        const int q = static_cast<int>(s % n);
+        const int hint = snap->ChooseHint(q, s);
+        const double latency = execute(q, hint, s);
+        if (record) record(s, q, hint, latency);
+        Report(snap->MakeObservation(s, q, hint, latency));
+      }
+    };
+    if (threads == 1) {
+      serve_lane(0);
+    } else {
+      std::vector<std::thread> workers;
+      workers.reserve(threads);
+      for (int t = 0; t < threads; ++t) workers.emplace_back(serve_lane, t);
+      for (std::thread& t : workers) t.join();
+    }
+    if (chunk_end < end) Drain();
+  }
+  SyncEpoch();
+}
+
+size_t ExplorationEngine::Drain() {
+  uint64_t head = drained_seq_.load(std::memory_order_relaxed);
+  size_t applied = 0;
+  for (;;) {
+    Slot& slot = slots_[head & queue_mask_];
+    if (slot.turn.load(std::memory_order_acquire) != head + 1) break;
+    ApplyObservation(slot.obs);
+    slot.turn.store(head + slots_.size(), std::memory_order_release);
+    ++head;
+    ++applied;
+  }
+  drained_seq_.store(head, std::memory_order_relaxed);
+  return applied;
+}
+
+void ExplorationEngine::ApplyObservation(const ServingObservation& obs) {
+  matrix_.Observe(obs.query, obs.hint, obs.latency);
+  ++updates_since_refresh_;
+  if (obs.exploratory) {
+    explorations_.store(explorations_.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  }
+  if (obs.regret_delta > 0.0) {
+    regret_spent_.store(
+        regret_spent_.load(std::memory_order_relaxed) + obs.regret_delta,
+        std::memory_order_relaxed);
+  }
+}
+
+bool ExplorationEngine::TryRefit() {
+  if (predictor_ == nullptr) return false;
+  StatusOr<linalg::Matrix> prediction = predictor_->PredictFrom(
+      matrix_, options_.warm_start ? &factors_ : nullptr);
+  if (!prediction.ok()) return false;
+  predictions_ = std::make_shared<const linalg::Matrix>(
+      std::move(prediction).value());
+  updates_since_refresh_ = 0;
+  return true;
+}
+
+bool ExplorationEngine::RefreshPredictions(bool force) {
+  const size_t n = static_cast<size_t>(matrix_.num_queries());
+  const bool shape_stale =
+      predictions_ != nullptr && predictions_->rows() != n;
+  const bool stale = predictions_ == nullptr || shape_stale ||
+                     updates_since_refresh_ >= options_.online.refresh_every;
+  if (force || stale) TryRefit();
+  return predictions_ != nullptr && predictions_->rows() == n;
+}
+
+void ExplorationEngine::Publish() {
+  const int n = matrix_.num_queries();
+  const int k = matrix_.num_hints();
+  auto snap = std::shared_ptr<ServingSnapshot>(new ServingSnapshot());
+  snap->version_ = snapshot_version_.load(std::memory_order_relaxed) + 1;
+  snap->published_seq_ = drained_seq_.load(std::memory_order_relaxed);
+  snap->num_queries_ = n;
+  snap->num_hints_ = k;
+  snap->verified_best_.resize(n);
+  snap->verified_latency_.resize(n);
+  snap->states_.resize(static_cast<size_t>(n) * k);
+  // The verified-best table is the OnlineOptimizer rule, precomputed per
+  // row — delegated to the one implementation so the snapshot path and
+  // the synchronous path can never drift apart.
+  const OnlineOptimizer rule(&matrix_);
+  for (int q = 0; q < n; ++q) {
+    const int best = rule.ChooseHint(q);
+    snap->verified_best_[q] = best;
+    snap->verified_latency_[q] =
+        matrix_.IsComplete(q, best)
+            ? matrix_.observed(q, best)
+            : std::numeric_limits<double>::infinity();
+    for (int j = 0; j < k; ++j) {
+      snap->states_[static_cast<size_t>(q) * k + j] = matrix_.state(q, j);
+    }
+  }
+  snap->have_predictions_ =
+      predictions_ != nullptr && predictions_->rows() == static_cast<size_t>(n);
+  if (snap->have_predictions_) snap->predictions_ = predictions_;
+  snap->regret_spent_ = regret_spent_.load(std::memory_order_relaxed);
+  snap->options_ = options_.online;
+  snap->gate_seed_ = MixSeed(options_.online.seed, kGateStream);
+  snap->pick_seed_ = MixSeed(options_.online.seed, kPickStream);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::shared_ptr<const ServingSnapshot>(std::move(snap));
+  }
+  snapshot_version_.store(snapshot_version_.load(std::memory_order_relaxed) + 1,
+                          std::memory_order_release);
+}
+
+size_t ExplorationEngine::SyncEpoch() {
+  const size_t drained = Drain();
+  RefreshPredictions();
+  Publish();
+  return drained;
+}
+
+void ExplorationEngine::StartTraining() {
+  LIMEQO_CHECK(!training_);
+  stop_training_.store(false, std::memory_order_relaxed);
+  training_ = true;
+  train_thread_ = std::thread([this] { TrainLoop(); });
+}
+
+void ExplorationEngine::StopTraining() {
+  LIMEQO_CHECK(training_);
+  stop_training_.store(true, std::memory_order_relaxed);
+  train_thread_.join();
+  training_ = false;
+  // Flush whatever the loop had not picked up and leave a current snapshot.
+  SyncEpoch();
+}
+
+void ExplorationEngine::TrainLoop() {
+  // A failing refit (no predictor, no usable observations, a plan-less
+  // backend) must not retrigger until new observations arrive: without
+  // the attempt marker the loop degenerates into a refit-and-publish
+  // storm that pins a core and forces every serving thread through the
+  // snapshot handoff on every serving.
+  uint64_t drained_at_last_attempt = ~uint64_t{0};
+  uint64_t published_seen = drained_seq_.load(std::memory_order_relaxed);
+  // NumComplete is an O(n*k) scan — evaluate it once, then remember: every
+  // drained observation is itself a complete observation, so the flag only
+  // ever flips to true.
+  bool has_complete = matrix_.NumComplete() > 0;
+  while (!stop_training_.load(std::memory_order_relaxed)) {
+    const size_t drained = Drain();
+    if (drained > 0) has_complete = true;
+    const uint64_t seen = drained_seq_.load(std::memory_order_relaxed);
+    const bool due =
+        predictor_ != nullptr &&
+        (updates_since_refresh_ >= options_.online.refresh_every ||
+         (predictions_ == nullptr && has_complete));
+    bool refreshed = false;
+    if (due && seen != drained_at_last_attempt) {
+      drained_at_last_attempt = seen;
+      refreshed = TryRefit();
+    }
+    // Publication is epoch-granular (refresh_every drained observations or
+    // a successful refit), not per-drain: snapshots are O(n*k) to build,
+    // and a version bump pushes every serving thread through the pointer
+    // handoff — publishing after every single observation would defeat
+    // the cached-snapshot fast path on large matrices.
+    if (refreshed ||
+        seen - published_seen >=
+            static_cast<uint64_t>(options_.online.refresh_every)) {
+      Publish();
+      published_seen = seen;
+    } else if (drained == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+void ExplorationEngine::Observe(int query, int hint, double latency) {
+  matrix_.Observe(query, hint, latency);
+  ++updates_since_refresh_;
+}
+
+void ExplorationEngine::ObserveCensored(int query, int hint, double timeout) {
+  matrix_.ObserveCensored(query, hint, timeout);
+  ++updates_since_refresh_;
+}
+
+void ExplorationEngine::Clear(int query, int hint) {
+  matrix_.Clear(query, hint);
+  ++updates_since_refresh_;
+}
+
+int ExplorationEngine::AppendQueries(int count) {
+  const int first = matrix_.AppendQueries(count);
+  ++updates_since_refresh_;
+  return first;
+}
+
+void ExplorationEngine::ObserveServing(int query, int hint, double latency,
+                                       bool exploratory, double regret_delta) {
+  ServingObservation obs;
+  obs.query = query;
+  obs.hint = hint;
+  obs.latency = latency;
+  obs.exploratory = exploratory;
+  obs.regret_delta = regret_delta;
+  ApplyObservation(obs);
+}
+
+void ExplorationEngine::ResetMatrix(WorkloadMatrix matrix) {
+  matrix_ = std::move(matrix);
+  InvalidateModel();
+  Publish();
+}
+
+void ExplorationEngine::InvalidateModel() {
+  factors_.clear();
+  predictions_.reset();
+  updates_since_refresh_ = 0;
+  if (predictor_ != nullptr) predictor_->Reset();
+}
+
+}  // namespace limeqo::core

@@ -1,0 +1,423 @@
+#ifndef LIMEQO_CORE_ENGINE_H_
+#define LIMEQO_CORE_ENGINE_H_
+
+/// \file
+/// The two-plane exploration engine. The *train plane* owns the mutable
+/// state — the WorkloadMatrix, the completion model and its warm-start
+/// factors, and the regret ledger — and periodically condenses it into an
+/// immutable ServingSnapshot published by one atomic shared_ptr swap. The
+/// *serving plane* is any number of threads that read the latest snapshot
+/// (lock-free) to decide hints and push their observations into a
+/// sequence-numbered queue that the train plane drains in serving order.
+/// Because every serving decision is a pure function of (snapshot, serving
+/// index) and the queue is applied in index order, a serving trace over a
+/// deterministic schedule is bitwise identical at every thread count.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/predictor.h"
+#include "core/workload_matrix.h"
+
+namespace limeqo::core {
+
+/// Options for bounded online exploration (shared by the engine's serving
+/// plane and the single-threaded OnlineExplorationOptimizer adapter).
+struct OnlineExplorationOptions {
+  /// Fraction of servings allowed to explore an unverified plan.
+  double epsilon = 0.05;
+  /// Only explore plans whose predicted improvement ratio over the current
+  /// verified best exceeds this (Eq. 6 applied online).
+  double min_predicted_ratio = 0.2;
+  /// Hard cap on cumulative regret: total extra seconds (vs the verified
+  /// best plan) that online exploration may ever cost the workload. Once
+  /// exhausted, behaviour is identical to the plain OnlineOptimizer.
+  double regret_budget_seconds = 60.0;
+  /// Prediction refresh cadence: the completion model is re-run after this
+  /// many matrix updates (predictions go stale as cells fill in). On the
+  /// concurrent serving plane this is also the epoch length: snapshots are
+  /// republished and the regret ledger is re-frozen at this granularity.
+  int refresh_every = 32;
+  /// Per-serving risk gate: only explore a query whose verified-plan
+  /// latency is at most this fraction of the *remaining* regret budget. A
+  /// single bad probe can cost several multiples of the baseline latency,
+  /// so without the gate one long query can blow the entire budget (and
+  /// overshoot it) in a single serving; with it, exploration concentrates
+  /// on queries it can afford and the budget drains gradually.
+  double max_baseline_budget_fraction = 0.125;
+  /// When an exploration-eligible serving has no model candidate clearing
+  /// min_predicted_ratio, serve a *random* unobserved hint instead (the
+  /// online analogue of Algorithm 1's lines 8-9). Without this the online
+  /// path can never bootstrap: an all-defaults matrix yields flat
+  /// predictions, flat predictions yield no candidates, and no candidate
+  /// ever gets observed. Risk remains bounded by the regret budget.
+  bool random_fallback = true;
+  /// Master seed. The epsilon-gate and fallback-pick streams are derived
+  /// from it with domain separation, and on the snapshot path each serving
+  /// index gets its own stream (a pure function of seed and index), so the
+  /// explore/serve gate sequence cannot be desynchronized by
+  /// prediction-dependent branches or by which thread served which index.
+  /// Two engines with the same seed over the same serving schedule produce
+  /// identical traces, bitwise, at any thread count.
+  uint64_t seed = 31;
+};
+
+/// One serving's observation, produced on the serving plane and drained by
+/// the train plane in `seq` order. `exploratory` and `regret_delta` are
+/// classified against the snapshot the decision was made on (not against
+/// live state), which keeps the record a pure function of
+/// (snapshot, seq, latency) — the determinism contract.
+struct ServingObservation {
+  /// Global serving index (the queue position this record drains at).
+  uint64_t seq = 0;
+  /// Query served.
+  int query = 0;
+  /// Hint it was served with.
+  int hint = 0;
+  /// Observed latency of the serving, in seconds.
+  double latency = 0.0;
+  /// True when the serving probed an unverified plan.
+  bool exploratory = false;
+  /// Regret charged against the budget (>= 0, seconds).
+  double regret_delta = 0.0;
+};
+
+/// An immutable, shareable picture of everything the serving plane needs:
+/// the verified-best table, the cell states, the latest predictions, and
+/// the frozen regret ledger. Built by ExplorationEngine::Publish; read by
+/// any number of serving threads with no synchronization beyond the
+/// shared_ptr that delivered it.
+class ServingSnapshot {
+ public:
+  /// Monotonic publication counter (compare with
+  /// ExplorationEngine::snapshot_version for a cheap staleness probe).
+  uint64_t version() const { return version_; }
+  /// Highest serving sequence number drained into this snapshot; a serving
+  /// with index s decided on this snapshot has staleness s - published_seq.
+  uint64_t published_seq() const { return published_seq_; }
+
+  /// Workload-matrix rows at publication time.
+  int num_queries() const { return num_queries_; }
+  /// Workload-matrix columns (hint 0 is the default plan).
+  int num_hints() const { return num_hints_; }
+
+  /// The verified-best hint for `query` (the OnlineOptimizer rule at
+  /// publication time): the fastest complete observation, else 0.
+  int VerifiedHint(int query) const { return verified_best_[query]; }
+  /// Observed latency of the verified-best hint; +infinity when the row
+  /// has no complete default observation (serving falls back to hint 0).
+  double VerifiedLatency(int query) const { return verified_latency_[query]; }
+
+  /// Regret ledger as frozen at publication. Serving decisions in the
+  /// epoch after this snapshot gate on this value; regret charged inside
+  /// the epoch lands in the *next* snapshot, so the budget can be overshot
+  /// by at most one epoch's exploratory regret (see docs/ARCHITECTURE.md,
+  /// "Regret accounting under concurrency").
+  double regret_spent() const { return regret_spent_; }
+  /// True when the regret budget was exhausted at publication.
+  bool budget_exhausted() const {
+    return regret_spent_ >= options_.regret_budget_seconds;
+  }
+  /// True when the snapshot carries model predictions.
+  bool has_predictions() const { return have_predictions_; }
+  /// The serving options frozen into this snapshot.
+  const OnlineExplorationOptions& options() const { return options_; }
+  /// Observation state of (query, hint) at publication time.
+  CellState state(int query, int hint) const {
+    return states_[static_cast<size_t>(query) * num_hints_ + hint];
+  }
+
+  /// The serving decision: usually the verified best, sometimes (bounded
+  /// by the options) the model's predicted-best unverified hint. A pure
+  /// function of (this snapshot, query, serving_index) — the epsilon gate
+  /// and the random-fallback pick for index s are drawn from streams
+  /// seeded by MixSeed(seed, s), so the decision is independent of call
+  /// order and thread placement. Lock-free and const.
+  int ChooseHint(int query, uint64_t serving_index) const;
+
+  /// Builds the observation record for a served latency: classifies the
+  /// serving as exploratory and computes its regret against this
+  /// snapshot's verified baseline. Pure; pass the result to
+  /// ExplorationEngine::Report.
+  ServingObservation MakeObservation(uint64_t seq, int query, int hint,
+                                     double latency) const;
+
+ private:
+  friend class ExplorationEngine;
+  ServingSnapshot() = default;
+
+  uint64_t version_ = 0;
+  uint64_t published_seq_ = 0;
+  int num_queries_ = 0;
+  int num_hints_ = 0;
+  std::vector<int> verified_best_;
+  std::vector<double> verified_latency_;
+  std::vector<CellState> states_;
+  /// Shared with the engine and other snapshots: predictions only change
+  /// on a successful refit, so publication shares the pointer instead of
+  /// copying n*k doubles per epoch.
+  std::shared_ptr<const linalg::Matrix> predictions_;
+  bool have_predictions_ = false;
+  double regret_spent_ = 0.0;
+  OnlineExplorationOptions options_;
+  uint64_t gate_seed_ = 0;
+  uint64_t pick_seed_ = 0;
+};
+
+/// Construction options for the engine.
+struct EngineOptions {
+  /// Serving-plane behaviour (epsilon gate, regret budget, refresh
+  /// cadence). Can be replaced later with ConfigureServing.
+  OnlineExplorationOptions online;
+  /// Seed model refits from the previous factors (CompleteFrom) instead of
+  /// cold-starting each refresh. Factors are dropped on any event that
+  /// invalidates past observations (data shift, matrix replacement).
+  bool warm_start = true;
+  /// Observation-queue capacity, rounded up to a power of two. Must cover
+  /// the servings in flight between drains; producers spin when the queue
+  /// is a full lap ahead of the train plane (back-pressure, not loss).
+  size_t queue_capacity = 4096;
+};
+
+/// The engine joining the two planes. All train-plane methods (Drain,
+/// RefreshPredictions, Publish, the Observe family) must be called from
+/// one thread at a time — either the owner's thread or the background
+/// train thread started with StartTraining, never both. Serving-plane
+/// methods (snapshot, AcquireServingIndex, Report) are safe from any
+/// number of threads concurrently with the train plane.
+class ExplorationEngine {
+ public:
+  /// Takes ownership of the matrix. `predictor` (not owned, may be null
+  /// until SetPredictor) supplies the completion model for refits.
+  explicit ExplorationEngine(WorkloadMatrix matrix,
+                             Predictor* predictor = nullptr,
+                             const EngineOptions& options = {});
+  /// Stops the background train thread when one is still running.
+  ~ExplorationEngine();
+
+  /// Not copyable: the engine owns atomics, the queue, and possibly a
+  /// running train thread.
+  ExplorationEngine(const ExplorationEngine&) = delete;
+  /// Not assignable (see the copy constructor).
+  ExplorationEngine& operator=(const ExplorationEngine&) = delete;
+
+  // --- Train-plane configuration -----------------------------------------
+  /// Replaces the serving options (and the gate/pick seed derivation).
+  /// Call before serving traffic starts; takes effect at the next Publish.
+  void ConfigureServing(const OnlineExplorationOptions& online);
+  /// The serving options currently in force (frozen into snapshots at
+  /// each Publish).
+  const OnlineExplorationOptions& online_options() const {
+    return options_.online;
+  }
+  /// Attaches / replaces the completion model (not owned). The offline
+  /// exploration path runs without one; the serving path needs one for
+  /// exploratory candidates. Replacing the predictor drops the previous
+  /// model's predictions and warm-start factors — they describe a
+  /// different model and must neither be served nor seed the new one.
+  void SetPredictor(Predictor* predictor) {
+    if (predictor == predictor_) return;
+    predictor_ = predictor;
+    factors_.clear();
+    predictions_.reset();
+    updates_since_refresh_ = 0;
+  }
+
+  // --- Serving plane (any thread) ----------------------------------------
+  /// Publication counter; a relaxed atomic load. Serving threads cache the
+  /// snapshot and re-acquire only when this changes, so the steady-state
+  /// per-serving read path — this probe, then ChooseHint/MakeObservation
+  /// on the cached snapshot, then Report — takes no locks at all.
+  uint64_t snapshot_version() const {
+    return snapshot_version_.load(std::memory_order_relaxed);
+  }
+  /// The latest published snapshot (never null after construction). The
+  /// pointer handoff is a micro critical section (one shared_ptr copy
+  /// under a mutex) entered only when the version probe said a new
+  /// snapshot exists — once per publication, not per serving. (A
+  /// std::atomic<std::shared_ptr> swap would make even this wait-free,
+  /// but libstdc++'s implementation is not ThreadSanitizer-instrumented,
+  /// and a race-checkable serving plane is worth more than a lock-free
+  /// once-per-epoch pointer copy.)
+  std::shared_ptr<const ServingSnapshot> snapshot() const {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    return snapshot_;
+  }
+  /// Hands out the next global serving index (free-running mode). Every
+  /// acquired index must be Report()ed exactly once or the drain stalls at
+  /// the hole. Schedule-driven callers (the deterministic simulation mode)
+  /// assign indices themselves instead and must not mix with this.
+  uint64_t AcquireServingIndex() {
+    return next_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Queues one observation. Wait-free unless the queue is a full lap
+  /// ahead of the drain (then spins for back-pressure). Thread-safe.
+  void Report(const ServingObservation& obs);
+
+  /// Serves the deterministic round-robin schedule [begin, end) as one
+  /// epoch of the concurrent serving plane, then runs the SyncEpoch
+  /// barrier. `threads` lanes share the snapshot current at entry (lane t
+  /// serves begin+t, begin+t+threads, ...; serving s maps to query
+  /// s % num_queries); each serving calls `execute(query, hint, seq)` —
+  /// which must be thread-safe and a pure function of its arguments — and
+  /// reports the observation. `record`, when set, is invoked once per
+  /// serving from the serving threads (each seq exactly once, so writes
+  /// to seq-indexed storage need no locking). The merged outcome is a
+  /// pure function of (engine state at entry, schedule, execute) —
+  /// bitwise identical at every `threads` count. Train-plane method: it
+  /// runs the epoch barrier itself.
+  void ServeEpoch(
+      uint64_t begin, uint64_t end, int threads,
+      const std::function<double(int query, int hint, uint64_t seq)>&
+          execute,
+      const std::function<void(uint64_t seq, int query, int hint,
+                               double latency)>& record = nullptr);
+
+  // --- Train plane -------------------------------------------------------
+  /// Applies every contiguously published observation, in sequence order:
+  /// matrix updates, regret ledger, exploration counters. Returns how many
+  /// observations were applied.
+  size_t Drain();
+  /// Re-runs the completion model when predictions are stale (never ran,
+  /// refresh_every matrix updates ago, or the matrix grew). Warm-starts
+  /// from the previous factors when enabled. Returns true when usable
+  /// predictions are available afterwards. `force` refits regardless of
+  /// staleness.
+  bool RefreshPredictions(bool force = false);
+  /// Builds a fresh ServingSnapshot from the train-plane state and
+  /// publishes it with one pointer swap (then bumps the version counter).
+  /// Readers holding the previous snapshot keep it alive through their
+  /// own shared_ptr; there is no reclamation to coordinate.
+  void Publish();
+  /// The epoch boundary: Drain + RefreshPredictions + Publish. Returns the
+  /// number of observations drained.
+  size_t SyncEpoch();
+
+  /// Starts the free-running train plane: a background thread that drains,
+  /// refits on cadence, and republishes until StopTraining. While it runs,
+  /// no other thread may call train-plane methods.
+  void StartTraining();
+  /// Stops and joins the background train thread, then drains any
+  /// remaining observations and publishes a final snapshot.
+  void StopTraining();
+
+  // --- Train-plane observation entry points (offline loop, adapters) -----
+  /// Records a completed execution directly (no queue, no regret): the
+  /// offline exploration path.
+  void Observe(int query, int hint, double latency);
+  /// Records a censored execution directly.
+  void ObserveCensored(int query, int hint, double timeout);
+  /// Forgets an observation (data-shift invalidation).
+  void Clear(int query, int hint);
+  /// Appends new all-unobserved query rows; returns the first new index.
+  int AppendQueries(int count);
+  /// Records a serving observed synchronously on the train plane (the
+  /// single-threaded OnlineExplorationOptimizer path): applies the matrix
+  /// update and charges the ledgers immediately, bypassing the queue.
+  void ObserveServing(int query, int hint, double latency, bool exploratory,
+                      double regret_delta);
+  /// Replaces the matrix wholesale (resume-from-disk) and invalidates the
+  /// model state.
+  void ResetMatrix(WorkloadMatrix matrix);
+  /// Drops predictions, warm-start factors, and any state the predictor
+  /// retains: after a data shift nothing fitted on the old data may leak
+  /// into the new fit (the warm-start no-leak contract).
+  void InvalidateModel();
+
+  // --- Train-plane views ---------------------------------------------------
+  /// The live workload matrix. Train plane only: serving threads must read
+  /// the snapshot instead.
+  const WorkloadMatrix& matrix() const { return matrix_; }
+  /// Latest predictions (train-plane view; empty until a refit succeeds,
+  /// possibly stale afterwards).
+  const linalg::Matrix& predictions() const {
+    static const linalg::Matrix kEmpty;
+    return predictions_ != nullptr ? *predictions_ : kEmpty;
+  }
+  /// True once a refit has succeeded (predictions() is meaningful).
+  bool have_predictions() const { return predictions_ != nullptr; }
+  /// Matrix updates since the last successful refit.
+  int updates_since_refresh() const { return updates_since_refresh_; }
+  /// Warm-start factor state (empty when cold or disabled).
+  const CompletionFactors& warm_factors() const { return factors_; }
+
+  // --- Ledgers (atomic; readable from any thread) --------------------------
+  /// Cumulative regret charged by exploratory servings, in seconds.
+  double regret_spent() const {
+    return regret_spent_.load(std::memory_order_relaxed);
+  }
+  /// Exploratory servings recorded so far.
+  int explorations() const {
+    return explorations_.load(std::memory_order_relaxed);
+  }
+  /// True once the regret budget is exhausted (exploration freezes at the
+  /// next publication).
+  bool budget_exhausted() const {
+    return regret_spent() >= options_.online.regret_budget_seconds;
+  }
+  /// Regret budget still available for exploration.
+  double remaining_regret_budget() const {
+    const double left = options_.online.regret_budget_seconds - regret_spent();
+    return left > 0.0 ? left : 0.0;
+  }
+  /// Observations drained from the queue so far (not counting the direct
+  /// train-plane Observe family).
+  uint64_t drained_servings() const {
+    return drained_seq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    /// Vyukov turn stamp: equals the slot's next expected seq when free,
+    /// seq + 1 once that observation is published.
+    std::atomic<uint64_t> turn{0};
+    ServingObservation obs;
+  };
+
+  void ApplyObservation(const ServingObservation& obs);
+  void TrainLoop();
+  /// Refits unconditionally; true when the fit succeeded (predictions_
+  /// replaced, staleness counter reset).
+  bool TryRefit();
+
+  EngineOptions options_;
+  WorkloadMatrix matrix_;
+  Predictor* predictor_;
+
+  // Model state (train plane). predictions_ is shared into snapshots and
+  // replaced (never mutated) on refit.
+  std::shared_ptr<const linalg::Matrix> predictions_;
+  int updates_since_refresh_ = 0;
+  CompletionFactors factors_;
+
+  // Ledgers: written by the train plane, read anywhere.
+  std::atomic<double> regret_spent_{0.0};
+  std::atomic<int> explorations_{0};
+
+  // Snapshot publication: the pointer is guarded by snapshot_mu_ (held
+  // only for the copy/swap); the version counter is the lock-free probe.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const ServingSnapshot> snapshot_;
+  std::atomic<uint64_t> snapshot_version_{0};
+
+  // Observation queue (power-of-two ring of Vyukov slots).
+  std::vector<Slot> slots_;
+  size_t queue_mask_ = 0;
+  std::atomic<uint64_t> next_seq_{0};
+  std::atomic<uint64_t> drained_seq_{0};  // == head; train plane advances
+
+  // Background train plane.
+  std::thread train_thread_;
+  std::atomic<bool> stop_training_{false};
+  bool training_ = false;
+};
+
+}  // namespace limeqo::core
+
+#endif  // LIMEQO_CORE_ENGINE_H_

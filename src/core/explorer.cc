@@ -22,19 +22,20 @@ OfflineExplorer::OfflineExplorer(WorkloadBackend* backend,
     : backend_(backend),
       policy_(policy),
       options_(options),
-      matrix_(options.initial_queries > 0 ? options.initial_queries
-                                          : backend->num_queries(),
-              backend->num_hints()),
+      engine_(WorkloadMatrix(options.initial_queries > 0
+                                 ? options.initial_queries
+                                 : backend->num_queries(),
+                             backend->num_hints())),
       rng_(options.seed) {
   LIMEQO_CHECK(backend != nullptr && policy != nullptr);
   LIMEQO_CHECK(options.batch_size > 0);
   LIMEQO_CHECK(options.timeout_alpha > 1.0);
-  LIMEQO_CHECK(matrix_.num_queries() <= backend->num_queries());
+  LIMEQO_CHECK(matrix().num_queries() <= backend->num_queries());
   // Default plans are known from normal (online) operation: observe them
   // at zero offline cost. Hints that produce the *same plan* as the default
   // (detectable from EXPLAIN output, no execution needed) share its
   // latency, so those cells are revealed too.
-  for (int i = 0; i < matrix_.num_queries(); ++i) {
+  for (int i = 0; i < matrix().num_queries(); ++i) {
     ObserveDefaultClass(i);
   }
 }
@@ -43,7 +44,7 @@ void OfflineExplorer::ObserveDefaultClass(int query) {
   const BackendResult r =
       backend_->Execute(query, 0, /*timeout_seconds=*/0.0);
   for (int j : backend_->EquivalentHints(query, 0)) {
-    matrix_.Observe(query, j, r.observed_latency);
+    engine_.Observe(query, j, r.observed_latency);
   }
 }
 
@@ -55,7 +56,7 @@ std::vector<TrajectoryPoint> OfflineExplorer::Explore(double budget_seconds) {
   while (offline_seconds_ < deadline) {
     const double t0 = WallSeconds();
     StatusOr<std::vector<Candidate>> batch =
-        policy_->SelectBatch(matrix_, options_.batch_size, &rng_);
+        policy_->SelectBatch(matrix(), options_.batch_size, &rng_);
     overhead_seconds_ += WallSeconds() - t0;
     if (!batch.ok() || batch->empty()) break;  // nothing left to explore
     for (const Candidate& c : *batch) {
@@ -70,15 +71,15 @@ std::vector<TrajectoryPoint> OfflineExplorer::Explore(double budget_seconds) {
 void OfflineExplorer::ExecuteCandidate(const Candidate& candidate) {
   const int q = candidate.query;
   const int h = candidate.hint;
-  LIMEQO_CHECK(q >= 0 && q < matrix_.num_queries());
-  LIMEQO_CHECK(h >= 0 && h < matrix_.num_hints());
+  LIMEQO_CHECK(q >= 0 && q < matrix().num_queries());
+  LIMEQO_CHECK(h >= 0 && h < matrix().num_hints());
 
   // Timeout rule (Algorithm 1 line 10 / Eq. 4): never run a candidate
   // longer than the current best known plan for that query; additionally
   // cap at alpha times the model's prediction when one is available.
   double timeout = 0.0;  // 0 = no timeout
   if (options_.use_timeouts) {
-    double limit = matrix_.RowMinObserved(q);
+    double limit = matrix().RowMinObserved(q);
     if (candidate.predicted_latency > 0.0) {
       limit = std::min(limit,
                        candidate.predicted_latency * options_.timeout_alpha);
@@ -96,44 +97,49 @@ void OfflineExplorer::ExecuteCandidate(const Candidate& candidate) {
     ++num_timeouts_;
     // The whole plan-equivalence class shares the lower bound.
     for (int j : backend_->EquivalentHints(q, h)) {
-      matrix_.ObserveCensored(q, j, r.observed_latency);
+      engine_.ObserveCensored(q, j, r.observed_latency);
     }
   } else {
     // One execution measures every hint with the identical plan.
     for (int j : backend_->EquivalentHints(q, h)) {
-      matrix_.Observe(q, j, r.observed_latency);
+      engine_.Observe(q, j, r.observed_latency);
     }
   }
 }
 
 void OfflineExplorer::AddNewQueries(int count) {
   LIMEQO_CHECK(count > 0);
-  const int first = matrix_.AppendQueries(count);
-  LIMEQO_CHECK(matrix_.num_queries() <= backend_->num_queries());
-  for (int i = first; i < matrix_.num_queries(); ++i) {
+  const int first = engine_.AppendQueries(count);
+  LIMEQO_CHECK(matrix().num_queries() <= backend_->num_queries());
+  for (int i = first; i < matrix().num_queries(); ++i) {
     ObserveDefaultClass(i);
   }
 }
 
 void OfflineExplorer::ResetAfterDataShift() {
-  for (int i = 0; i < matrix_.num_queries(); ++i) {
-    int best = matrix_.BestObservedHint(i);
+  // Everything the model has learned describes the old data: drop the
+  // predictions and the warm-start factors before re-seeding the matrix,
+  // so nothing fitted pre-shift can leak into post-shift fits (the
+  // CompleteFrom no-leak contract).
+  engine_.InvalidateModel();
+  for (int i = 0; i < matrix().num_queries(); ++i) {
+    int best = matrix().BestObservedHint(i);
     if (best < 0) best = 0;
-    for (int j = 0; j < matrix_.num_hints(); ++j) matrix_.Clear(i, j);
+    for (int j = 0; j < matrix().num_hints(); ++j) engine_.Clear(i, j);
     // The previous best hint keeps serving the online path, so its latency
     // on the new data is observed for free (and so is its plan class).
     const BackendResult r =
         backend_->Execute(i, best, /*timeout_seconds=*/0.0);
     for (int j : backend_->EquivalentHints(i, best)) {
-      matrix_.Observe(i, j, r.observed_latency);
+      engine_.Observe(i, j, r.observed_latency);
     }
   }
 }
 
 std::vector<int> OfflineExplorer::BestHints() const {
-  std::vector<int> hints(matrix_.num_queries(), 0);
-  for (int i = 0; i < matrix_.num_queries(); ++i) {
-    const int best = matrix_.BestObservedHint(i);
+  std::vector<int> hints(matrix().num_queries(), 0);
+  for (int i = 0; i < matrix().num_queries(); ++i) {
+    const int best = matrix().BestObservedHint(i);
     hints[i] = best >= 0 ? best : 0;
   }
   return hints;
@@ -142,10 +148,10 @@ std::vector<int> OfflineExplorer::BestHints() const {
 TrajectoryPoint OfflineExplorer::RecordPoint() const {
   TrajectoryPoint p;
   p.offline_seconds = offline_seconds_;
-  p.workload_latency = matrix_.CurrentWorkloadLatency();
+  p.workload_latency = matrix().CurrentWorkloadLatency();
   p.overhead_seconds = overhead_seconds_;
-  p.complete_cells = matrix_.NumComplete();
-  p.censored_cells = matrix_.NumCensored();
+  p.complete_cells = matrix().NumComplete();
+  p.censored_cells = matrix().NumCensored();
   return p;
 }
 

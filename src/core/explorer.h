@@ -12,6 +12,7 @@
 
 #include "common/rng.h"
 #include "core/backend.h"
+#include "core/engine.h"
 #include "core/policy.h"
 #include "core/workload_matrix.h"
 
@@ -80,10 +81,21 @@ class OfflineExplorer {
   void ResetAfterDataShift();
 
   /// The partially observed workload matrix W-tilde built so far.
-  const WorkloadMatrix& matrix() const { return matrix_; }
-  /// Mutable access for components that keep observing after the offline
-  /// loop (e.g. OnlineExplorationOptimizer feeding servings back in).
-  WorkloadMatrix& mutable_matrix() { return matrix_; }
+  const WorkloadMatrix& matrix() const { return engine_.matrix(); }
+
+  /// The exploration engine owning the matrix. Components that keep
+  /// observing after the offline loop (the online serving plane) attach
+  /// here — there is no direct mutable matrix access: every mutation goes
+  /// through the engine's train plane so that published ServingSnapshots
+  /// can never be bypassed.
+  ExplorationEngine& engine() { return engine_; }
+  const ExplorationEngine& engine() const { return engine_; }
+
+  /// Replaces the matrix wholesale (the resume-from-disk path of
+  /// limeqo_sim). Invalidates any model state held by the engine.
+  void LoadMatrix(const WorkloadMatrix& matrix) {
+    engine_.ResetMatrix(matrix);
+  }
 
   /// Cumulative offline execution time spent so far.
   double offline_seconds() const { return offline_seconds_; }
@@ -105,7 +117,9 @@ class OfflineExplorer {
   double max_single_charge() const { return max_single_charge_; }
 
   /// Current workload latency P(W~).
-  double WorkloadLatency() const { return matrix_.CurrentWorkloadLatency(); }
+  double WorkloadLatency() const {
+    return matrix().CurrentWorkloadLatency();
+  }
 
   /// Best hint per query: the best complete observation, or hint 0 (the
   /// default) when nothing better was verified. This is the no-regressions
@@ -126,7 +140,7 @@ class OfflineExplorer {
   WorkloadBackend* backend_;
   ExplorationPolicy* policy_;
   ExplorerOptions options_;
-  WorkloadMatrix matrix_;
+  ExplorationEngine engine_;
   Rng rng_;
   double offline_seconds_ = 0.0;
   double overhead_seconds_ = 0.0;

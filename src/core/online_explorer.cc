@@ -6,67 +6,50 @@
 namespace limeqo::core {
 
 OnlineExplorationOptimizer::OnlineExplorationOptimizer(
-    WorkloadMatrix* matrix, Predictor* predictor,
-    const OnlineExplorationOptions& options)
-    : matrix_(matrix),
-      predictor_(predictor),
-      options_(options),
-      verified_(matrix),
-      predictions_(0, 0) {
+    ExplorationEngine* engine, const OnlineExplorationOptions& options)
+    : engine_(engine), options_(options), verified_(&engine->matrix()) {
   Rng master(options.seed);
   gate_rng_ = master.Fork();
   pick_rng_ = master.Fork();
-  LIMEQO_CHECK(matrix != nullptr && predictor != nullptr);
+  LIMEQO_CHECK(engine != nullptr);
   LIMEQO_CHECK(options_.epsilon >= 0.0 && options_.epsilon <= 1.0);
   LIMEQO_CHECK(options_.min_predicted_ratio >= 0.0);
   LIMEQO_CHECK(options_.regret_budget_seconds >= 0.0);
   LIMEQO_CHECK(options_.refresh_every > 0);
-}
-
-bool OnlineExplorationOptimizer::RefreshPredictions() {
-  if (have_predictions_ && updates_since_refresh_ < options_.refresh_every) {
-    return true;
-  }
-  StatusOr<linalg::Matrix> prediction = predictor_->Predict(*matrix_);
-  if (!prediction.ok()) return have_predictions_;
-  predictions_ = std::move(prediction).value();
-  have_predictions_ = true;
-  updates_since_refresh_ = 0;
-  return true;
+  engine_->ConfigureServing(options);
 }
 
 int OnlineExplorationOptimizer::ChooseHint(int query) {
-  LIMEQO_CHECK(query >= 0 && query < matrix_->num_queries());
+  const WorkloadMatrix& matrix = engine_->matrix();
+  LIMEQO_CHECK(query >= 0 && query < matrix.num_queries());
   ++servings_;
   const int verified = verified_.ChooseHint(query);
   if (options_.epsilon <= 0.0 || budget_exhausted()) return verified;
   if (!gate_rng_.Bernoulli(options_.epsilon)) return verified;
   // Per-serving risk gate: this query's baseline must be small relative to
   // the remaining budget, or a single bad probe could blow it.
-  if (matrix_->IsComplete(query, verified)) {
-    if (matrix_->observed(query, verified) >
+  if (matrix.IsComplete(query, verified)) {
+    if (matrix.observed(query, verified) >
         options_.max_baseline_budget_fraction * remaining_regret_budget()) {
       return verified;
     }
   }
-  if (!RefreshPredictions()) return verified;
-  if (predictions_.rows() != static_cast<size_t>(matrix_->num_queries())) {
-    // The matrix grew since the last refresh (new queries); force one.
-    have_predictions_ = false;
-    if (!RefreshPredictions()) return verified;
-  }
+  // The engine refits when stale (or when the matrix grew since the last
+  // refresh) — warm-started from the previous factors.
+  if (!engine_->RefreshPredictions()) return verified;
+  const linalg::Matrix& predictions = engine_->predictions();
 
   // Predicted-best unobserved hint for the row and its improvement ratio
   // against the serving baseline (Eq. 6 applied online).
-  const double baseline = matrix_->IsComplete(query, verified)
-                              ? matrix_->observed(query, verified)
+  const double baseline = matrix.IsComplete(query, verified)
+                              ? matrix.observed(query, verified)
                               : std::numeric_limits<double>::infinity();
   int best_j = -1;
   double best_pred = std::numeric_limits<double>::infinity();
-  for (int j = 0; j < matrix_->num_hints(); ++j) {
-    if (!matrix_->IsUnobserved(query, j)) continue;
-    if (predictions_(query, j) < best_pred) {
-      best_pred = predictions_(query, j);
+  for (int j = 0; j < matrix.num_hints(); ++j) {
+    if (!matrix.IsUnobserved(query, j)) continue;
+    if (predictions(query, j) < best_pred) {
+      best_pred = predictions(query, j);
       best_j = j;
     }
   }
@@ -78,13 +61,13 @@ int OnlineExplorationOptimizer::ChooseHint(int query) {
   // Lines 8-9 of Algorithm 1, online: no promising model candidate, so
   // bootstrap with a random unobserved hint (regret stays budget-bounded).
   int unobserved = 0;
-  for (int j = 0; j < matrix_->num_hints(); ++j) {
-    if (matrix_->IsUnobserved(query, j)) ++unobserved;
+  for (int j = 0; j < matrix.num_hints(); ++j) {
+    if (matrix.IsUnobserved(query, j)) ++unobserved;
   }
   if (unobserved == 0) return verified;
   int pick = static_cast<int>(pick_rng_.NextUint64Below(unobserved));
-  for (int j = 0; j < matrix_->num_hints(); ++j) {
-    if (!matrix_->IsUnobserved(query, j)) continue;
+  for (int j = 0; j < matrix.num_hints(); ++j) {
+    if (!matrix.IsUnobserved(query, j)) continue;
     if (pick-- == 0) return j;
   }
   return verified;
@@ -92,21 +75,19 @@ int OnlineExplorationOptimizer::ChooseHint(int query) {
 
 void OnlineExplorationOptimizer::ReportLatency(int query, int hint,
                                                double latency) {
-  LIMEQO_CHECK(query >= 0 && query < matrix_->num_queries());
-  LIMEQO_CHECK(hint >= 0 && hint < matrix_->num_hints());
+  const WorkloadMatrix& matrix = engine_->matrix();
+  LIMEQO_CHECK(query >= 0 && query < matrix.num_queries());
+  LIMEQO_CHECK(hint >= 0 && hint < matrix.num_hints());
   LIMEQO_CHECK(latency >= 0.0);
   const int verified = verified_.ChooseHint(query);
   const bool exploratory =
-      hint != verified && !matrix_->IsComplete(query, hint);
-  if (exploratory) {
-    ++explorations_;
-    if (matrix_->IsComplete(query, verified)) {
-      const double baseline = matrix_->observed(query, verified);
-      if (latency > baseline) regret_spent_ += latency - baseline;
-    }
+      hint != verified && !matrix.IsComplete(query, hint);
+  double regret_delta = 0.0;
+  if (exploratory && matrix.IsComplete(query, verified)) {
+    const double baseline = matrix.observed(query, verified);
+    if (latency > baseline) regret_delta = latency - baseline;
   }
-  matrix_->Observe(query, hint, latency);
-  ++updates_since_refresh_;
+  engine_->ObserveServing(query, hint, latency, exploratory, regret_delta);
 }
 
 }  // namespace limeqo::core

@@ -5,54 +5,19 @@
 /// Bounded online exploration (the paper's Sec. 6 direction): an
 /// epsilon-gated, regret-budgeted serving rule that lets production
 /// traffic itself fill workload-matrix cells without unbounded regressions.
+/// Since the train/serving split, this class is the *synchronous adapter*
+/// over ExplorationEngine — one caller thread acting as both planes at
+/// once. The concurrent serving path uses the engine's ServingSnapshot
+/// directly instead.
 
 #include <cstdint>
 
 #include "common/rng.h"
+#include "core/engine.h"
 #include "core/online.h"
-#include "core/predictor.h"
 #include "core/workload_matrix.h"
 
 namespace limeqo::core {
-
-/// Options for bounded online exploration.
-struct OnlineExplorationOptions {
-  /// Fraction of servings allowed to explore an unverified plan.
-  double epsilon = 0.05;
-  /// Only explore plans whose predicted improvement ratio over the current
-  /// verified best exceeds this (Eq. 6 applied online).
-  double min_predicted_ratio = 0.2;
-  /// Hard cap on cumulative regret: total extra seconds (vs the verified
-  /// best plan) that online exploration may ever cost the workload. Once
-  /// exhausted, behaviour is identical to the plain OnlineOptimizer.
-  double regret_budget_seconds = 60.0;
-  /// Prediction refresh cadence: the completion model is re-run after this
-  /// many matrix updates (predictions go stale as cells fill in).
-  int refresh_every = 32;
-  /// Per-serving risk gate: only explore a query whose verified-plan
-  /// latency is at most this fraction of the *remaining* regret budget. A
-  /// single bad probe can cost several multiples of the baseline latency,
-  /// so without the gate one long query can blow the entire budget (and
-  /// overshoot it) in a single serving; with it, exploration concentrates
-  /// on queries it can afford and the budget drains gradually.
-  double max_baseline_budget_fraction = 0.125;
-  /// When an exploration-eligible serving has no model candidate clearing
-  /// min_predicted_ratio, serve a *random* unobserved hint instead (the
-  /// online analogue of Algorithm 1's lines 8-9). Without this the online
-  /// path can never bootstrap: an all-defaults matrix yields flat
-  /// predictions, flat predictions yield no candidates, and no candidate
-  /// ever gets observed. Risk remains bounded by the regret budget.
-  bool random_fallback = true;
-  /// Master seed. The epsilon-gate stream and the fallback-pick stream are
-  /// forked from it independently (see the constructor), so the explore/
-  /// serve gate sequence is a pure function of (seed, serving index) — it
-  /// cannot be desynchronized by prediction-dependent branches that happen
-  /// to draw a different number of fallback picks. Two optimizers with the
-  /// same seed over the same serving stream therefore produce identical
-  /// traces, bitwise, regardless of the thread count the completion model
-  /// runs with (the linalg core is thread-count-invariant by contract).
-  uint64_t seed = 31;
-};
 
 /// Online exploration over the hint space (the paper's Sec. 6 future-work
 /// direction, "complementing the offline exploration"): the online path
@@ -67,15 +32,26 @@ struct OnlineExplorationOptions {
 /// plan can never exceed regret_budget_seconds. With epsilon = 0 or an
 /// exhausted budget this class behaves exactly like OnlineOptimizer.
 ///
+/// This is the single-threaded embodiment of the engine's two planes: each
+/// ChooseHint reads the live train-plane matrix (no snapshot staleness),
+/// each ReportLatency applies its observation immediately, and the regret
+/// check is live — so the budget can be overshot by at most one serving.
+/// The gate and fallback-pick streams are forked sequentially from
+/// options.seed exactly as before the refactor, keeping the gate sequence
+/// a pure function of (seed, serving index). Model refreshes go through
+/// the engine and are therefore warm-started.
+///
 /// Protocol per arriving query:
 ///   int hint = opt.ChooseHint(query);
 ///   double latency = Execute(query, hint);   // caller runs the plan
 ///   opt.ReportLatency(query, hint, latency);
 class OnlineExplorationOptimizer {
  public:
-  /// Neither pointer is owned; both must outlive this object. The matrix is
-  /// mutated by ReportLatency.
-  OnlineExplorationOptimizer(WorkloadMatrix* matrix, Predictor* predictor,
+  /// Serves over `engine` (not owned; must outlive this object). The
+  /// engine's serving options are replaced with `options`, and its matrix
+  /// is mutated by ReportLatency. The caller must be the engine's only
+  /// train-plane user while this adapter is in use.
+  OnlineExplorationOptimizer(ExplorationEngine* engine,
                              const OnlineExplorationOptions& options);
 
   /// The hint to serve `query` with: usually the verified best, sometimes
@@ -89,15 +65,13 @@ class OnlineExplorationOptimizer {
 
   /// Cumulative extra time spent by exploratory servings that turned out
   /// slower than the verified plan.
-  double regret_spent() const { return regret_spent_; }
+  double regret_spent() const { return engine_->regret_spent(); }
 
   /// True once the regret budget is exhausted (no further exploration).
-  bool budget_exhausted() const {
-    return regret_spent_ >= options_.regret_budget_seconds;
-  }
+  bool budget_exhausted() const { return engine_->budget_exhausted(); }
 
   /// Number of exploratory servings made so far.
-  int explorations() const { return explorations_; }
+  int explorations() const { return engine_->explorations(); }
 
   /// Total ChooseHint calls so far. Together with explorations() this makes
   /// the epsilon cap machine-checkable: exploratory servings are gated by a
@@ -106,24 +80,16 @@ class OnlineExplorationOptimizer {
 
   /// Regret budget still available for exploration.
   double remaining_regret_budget() const {
-    const double left = options_.regret_budget_seconds - regret_spent_;
-    return left > 0.0 ? left : 0.0;
+    return engine_->remaining_regret_budget();
   }
 
- private:
-  /// Re-runs the predictor if predictions are stale. Returns false when no
-  /// prediction is available (e.g. an empty matrix).
-  bool RefreshPredictions();
+  /// The engine this adapter serves over.
+  ExplorationEngine* engine() { return engine_; }
 
-  WorkloadMatrix* matrix_;
-  Predictor* predictor_;
+ private:
+  ExplorationEngine* engine_;
   OnlineExplorationOptions options_;
   OnlineOptimizer verified_;
-  linalg::Matrix predictions_;
-  bool have_predictions_ = false;
-  int updates_since_refresh_ = 0;
-  double regret_spent_ = 0.0;
-  int explorations_ = 0;
   int servings_ = 0;
   /// Independent streams forked from options.seed: gate_rng_ drives only
   /// the per-serving Bernoulli(epsilon) gate, pick_rng_ only the random

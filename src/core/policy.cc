@@ -50,13 +50,21 @@ StatusOr<std::vector<Candidate>> GreedyPolicy::SelectBatch(
   std::vector<Candidate> batch;
   for (const auto& [latency, i] : rows) {
     if (static_cast<int>(batch.size()) >= batch_size) break;
-    // Random unobserved hint for this query.
-    std::vector<int> unobserved;
+    // Random unobserved hint for this query; with revisit_censored, also
+    // censored cells whose bound sits below the row's current best (a
+    // re-run at today's timeout either completes or raises the bound).
+    std::vector<int> pool;
     for (int j = 0; j < w.num_hints(); ++j) {
-      if (w.IsUnobserved(i, j)) unobserved.push_back(j);
+      if (w.IsUnobserved(i, j)) {
+        pool.push_back(j);
+      } else if (revisit_censored_ &&
+                 w.state(i, j) == CellState::kCensored &&
+                 w.timeouts()(i, j) < latency) {
+        pool.push_back(j);
+      }
     }
-    if (unobserved.empty()) continue;
-    const int j = unobserved[rng->NextUint64Below(unobserved.size())];
+    if (pool.empty()) continue;
+    const int j = pool[rng->NextUint64Below(pool.size())];
     batch.push_back(Candidate{i, j, -1.0});
   }
   return batch;
@@ -64,11 +72,13 @@ StatusOr<std::vector<Candidate>> GreedyPolicy::SelectBatch(
 
 ModelGuidedPolicy::ModelGuidedPolicy(std::unique_ptr<Predictor> predictor,
                                      std::string display_name,
-                                     TieBreak tie_break, double min_ratio)
+                                     TieBreak tie_break, double min_ratio,
+                                     bool revisit_censored)
     : predictor_(std::move(predictor)),
       display_name_(std::move(display_name)),
       tie_break_(tie_break),
-      min_ratio_(min_ratio) {
+      min_ratio_(min_ratio),
+      revisit_censored_(revisit_censored) {
   LIMEQO_CHECK(predictor_ != nullptr);
   LIMEQO_CHECK(min_ratio_ >= 0.0);
 }
@@ -92,9 +102,26 @@ StatusOr<std::vector<Candidate>> ModelGuidedPolicy::SelectBatch(
     int best_j = -1;
     double best_pred = std::numeric_limits<double>::infinity();
     for (int j = 0; j < w.num_hints(); ++j) {
-      if (!w.IsUnobserved(i, j)) continue;
-      if (w_hat(i, j) < best_pred) {
-        best_pred = w_hat(i, j);
+      // Candidate cells: unobserved, plus (with revisit_censored) censored
+      // cells whose prediction still undercuts the current best — the
+      // min_ratio filter below prunes the unpromising ones. A censored
+      // cell's prediction is clamped up to its recorded bound here (the
+      // ALS completer already honors the bound, but the Predictor
+      // interface does not guarantee it — a neural model may predict
+      // below a proven lower bound): the clamp makes the candidate's
+      // timeout (alpha x prediction) strictly exceed the old bound, so a
+      // re-probe always completes the cell or raises the bound, never
+      // spins on stale optimism.
+      double pred = w_hat(i, j);
+      bool eligible = w.IsUnobserved(i, j);
+      if (!eligible && revisit_censored_ &&
+          w.state(i, j) == CellState::kCensored) {
+        pred = std::max(pred, w.timeouts()(i, j));
+        eligible = pred < current_best;
+      }
+      if (!eligible) continue;
+      if (pred < best_pred) {
+        best_pred = pred;
         best_j = j;
       }
     }

@@ -51,10 +51,26 @@ class RandomPolicy : public ExplorationPolicy {
 /// assumption Fig. 8 shows can fail badly (ETL queries).
 class GreedyPolicy : public ExplorationPolicy {
  public:
+  /// With `revisit_censored`, the per-query hint pool also contains
+  /// censored cells whose recorded lower bound sits below the row's
+  /// *current* best — re-running such a cell with today's timeout (at
+  /// least the row best) either completes it or raises its bound, so the
+  /// probe always learns something. Without the flag a cell that once
+  /// timed out is never retried, and a query whose true optimum was cut
+  /// off by an early tight timeout stays stuck at its default forever
+  /// (the heavy-tail failure mode).
+  explicit GreedyPolicy(bool revisit_censored = false)
+      : revisit_censored_(revisit_censored) {}
+
   StatusOr<std::vector<Candidate>> SelectBatch(const WorkloadMatrix& w,
                                                int batch_size,
                                                Rng* rng) override;
-  std::string name() const override { return "Greedy"; }
+  std::string name() const override {
+    return revisit_censored_ ? "Greedy+revisit" : "Greedy";
+  }
+
+ private:
+  bool revisit_censored_;
 };
 
 /// The paper's Algorithm 1: complete the matrix with a predictive model,
@@ -90,10 +106,21 @@ class ModelGuidedPolicy : public ExplorationPolicy {
   /// vanishing predicted gains (model noise) burns budget with no upside;
   /// below the threshold, the random fallback of lines 8-9 explores
   /// instead, which is what actually feeds the model early on.
+  /// `revisit_censored` additionally lets the policy re-select censored
+  /// cells that still look promising: the completer clamps a censored
+  /// cell's prediction up to its recorded lower bound (never below a known
+  /// bound), so a censored cell whose clamped prediction *still* undercuts
+  /// the row's current best marks a bound far below today's serving
+  /// latency — re-probing it runs with a strictly looser timeout
+  /// (min(row best, alpha x prediction) > bound, since alpha > 1 and the
+  /// prediction is at least the bound), so every revisit either completes
+  /// the cell or pushes its bound up until the Eq. 6 ratio drops under
+  /// min_ratio. Off by default: Algorithm 1 explores unobserved cells
+  /// only.
   ModelGuidedPolicy(std::unique_ptr<Predictor> predictor,
                     std::string display_name,
                     TieBreak tie_break = TieBreak::kRandom,
-                    double min_ratio = 0.05);
+                    double min_ratio = 0.05, bool revisit_censored = false);
 
   StatusOr<std::vector<Candidate>> SelectBatch(const WorkloadMatrix& w,
                                                int batch_size,
@@ -107,6 +134,7 @@ class ModelGuidedPolicy : public ExplorationPolicy {
   std::string display_name_;
   TieBreak tie_break_;
   double min_ratio_;
+  bool revisit_censored_;
 };
 
 /// Baseline: QO-Advisor adapted to this setting (paper Sec. 5, Techniques):

@@ -19,6 +19,23 @@ class Predictor {
 
   virtual StatusOr<linalg::Matrix> Predict(const WorkloadMatrix& w) = 0;
 
+  /// Warm-started prediction for the train plane's refresh path
+  /// (ExplorationEngine): may seed the model from `factors` and writes the
+  /// refit state back, per the Completer::CompleteFrom contract. The base
+  /// implementation delegates to Predict — correct for models that carry
+  /// their warm state internally (the retained TCNN) or have none.
+  virtual StatusOr<linalg::Matrix> PredictFrom(const WorkloadMatrix& w,
+                                               CompletionFactors* factors) {
+    (void)factors;
+    return Predict(w);
+  }
+
+  /// Drops any training state the model carries across Predict calls. The
+  /// train plane calls this on a data shift so that nothing fitted on the
+  /// old data leaks into post-shift predictions. The base implementation
+  /// is a no-op (stateless models).
+  virtual void Reset() {}
+
   virtual std::string name() const = 0;
 };
 
@@ -32,6 +49,11 @@ class CompleterPredictor : public Predictor {
 
   StatusOr<linalg::Matrix> Predict(const WorkloadMatrix& w) override {
     return completer_->Complete(w);
+  }
+
+  StatusOr<linalg::Matrix> PredictFrom(const WorkloadMatrix& w,
+                                       CompletionFactors* factors) override {
+    return completer_->CompleteFrom(w, factors);
   }
 
   std::string name() const override { return completer_->name(); }

@@ -35,6 +35,15 @@ void WorkloadMatrix::ObserveCensored(int query, int hint, double timeout) {
   // A later complete observation always supersedes a censored one; a
   // censored observation never downgrades a complete one.
   if (states_[idx] == CellState::kComplete) return;
+  // Censoring bounds only tighten: each censored run proves latency >=
+  // its timeout, so the cell keeps the largest bound ever observed. A
+  // re-probe cut off earlier than a previous one (possible when a
+  // revisit-censored policy runs with an optimistic model prediction)
+  // must not erase the stronger evidence.
+  if (states_[idx] == CellState::kCensored &&
+      timeouts_(query, hint) >= timeout) {
+    return;
+  }
   states_[idx] = CellState::kCensored;
   values_(query, hint) = timeout;
   mask_(query, hint) = 0.0;

@@ -12,6 +12,11 @@ TcnnPredictor::TcnnPredictor(const core::WorkloadBackend* backend,
   LIMEQO_CHECK(backend != nullptr);
 }
 
+void TcnnPredictor::Reset() {
+  model_.reset();
+  flat_cache_.clear();
+}
+
 const plan::FlatPlan& TcnnPredictor::FlatFor(int query, int hint) {
   const size_t want =
       static_cast<size_t>(backend_->num_queries()) * backend_->num_hints();

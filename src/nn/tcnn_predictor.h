@@ -27,6 +27,12 @@ class TcnnPredictor : public core::Predictor {
 
   StatusOr<linalg::Matrix> Predict(const core::WorkloadMatrix& w) override;
 
+  /// Drops the retained model and the flattened-plan cache (the
+  /// Predictor::Reset no-leak contract): after a data shift the next
+  /// Predict trains a fresh model, and plans are re-flattened from the
+  /// backend's post-shift trees.
+  void Reset() override;
+
   std::string name() const override { return display_name_; }
 
   /// The underlying model (created on first Predict).

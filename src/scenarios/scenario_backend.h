@@ -29,6 +29,19 @@ class ScenarioBackend : public core::WorkloadBackend {
   /// freshly drawn latency profile. Advances the world's drift generation.
   virtual void ApplyDrift(double severity) = 0;
 
+  // --- Serving path --------------------------------------------------------
+  /// Observed latency of serving (query, hint) as the `serving_index`-th
+  /// serving of the online phase. Const, thread-safe, and a pure function
+  /// of (world generation, cell, serving_index): unlike Execute, whose
+  /// per-execution noise is keyed by the cell's visit count (mutable
+  /// state), the serving-path noise is keyed by the global serving index —
+  /// so concurrent serving threads observe identical latencies in every
+  /// interleaving, which is what makes the concurrent serving trace
+  /// bitwise reproducible at any thread count. Never times out (the online
+  /// path serves to completion).
+  virtual double ServeLatency(int query, int hint,
+                              uint64_t serving_index) const = 0;
+
   // --- Ground truth (for invariant checking only) --------------------------
   /// Noise-free latency of (query, hint) in the current generation.
   virtual double TrueLatency(int query, int hint) const = 0;

@@ -60,6 +60,13 @@ class SimDbScenarioBackend : public ScenarioBackend {
   core::BackendResult Execute(int query, int hint,
                               double timeout_seconds) override;
 
+  /// Serving-path execution, delegated to the surface (thread-safe, pure
+  /// in the serving index; see ScenarioBackend::ServeLatency).
+  double ServeLatency(int query, int hint,
+                      uint64_t serving_index) const override {
+    return surface_.ServeLatency(query, hint, serving_index);
+  }
+
   /// Optimizer cost estimate: planted truth distorted by the fixed
   /// lognormal cost-model error (identical within a plan class).
   double OptimizerCost(int query, int hint) const override;

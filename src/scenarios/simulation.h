@@ -91,6 +91,32 @@ struct RunConfig {
   /// TCNN hyper-parameters for the neural arms (seed is overridden from
   /// the scenario seed per phase).
   nn::TcnnOptions tcnn = ScenarioTcnnOptions();
+  /// Serving threads for the online phase. 0 (default) runs the legacy
+  /// synchronous path — one thread acting as both planes through
+  /// OnlineExplorationOptimizer, with the live (per-serving) regret
+  /// check. >= 1 runs the concurrent serving plane: that many serving
+  /// threads decide hints on shared ServingSnapshots over a deterministic
+  /// schedule, in epochs of refresh_every servings, with the engine
+  /// draining/refitting/republishing at each epoch boundary. The merged
+  /// serving trace is bitwise identical at every serve_threads >= 1.
+  int serve_threads = 0;
+  /// Offline policies (Greedy, ModelGuided) may re-probe censored cells
+  /// whose bound/prediction still undercuts the row's current best.
+  bool revisit_censored = false;
+};
+
+/// One serving of the concurrent serving plane, recorded at its global
+/// serving index. The full trace is the determinism artifact: equal specs
+/// and configs produce equal traces, bitwise, at any serve_threads.
+struct ServingRecord {
+  /// Query served at this index.
+  int query = 0;
+  /// Hint it was served with.
+  int hint = 0;
+  /// Observed latency, in seconds.
+  double latency = 0.0;
+  /// Field-wise equality (the trace-comparison primitive).
+  bool operator==(const ServingRecord&) const = default;
 };
 
 /// Outcome of one scenario run: headline metrics plus every invariant
@@ -121,6 +147,10 @@ struct SimulationResult {
   int servings = 0;               ///< online ChooseHint calls
   int explorations = 0;           ///< exploratory servings
   double regret_spent = 0.0;      ///< cumulative regret charged (seconds)
+  /// Per-serving record of the online phase (filled only by the
+  /// concurrent serving mode, serve_threads >= 1), indexed by serving
+  /// sequence number — the bitwise determinism artifact.
+  std::vector<ServingRecord> serving_trace;
 
   /// Human-readable invariant violations; empty means the run is clean.
   std::vector<std::string> violations;
@@ -153,8 +183,15 @@ struct SimulationResult {
 ///    observation, and new rows join with exactly the default plan class
 ///    observed (all other cells unobserved);
 ///  * online bounds: cumulative regret <= regret_budget_seconds plus one
-///    serving's overshoot, exploration count stays under its binomial
-///    epsilon cap, and an exhausted budget freezes exploration.
+///    serving's overshoot (synchronous mode) or one epoch's exploratory
+///    regret (concurrent mode, where the gate reads the snapshot's frozen
+///    ledger), exploration count stays under its binomial epsilon cap, and
+///    an exhausted budget freezes exploration;
+///  * serving determinism (concurrent mode): the merged serving trace is a
+///    pure function of (spec, config) — bitwise identical at every
+///    serve_threads — because each decision depends only on the epoch's
+///    snapshot and its serving index, and observations are drained in
+///    serving order.
 class SimulationDriver {
  public:
   /// Captures the spec; each Run compiles a fresh world from it.

@@ -15,6 +15,7 @@ constexpr uint64_t kWorldStream = 0x5741u;   // hint-level structure
 constexpr uint64_t kRowStream = 0x524Fu;     // per-row latency profiles
 constexpr uint64_t kDriftStream = 0x4452u;   // which rows a drift touches
 constexpr uint64_t kNoiseStream = 0x4E4Fu;   // per-execution noise
+constexpr uint64_t kServeStream = 0x5356u;   // serving-path noise
 
 }  // namespace
 
@@ -128,6 +129,24 @@ core::BackendResult SyntheticBackend::Execute(int query, int hint,
   }
   max_single_charge_ = std::max(max_single_charge_, result.observed_latency);
   return result;
+}
+
+double SyntheticBackend::ServeLatency(int query, int hint,
+                                      uint64_t serving_index) const {
+  LIMEQO_CHECK(query >= 0 && query < spec_.num_queries);
+  LIMEQO_CHECK(hint >= 0 && hint < spec_.num_hints);
+  double latency = truth_(query, hint);
+  if (spec_.noise_sigma > 0.0) {
+    // Keyed by (cell, serving index, generation): a pure function with no
+    // mutable state, so any thread can serve any index and observe the
+    // same latency.
+    const uint64_t cell =
+        static_cast<uint64_t>(query) * spec_.num_hints + hint;
+    Rng noise(MixSeed(spec_.seed, kServeStream,
+                      MixSeed(cell, MixSeed(serving_index, generation_))));
+    latency *= std::exp(spec_.noise_sigma * noise.NextGaussian());
+  }
+  return latency;
 }
 
 std::vector<int> SyntheticBackend::EquivalentHints(int query, int hint) const {

@@ -41,6 +41,12 @@ class SyntheticBackend : public ScenarioBackend {
   core::BackendResult Execute(int query, int hint,
                               double timeout_seconds) override;
 
+  /// Serving-path execution (see ScenarioBackend::ServeLatency): planted
+  /// truth times noise keyed by (cell, serving_index, generation). Const
+  /// and thread-safe — no visit counters, no accounting.
+  double ServeLatency(int query, int hint,
+                      uint64_t serving_index) const override;
+
   /// Hints sharing (query, hint)'s physical plan; driven by
   /// spec.equivalence_class_size (consecutive hints form one class).
   std::vector<int> EquivalentHints(int query, int hint) const override;

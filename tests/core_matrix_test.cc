@@ -153,5 +153,25 @@ TEST(OnlineOptimizerTest, NoRegressionProperty) {
   }
 }
 
+TEST(WorkloadMatrixTest, CensoringBoundsOnlyTighten) {
+  WorkloadMatrix w(1, 2);
+  w.ObserveCensored(0, 1, 2.0);
+  // A shorter censored re-run proves less than what is already known: the
+  // 2.0s bound must survive (a revisit-censored probe with an optimistic
+  // model prediction can legally be cut off below the recorded bound).
+  w.ObserveCensored(0, 1, 0.6);
+  EXPECT_EQ(w.state(0, 1), CellState::kCensored);
+  EXPECT_DOUBLE_EQ(w.timeouts()(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(w.values()(0, 1), 2.0);
+  // A longer censored run strengthens the bound.
+  w.ObserveCensored(0, 1, 3.5);
+  EXPECT_DOUBLE_EQ(w.timeouts()(0, 1), 3.5);
+  // And a complete observation still supersedes censoring entirely.
+  w.Observe(0, 1, 3.9);
+  EXPECT_EQ(w.state(0, 1), CellState::kComplete);
+  EXPECT_DOUBLE_EQ(w.values()(0, 1), 3.9);
+  EXPECT_DOUBLE_EQ(w.timeouts()(0, 1), 0.0);
+}
+
 }  // namespace
 }  // namespace limeqo::core

@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/als.h"
+#include "core/engine.h"
 #include "core/online_explorer.h"
 
 namespace limeqo::core {
@@ -22,10 +23,11 @@ struct Harness {
   static constexpr int kBestHint = 5;
 
   linalg::Matrix truth{kQueries, kHints};
-  WorkloadMatrix matrix{kQueries, kHints};
   std::unique_ptr<CompleterPredictor> predictor;
+  std::unique_ptr<ExplorationEngine> engine;
 
   explicit Harness(uint64_t seed) {
+    WorkloadMatrix initial{kQueries, kHints};
     Rng rng(seed);
     for (int i = 0; i < kQueries; ++i) {
       const double base = rng.LogNormal(0.0, 1.0);
@@ -33,11 +35,15 @@ struct Harness {
         const double factor = j == kBestHint ? 0.4 : rng.Uniform(0.9, 2.0);
         truth(i, j) = base * factor;
       }
-      matrix.Observe(i, 0, truth(i, 0));
+      initial.Observe(i, 0, truth(i, 0));
     }
     predictor = std::make_unique<CompleterPredictor>(
         std::make_unique<AlsCompleter>());
+    engine = std::make_unique<ExplorationEngine>(std::move(initial),
+                                                 predictor.get());
   }
+
+  const WorkloadMatrix& matrix() const { return engine->matrix(); }
 
   /// Serves `count` round-robin queries through `opt`; returns total time.
   double Serve(OnlineExplorationOptimizer* opt, int count) {
@@ -57,14 +63,14 @@ TEST(OnlineExplorerTest, EpsilonZeroNeverExplores) {
   Harness h(1);
   OnlineExplorationOptions options;
   options.epsilon = 0.0;
-  OnlineExplorationOptimizer opt(&h.matrix, h.predictor.get(), options);
+  OnlineExplorationOptimizer opt(h.engine.get(), options);
   h.Serve(&opt, 300);
   EXPECT_EQ(opt.explorations(), 0);
   EXPECT_DOUBLE_EQ(opt.regret_spent(), 0.0);
   // With no exploration, only hint 0 is ever observed.
   for (int i = 0; i < Harness::kQueries; ++i) {
     for (int j = 1; j < Harness::kHints; ++j) {
-      EXPECT_TRUE(h.matrix.IsUnobserved(i, j));
+      EXPECT_TRUE(h.matrix().IsUnobserved(i, j));
     }
   }
 }
@@ -75,12 +81,12 @@ TEST(OnlineExplorerTest, ExplorationFillsCellsAndFindsFasterPlans) {
   options.epsilon = 0.3;
   options.min_predicted_ratio = 0.05;
   options.regret_budget_seconds = 1e9;  // effectively unlimited
-  OnlineExplorationOptimizer opt(&h.matrix, h.predictor.get(), options);
+  OnlineExplorationOptimizer opt(h.engine.get(), options);
   h.Serve(&opt, 1500);
   EXPECT_GT(opt.explorations(), 0);
   // Exploration should have verified faster-than-default plans for a good
   // share of the workload, purely from production traffic.
-  OnlineOptimizer verified(&h.matrix);
+  OnlineOptimizer verified(&h.matrix());
   int improved = 0;
   for (int i = 0; i < Harness::kQueries; ++i) {
     if (verified.HasVerifiedPlan(i)) ++improved;
@@ -94,7 +100,7 @@ TEST(OnlineExplorerTest, RegretNeverExceedsBudgetByOneServing) {
   options.epsilon = 0.5;
   options.min_predicted_ratio = 0.0;
   options.regret_budget_seconds = 2.0;
-  OnlineExplorationOptimizer opt(&h.matrix, h.predictor.get(), options);
+  OnlineExplorationOptimizer opt(h.engine.get(), options);
   h.Serve(&opt, 2000);
   // The budget check happens before serving, so at most one exploratory
   // serving can overshoot; its regret is bounded by one plan's latency.
@@ -114,7 +120,7 @@ TEST(OnlineExplorerTest, NoExplorationAfterBudgetExhausted) {
   // Disable the per-serving risk gate so the budget actually exhausts
   // (with the gate, exploration just tapers off as the budget shrinks).
   options.max_baseline_budget_fraction = 1e18;
-  OnlineExplorationOptimizer opt(&h.matrix, h.predictor.get(), options);
+  OnlineExplorationOptimizer opt(h.engine.get(), options);
   h.Serve(&opt, 1000);
   ASSERT_TRUE(opt.budget_exhausted());
   const int explorations_at_exhaustion = opt.explorations();
@@ -128,7 +134,7 @@ TEST(OnlineExplorerTest, ServedPlansConvergeTowardOptimal) {
   options.epsilon = 0.25;
   options.min_predicted_ratio = 0.05;
   options.regret_budget_seconds = 1e9;
-  OnlineExplorationOptimizer opt(&h.matrix, h.predictor.get(), options);
+  OnlineExplorationOptimizer opt(h.engine.get(), options);
   const double early = h.Serve(&opt, 300);
   for (int warm = 0; warm < 4; ++warm) h.Serve(&opt, 300);
   const double late = h.Serve(&opt, 300);
@@ -142,7 +148,7 @@ TEST(OnlineExplorerTest, MinRatioGateBlocksModelCandidates) {
   options.epsilon = 1.0;
   options.min_predicted_ratio = 1e9;  // nothing is ever promising enough
   options.random_fallback = false;    // and no bootstrap fallback either
-  OnlineExplorationOptimizer opt(&h.matrix, h.predictor.get(), options);
+  OnlineExplorationOptimizer opt(h.engine.get(), options);
   h.Serve(&opt, 200);
   EXPECT_EQ(opt.explorations(), 0);
 }
@@ -154,7 +160,7 @@ TEST(OnlineExplorerTest, RandomFallbackBootstrapsFromColdStart) {
   options.min_predicted_ratio = 1e9;  // model candidates always rejected
   options.random_fallback = true;
   options.regret_budget_seconds = 1e9;
-  OnlineExplorationOptimizer opt(&h.matrix, h.predictor.get(), options);
+  OnlineExplorationOptimizer opt(h.engine.get(), options);
   h.Serve(&opt, 200);
   EXPECT_GT(opt.explorations(), 100);
 }
@@ -176,7 +182,7 @@ TEST(OnlineExplorerTest, TraceIsBitwiseIdenticalAcrossThreadCounts) {
                        double* regret) {
     SetNumThreads(threads);
     Harness h(42);
-    OnlineExplorationOptimizer opt(&h.matrix, h.predictor.get(), options);
+    OnlineExplorationOptimizer opt(h.engine.get(), options);
     for (int s = 0; s < 800; ++s) {
       const int q = s % Harness::kQueries;
       const int hint = opt.ChooseHint(q);
@@ -206,7 +212,7 @@ TEST(OnlineExplorerTest, SameSeedSameTraceDifferentSeedDifferentTrace) {
     options.epsilon = 0.4;
     options.regret_budget_seconds = 1e9;
     options.seed = seed;
-    OnlineExplorationOptimizer opt(&h.matrix, h.predictor.get(), options);
+    OnlineExplorationOptimizer opt(h.engine.get(), options);
     std::vector<int> hints;
     for (int s = 0; s < 400; ++s) {
       const int q = s % Harness::kQueries;
@@ -227,7 +233,7 @@ TEST(OnlineExplorerTest, RiskGateTapersExplorationNearBudget) {
   options.min_predicted_ratio = 0.0;
   options.regret_budget_seconds = 10.0;
   options.max_baseline_budget_fraction = 0.125;
-  OnlineExplorationOptimizer opt(&h.matrix, h.predictor.get(), options);
+  OnlineExplorationOptimizer opt(h.engine.get(), options);
   h.Serve(&opt, 3000);
   // With the gate, a probe is only allowed when its baseline is <= 12.5%
   // of the remaining budget, and in this harness a probe's regret is at

@@ -115,6 +115,100 @@ TEST(ModelGuidedPolicyTest, FailsWithoutObservations) {
   EXPECT_FALSE(policy->SelectBatch(w, 2, &rng).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Revisit-censored variants: with the flag, Greedy and ModelGuided may
+// re-select censored cells that are still worth a probe; without it they
+// must never touch a censored cell (Algorithm 1's unobserved-only rule).
+// ---------------------------------------------------------------------------
+
+/// A predictor returning a canned matrix, for policy-level unit tests.
+class FixedPredictor : public Predictor {
+ public:
+  explicit FixedPredictor(linalg::Matrix m) : m_(std::move(m)) {}
+  StatusOr<linalg::Matrix> Predict(const WorkloadMatrix&) override {
+    return m_;
+  }
+  std::string name() const override { return "Fixed"; }
+
+ private:
+  linalg::Matrix m_;
+};
+
+TEST(ModelGuidedPolicyTest, RevisitCensoredReselectsPromisingCensoredCells) {
+  // Row 0: default 10s observed, hint 1 censored at a 2s bound (a tight
+  // model-driven timeout cut it off), hint 2 complete. No unobserved cell
+  // exists, so the plain policy has nothing to explore; the revisit
+  // variant re-selects the censored cell because its prediction (2.5s,
+  // honoring the bound) still promises a 4x improvement.
+  WorkloadMatrix w(1, 3);
+  w.Observe(0, 0, 10.0);
+  w.ObserveCensored(0, 1, 2.0);
+  w.Observe(0, 2, 12.0);
+  linalg::Matrix pred(1, 3);
+  pred(0, 0) = 10.0;
+  pred(0, 1) = 2.5;
+  pred(0, 2) = 12.0;
+  Rng rng(3);
+
+  ModelGuidedPolicy plain(std::make_unique<FixedPredictor>(pred), "plain");
+  StatusOr<std::vector<Candidate>> none = plain.SelectBatch(w, 4, &rng);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+
+  ModelGuidedPolicy revisit(std::make_unique<FixedPredictor>(pred),
+                            "revisit", ModelGuidedPolicy::TieBreak::kRandom,
+                            /*min_ratio=*/0.05, /*revisit_censored=*/true);
+  StatusOr<std::vector<Candidate>> batch = revisit.SelectBatch(w, 4, &rng);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 1u);
+  EXPECT_EQ((*batch)[0].query, 0);
+  EXPECT_EQ((*batch)[0].hint, 1);
+}
+
+TEST(ModelGuidedPolicyTest, RevisitIgnoresCensoredCellsAboveCurrentBest) {
+  // The censored bound (9s) exceeds nothing, but the clamped prediction
+  // (9s) no longer undercuts the current best (5s): a re-run could not
+  // improve the workload, so even the revisit variant must skip it.
+  WorkloadMatrix w(1, 3);
+  w.Observe(0, 0, 10.0);
+  w.Observe(0, 1, 5.0);
+  w.ObserveCensored(0, 2, 9.0);
+  linalg::Matrix pred(1, 3);
+  pred(0, 0) = 10.0;
+  pred(0, 1) = 5.0;
+  pred(0, 2) = 9.0;  // >= the bound, as the completer clamp guarantees
+  Rng rng(4);
+  ModelGuidedPolicy revisit(std::make_unique<FixedPredictor>(pred),
+                            "revisit", ModelGuidedPolicy::TieBreak::kRandom,
+                            0.05, true);
+  StatusOr<std::vector<Candidate>> batch = revisit.SelectBatch(w, 4, &rng);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
+}
+
+TEST(GreedyPolicyTest, RevisitCensoredJoinsThePoolWhenBoundIsBelowRowBest) {
+  // Row 0 is fully probed except for a censored cell whose 2s bound sits
+  // far below the 10s row best: re-running it with today's timeout (the
+  // row best) either completes it or raises the bound, so the revisit
+  // variant may pick it; the plain variant must skip the row entirely.
+  WorkloadMatrix w(1, 3);
+  w.Observe(0, 0, 10.0);
+  w.ObserveCensored(0, 1, 2.0);
+  w.Observe(0, 2, 11.0);
+  Rng rng(5);
+  GreedyPolicy plain;
+  StatusOr<std::vector<Candidate>> none = plain.SelectBatch(w, 4, &rng);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+
+  GreedyPolicy revisit(/*revisit_censored=*/true);
+  StatusOr<std::vector<Candidate>> batch = revisit.SelectBatch(w, 4, &rng);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 1u);
+  EXPECT_EQ((*batch)[0].query, 0);
+  EXPECT_EQ((*batch)[0].hint, 1);
+}
+
 TEST(QoAdvisorPolicyTest, PicksLowestCostCells) {
   simdb::SimulatedDatabase db = MakeDb();
   SimDbBackend backend(&db);
@@ -339,20 +433,6 @@ TEST_P(PolicyComparison, LimeQoBeatsRandomOnAverage) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PolicyComparison,
                          ::testing::Values(21, 22, 23, 24));
-
-/// A stub predictor returning a fixed matrix, for policy unit tests.
-class FixedPredictor : public Predictor {
- public:
-  explicit FixedPredictor(linalg::Matrix prediction)
-      : prediction_(std::move(prediction)) {}
-  StatusOr<linalg::Matrix> Predict(const WorkloadMatrix&) override {
-    return prediction_;
-  }
-  std::string name() const override { return "Fixed"; }
-
- private:
-  linalg::Matrix prediction_;
-};
 
 TEST(ModelGuidedPolicyTest, EqualRatiosBreakTiesTowardCheapProbes) {
   // Four rows whose predicted improvement ratio is identical (predicted

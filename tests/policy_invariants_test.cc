@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/als.h"
+#include "core/engine.h"
 #include "core/online_explorer.h"
 #include "proptest.h"
 #include "scenarios/scenario.h"
@@ -137,6 +138,7 @@ struct OnlineHarness {
   linalg::Matrix truth;
   core::WorkloadMatrix matrix;
   std::unique_ptr<core::CompleterPredictor> predictor;
+  std::unique_ptr<core::ExplorationEngine> engine;
   double worst_latency = 0.0;
 
   OnlineHarness(proptest::Params& p)
@@ -155,6 +157,8 @@ struct OnlineHarness {
     }
     predictor = std::make_unique<core::CompleterPredictor>(
         std::make_unique<core::AlsCompleter>());
+    engine = std::make_unique<core::ExplorationEngine>(std::move(matrix),
+                                                       predictor.get());
   }
 
   void Serve(core::OnlineExplorationOptimizer* opt, int count) {
@@ -178,8 +182,7 @@ TEST(PolicyInvariantsTest, OnlineRegretNeverExceedsBudgetPlusOneServing) {
         options.seed = p.case_seed();
         const int servings = static_cast<int>(p.Int(0, 600));
         OnlineHarness h(p);
-        core::OnlineExplorationOptimizer opt(&h.matrix, h.predictor.get(),
-                                             options);
+        core::OnlineExplorationOptimizer opt(h.engine.get(), options);
         h.Serve(&opt, servings);
         const double bound =
             options.regret_budget_seconds + h.worst_latency + 1e-9;
@@ -202,8 +205,7 @@ TEST(PolicyInvariantsTest, OnlineExplorationStaysUnderEpsilonCap) {
         options.seed = p.case_seed();
         const int servings = static_cast<int>(p.Int(1, 800));
         OnlineHarness h(p);
-        core::OnlineExplorationOptimizer opt(&h.matrix, h.predictor.get(),
-                                             options);
+        core::OnlineExplorationOptimizer opt(h.engine.get(), options);
         h.Serve(&opt, servings);
         if (opt.servings() != servings) return false;
         const double n = static_cast<double>(servings);
@@ -232,8 +234,7 @@ TEST(PolicyInvariantsTest, ExhaustedBudgetFreezesExploration) {
         options.max_baseline_budget_fraction = 1e18;  // gate off: drain fast
         options.seed = p.case_seed();
         OnlineHarness h(p);
-        core::OnlineExplorationOptimizer opt(&h.matrix, h.predictor.get(),
-                                             options);
+        core::OnlineExplorationOptimizer opt(h.engine.get(), options);
         h.Serve(&opt, 800);
         if (!opt.budget_exhausted()) return true;  // nothing to check
         const int frozen = opt.explorations();

@@ -11,13 +11,19 @@
 //   limeqo_sim --workload=ceb --scale=0.2 --policy=limeqo --budget=0.5 \
 //              --load=ceb_matrix.txt --save=ceb_matrix.txt
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "core/als.h"
+#include "core/engine.h"
 #include "core/explorer.h"
 #include "core/serialization.h"
 #include "core/simdb_backend.h"
@@ -35,6 +41,12 @@ struct Args {
   std::string load;
   std::string save;
   bool list = false;
+  /// Online servings pushed through the serving plane after exploration
+  /// (0 skips the serving phase).
+  int serve = 0;
+  /// Serving threads for the serving phase (deterministic schedule: the
+  /// merged trace is identical at any thread count).
+  int serve_threads = 1;
 };
 
 void Usage() {
@@ -47,6 +59,8 @@ void Usage() {
       "                  [--budget=F]   exploration budget, x default time\n"
       "                  [--load=PATH]  resume from a saved matrix\n"
       "                  [--save=PATH]  save the matrix afterwards\n"
+      "                  [--serve=N]    online servings after exploring\n"
+      "                  [--serve-threads=T]  serving threads (default 1)\n"
       "                  [--list]      list workloads and exit\n");
 }
 
@@ -71,6 +85,10 @@ bool Parse(int argc, char** argv, Args* args) {
       args->load = v;
     } else if (const char* v = value("--save=")) {
       args->save = v;
+    } else if (const char* v = value("--serve=")) {
+      args->serve = std::atoi(v);
+    } else if (const char* v = value("--serve-threads=")) {
+      args->serve_threads = std::atoi(v);
     } else if (arg == "--list") {
       args->list = true;
     } else {
@@ -151,7 +169,7 @@ int Run(const Args& args) {
                    db->num_queries(), db->num_hints());
       return 2;
     }
-    explorer.mutable_matrix() = *loaded;
+    explorer.LoadMatrix(*loaded);
     std::printf("resumed: %d complete / %d censored cells\n",
                 loaded->NumComplete(), loaded->NumCensored());
   }
@@ -166,6 +184,50 @@ int Run(const Args& args) {
       before, explorer.WorkloadLatency(), db->DefaultTotal(),
       db->OptimalTotal(), explorer.offline_seconds(),
       explorer.overhead_seconds());
+
+  // ---- Online serving phase (the engine's concurrent serving plane) ----
+  if (args.serve > 0) {
+    const int threads = std::max(1, args.serve_threads);
+    core::AlsOptions als;
+    als.convergence_tol = 1e-3;  // warm-started refreshes stop early
+    core::CompleterPredictor predictor(
+        std::make_unique<core::AlsCompleter>(als));
+    core::ExplorationEngine& engine = explorer.engine();
+    engine.SetPredictor(&predictor);
+    core::OnlineExplorationOptions online;
+    online.epsilon = 0.1;
+    online.min_predicted_ratio = 0.05;
+    online.regret_budget_seconds = 0.02 * db->DefaultTotal();
+    online.seed = args.seed;
+    engine.ConfigureServing(online);
+    engine.RefreshPredictions(/*force=*/true);
+    engine.Publish();
+
+    const double before_serving = explorer.WorkloadLatency();
+    const auto t0 = std::chrono::steady_clock::now();
+    const int epoch_len = online.refresh_every;
+    for (int epoch = 0; epoch < args.serve; epoch += epoch_len) {
+      const int end = std::min(args.serve, epoch + epoch_len);
+      // The online path always runs to completion; the simulated latency
+      // is the database's ground truth.
+      engine.ServeEpoch(epoch, end, threads,
+                        [&](int q, int hint, uint64_t) {
+                          return db->TrueLatency(q, hint);
+                        });
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf(
+        "served %d queries on %d thread(s) in %.3f s (%.0f servings/s)\n"
+        "  workload latency %.0f s -> %.0f s, explorations: %d, regret "
+        "spent: %.2f / %.2f s\n",
+        args.serve, threads, wall, args.serve / std::max(wall, 1e-9),
+        before_serving, explorer.WorkloadLatency(), engine.explorations(),
+        engine.regret_spent(), online.regret_budget_seconds);
+    // The predictor is block-scoped; detach it before it goes away.
+    engine.SetPredictor(nullptr);
+  }
 
   if (!args.save.empty()) {
     Status st = core::SaveWorkloadMatrixToFile(explorer.matrix(), args.save);
