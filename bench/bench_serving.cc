@@ -14,6 +14,7 @@
 // scaling; the interesting regressions are collapses (lock contention
 // would show as superlinear slowdown) and staleness blow-ups.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -124,12 +125,57 @@ double MeasureServing(const scenarios::ScenarioSpec& spec, int threads,
   return elapsed / kServingsPerConfig * 1e9;
 }
 
+/// Publication cost as a function of matrix rows, full-copy vs base+delta.
+/// Each measured publication is preceded by kDirtyRowsPerPublication
+/// observations on random rows — the steady-state shape of the free-running
+/// train loop between refits. With `delta` the engine ships only those rows
+/// as an overlay; without it every Publish rebuilds the O(n*k) base.
+constexpr int kDirtyRowsPerPublication = 32;
+
+double MeasurePublication(int n, int k, bool delta) {
+  core::WorkloadMatrix w(n, k);
+  Rng fill(1234);
+  for (int q = 0; q < n; ++q) {
+    w.Observe(q, 0, fill.Uniform(0.1, 10.0));
+    w.Observe(q, 1 + static_cast<int>(fill.NextUint64Below(k - 1)),
+              fill.Uniform(0.05, 10.0));
+  }
+  core::EngineOptions options;
+  options.delta_publication = delta;
+  core::ExplorationEngine engine(std::move(w), nullptr, options);
+  engine.Publish();  // settle the base before timing
+
+  Rng rng(5678);
+  const int reps =
+      std::max(8, static_cast<int>(2'000'000 / static_cast<long>(n)));
+  double timed = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    // Untimed setup: dirty exactly kDirtyRowsPerPublication rows, so the
+    // timed Publish below carries exactly that overlay (the refresh-cycle
+    // steady state, where each refit folds the overlay into a new base).
+    for (int d = 0; d < kDirtyRowsPerPublication; ++d) {
+      engine.Observe(static_cast<int>(rng.NextUint64Below(n)),
+                     1 + static_cast<int>(rng.NextUint64Below(k - 1)),
+                     rng.Uniform(0.05, 10.0));
+    }
+    const double t0 = WallSeconds();
+    engine.Publish();
+    timed += WallSeconds() - t0;
+    if (delta) {
+      // Untimed: rebuild the base (as the refit would) so the next rep's
+      // overlay starts empty instead of accumulating across reps.
+      engine.ResetMatrix(engine.matrix());
+    }
+  }
+  return timed / reps * 1e9;
+}
+
 int Main(int argc, char** argv) {
   const std::string json_path =
       JsonPathFromArgs(argc, argv, "BENCH_serving.json");
   PrintBanner("bench_serving",
               "lock-free serving plane: servings/sec vs serving threads, "
-              "snapshot staleness",
+              "snapshot staleness, publication cost full vs delta",
               "200-query synthetic world, warm-started ALS train plane");
 
   scenarios::ScenarioSpec spec;
@@ -154,6 +200,23 @@ int Main(int argc, char** argv) {
     std::printf("    %d thread(s): %.1f ns/serving (%.2fM servings/s), "
                 "mean snapshot staleness %.1f servings\n",
                 threads, ns, 1e3 / ns, staleness);
+  }
+
+  // Publication cost vs n (k fixed at 16): the ROADMAP's 10^5-query-scale
+  // blocker. Delta publication pays O(dirty rows * k) per publication plus
+  // the shared-base pointer; the full rebuild pays O(n*k). The "threads"
+  // slot of the record carries log10(n) so the sweep is self-describing in
+  // the JSON.
+  std::printf("\n  publication cost (32 dirty rows per publication, k=16):\n");
+  for (int n : {1000, 10000, 100000}) {
+    const double full_ns = MeasurePublication(n, 16, /*delta=*/false);
+    const double delta_ns = MeasurePublication(n, 16, /*delta=*/true);
+    const int log10n = n >= 100000 ? 5 : (n >= 10000 ? 4 : 3);
+    reporter.Report("publish_full_ns", full_ns, 1, log10n);
+    reporter.Report("publish_delta_ns", delta_ns, 1, log10n);
+    std::printf("    n=%6d: full %10.0f ns/publish, delta %8.0f ns/publish "
+                "(%.1fx)\n",
+                n, full_ns, delta_ns, full_ns / delta_ns);
   }
 
   if (!json_path.empty()) {

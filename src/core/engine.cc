@@ -27,9 +27,37 @@ size_t RoundUpPow2(size_t v) {
 // ServingSnapshot
 // ---------------------------------------------------------------------------
 
-int ServingSnapshot::ChooseHint(int query, uint64_t serving_index) const {
+ServingSnapshot::RowView ServingSnapshot::Row(int query) const {
   LIMEQO_CHECK(query >= 0 && query < num_queries_);
-  const int verified = verified_best_[query];
+  if (!delta_queries_.empty()) {
+    const auto it = std::lower_bound(delta_queries_.begin(),
+                                     delta_queries_.end(), query);
+    if (it != delta_queries_.end() && *it == query) {
+      const size_t slot = static_cast<size_t>(it - delta_queries_.begin());
+      return {delta_verified_best_[slot], delta_verified_latency_[slot],
+              &delta_states_[slot * static_cast<size_t>(num_hints_)]};
+    }
+  }
+  return {base_->verified_best[query], base_->verified_latency[query],
+          &base_->states[static_cast<size_t>(query) * num_hints_]};
+}
+
+int ServingSnapshot::VerifiedHint(int query) const {
+  return Row(query).verified_best;
+}
+
+double ServingSnapshot::VerifiedLatency(int query) const {
+  return Row(query).verified_latency;
+}
+
+CellState ServingSnapshot::state(int query, int hint) const {
+  LIMEQO_CHECK(hint >= 0 && hint < num_hints_);
+  return Row(query).states[hint];
+}
+
+int ServingSnapshot::ChooseHint(int query, uint64_t serving_index) const {
+  const RowView row = Row(query);
+  const int verified = row.verified_best;
   const OnlineExplorationOptions& opt = options_;
   if (opt.epsilon <= 0.0 || budget_exhausted()) return verified;
   // The epsilon gate for serving s is its own stream: a pure function of
@@ -43,7 +71,7 @@ int ServingSnapshot::ChooseHint(int query, uint64_t serving_index) const {
   // accounting contract in docs/ARCHITECTURE.md).
   const double remaining =
       std::max(opt.regret_budget_seconds - regret_spent_, 0.0);
-  const double baseline = verified_latency_[query];
+  const double baseline = row.verified_latency;
   if (std::isfinite(baseline) &&
       baseline > opt.max_baseline_budget_fraction * remaining) {
     return verified;
@@ -55,7 +83,7 @@ int ServingSnapshot::ChooseHint(int query, uint64_t serving_index) const {
     int best_j = -1;
     double best_pred = std::numeric_limits<double>::infinity();
     for (int j = 0; j < num_hints_; ++j) {
-      if (state(query, j) != CellState::kUnobserved) continue;
+      if (row.states[j] != CellState::kUnobserved) continue;
       if ((*predictions_)(query, j) < best_pred) {
         best_pred = (*predictions_)(query, j);
         best_j = j;
@@ -71,13 +99,13 @@ int ServingSnapshot::ChooseHint(int query, uint64_t serving_index) const {
   // bootstrap with a random unobserved hint (regret stays budget-bounded).
   int unobserved = 0;
   for (int j = 0; j < num_hints_; ++j) {
-    if (state(query, j) == CellState::kUnobserved) ++unobserved;
+    if (row.states[j] == CellState::kUnobserved) ++unobserved;
   }
   if (unobserved == 0) return verified;
   Rng pick_rng(MixSeed(pick_seed_, serving_index));
   int pick = static_cast<int>(pick_rng.NextUint64Below(unobserved));
   for (int j = 0; j < num_hints_; ++j) {
-    if (state(query, j) != CellState::kUnobserved) continue;
+    if (row.states[j] != CellState::kUnobserved) continue;
     if (pick-- == 0) return j;
   }
   return verified;
@@ -86,17 +114,17 @@ int ServingSnapshot::ChooseHint(int query, uint64_t serving_index) const {
 ServingObservation ServingSnapshot::MakeObservation(uint64_t seq, int query,
                                                     int hint,
                                                     double latency) const {
-  LIMEQO_CHECK(query >= 0 && query < num_queries_);
   LIMEQO_CHECK(hint >= 0 && hint < num_hints_);
   LIMEQO_CHECK(latency >= 0.0);
+  const RowView row = Row(query);
   ServingObservation obs;
   obs.seq = seq;
   obs.query = query;
   obs.hint = hint;
   obs.latency = latency;
-  obs.exploratory = hint != verified_best_[query] &&
-                    state(query, hint) != CellState::kComplete;
-  const double baseline = verified_latency_[query];
+  obs.exploratory = hint != row.verified_best &&
+                    row.states[hint] != CellState::kComplete;
+  const double baseline = row.verified_latency;
   if (obs.exploratory && std::isfinite(baseline) && latency > baseline) {
     obs.regret_delta = latency - baseline;
   }
@@ -115,6 +143,8 @@ ExplorationEngine::ExplorationEngine(WorkloadMatrix matrix,
       predictor_(predictor),
       slots_(RoundUpPow2(options.queue_capacity)) {
   queue_mask_ = slots_.size() - 1;
+  LIMEQO_CHECK(options.online.refresh_every > 0);
+  LIMEQO_CHECK(options.online.publish_every > 0);
   for (size_t i = 0; i < slots_.size(); ++i) {
     slots_[i].turn.store(i, std::memory_order_relaxed);
   }
@@ -127,6 +157,8 @@ ExplorationEngine::~ExplorationEngine() {
 
 void ExplorationEngine::ConfigureServing(
     const OnlineExplorationOptions& online) {
+  LIMEQO_CHECK(online.refresh_every > 0);
+  LIMEQO_CHECK(online.publish_every > 0);
   options_.online = online;
 }
 
@@ -150,6 +182,15 @@ void ExplorationEngine::ServeEpoch(
   LIMEQO_CHECK(begin <= end);
   std::shared_ptr<const ServingSnapshot> snap = snapshot();
   const uint64_t n = static_cast<uint64_t>(snap->num_queries());
+  // An empty schedule — or an empty workload (an engine may hold a
+  // zero-row matrix until AppendQueries populates it) — has nothing to
+  // serve; bail out before the round-robin map s % n divides by zero. The
+  // epoch barrier still runs, so the call keeps its publish-at-exit
+  // contract either way.
+  if (begin == end || n == 0) {
+    SyncEpoch();
+    return;
+  }
   // The whole epoch decides on one snapshot, but Report would deadlock if
   // the range outran the queue by a full lap with nobody draining (the
   // lanes only join at the end). Chunking to the queue capacity with a
@@ -183,10 +224,10 @@ void ExplorationEngine::ServeEpoch(
   SyncEpoch();
 }
 
-size_t ExplorationEngine::Drain() {
+size_t ExplorationEngine::Drain(size_t max_observations) {
   uint64_t head = drained_seq_.load(std::memory_order_relaxed);
   size_t applied = 0;
-  for (;;) {
+  while (applied < max_observations) {
     Slot& slot = slots_[head & queue_mask_];
     if (slot.turn.load(std::memory_order_acquire) != head + 1) break;
     ApplyObservation(slot.obs);
@@ -198,8 +239,24 @@ size_t ExplorationEngine::Drain() {
   return applied;
 }
 
+void ExplorationEngine::MarkRowDirty(int query) {
+  // Irrelevant while a full rebuild is pending: the rebuild resets the
+  // tracking wholesale.
+  if (snapshot_base_stale_) return;
+  if (dirty_flags_[query]) return;
+  dirty_flags_[query] = 1;
+  dirty_rows_.push_back(query);
+}
+
+void ExplorationEngine::InvalidateSnapshotBase() {
+  snapshot_base_stale_ = true;
+  for (const int q : dirty_rows_) dirty_flags_[q] = 0;
+  dirty_rows_.clear();
+}
+
 void ExplorationEngine::ApplyObservation(const ServingObservation& obs) {
   matrix_.Observe(obs.query, obs.hint, obs.latency);
+  MarkRowDirty(obs.query);
   ++updates_since_refresh_;
   if (obs.exploratory) {
     explorations_.store(explorations_.load(std::memory_order_relaxed) + 1,
@@ -220,47 +277,87 @@ bool ExplorationEngine::TryRefit() {
   predictions_ = std::make_shared<const linalg::Matrix>(
       std::move(prediction).value());
   updates_since_refresh_ = 0;
+  // Refits happen on the compaction cadence (refresh_every), so they are
+  // the natural point to fold the delta overlay back into a fresh base.
+  InvalidateSnapshotBase();
   return true;
 }
 
 bool ExplorationEngine::RefreshPredictions(bool force) {
   const size_t n = static_cast<size_t>(matrix_.num_queries());
+  const size_t k = static_cast<size_t>(matrix_.num_hints());
+  // Shape staleness covers both dimensions: a stale prediction matrix with
+  // the right row count but a different hint-column count would be indexed
+  // out of bounds by ChooseHint.
   const bool shape_stale =
-      predictions_ != nullptr && predictions_->rows() != n;
+      predictions_ != nullptr &&
+      (predictions_->rows() != n || predictions_->cols() != k);
   const bool stale = predictions_ == nullptr || shape_stale ||
                      updates_since_refresh_ >= options_.online.refresh_every;
   if (force || stale) TryRefit();
-  return predictions_ != nullptr && predictions_->rows() == n;
+  return predictions_ != nullptr && predictions_->rows() == n &&
+         predictions_->cols() == k;
 }
 
 void ExplorationEngine::Publish() {
   const int n = matrix_.num_queries();
   const int k = matrix_.num_hints();
-  auto snap = std::shared_ptr<ServingSnapshot>(new ServingSnapshot());
-  snap->version_ = snapshot_version_.load(std::memory_order_relaxed) + 1;
-  snap->published_seq_ = drained_seq_.load(std::memory_order_relaxed);
-  snap->num_queries_ = n;
-  snap->num_hints_ = k;
-  snap->verified_best_.resize(n);
-  snap->verified_latency_.resize(n);
-  snap->states_.resize(static_cast<size_t>(n) * k);
   // The verified-best table is the OnlineOptimizer rule, precomputed per
   // row — delegated to the one implementation so the snapshot path and
   // the synchronous path can never drift apart.
   const OnlineOptimizer rule(&matrix_);
-  for (int q = 0; q < n; ++q) {
+  const auto fill_row = [&](int q, int* verified_best,
+                            double* verified_latency, CellState* states) {
     const int best = rule.ChooseHint(q);
-    snap->verified_best_[q] = best;
-    snap->verified_latency_[q] =
-        matrix_.IsComplete(q, best)
-            ? matrix_.observed(q, best)
-            : std::numeric_limits<double>::infinity();
-    for (int j = 0; j < k; ++j) {
-      snap->states_[static_cast<size_t>(q) * k + j] = matrix_.state(q, j);
+    *verified_best = best;
+    *verified_latency = matrix_.IsComplete(q, best)
+                            ? matrix_.observed(q, best)
+                            : std::numeric_limits<double>::infinity();
+    for (int j = 0; j < k; ++j) states[j] = matrix_.state(q, j);
+  };
+
+  auto snap = std::shared_ptr<ServingSnapshot>(new ServingSnapshot());
+  // Delta publication only pays for the rows that changed; a stale base, a
+  // disabled feature, or an overlay past a quarter of the rows forces the
+  // full O(n*k) rebuild (which empties the overlay again).
+  const bool full = !options_.delta_publication || snapshot_base_stale_ ||
+                    base_tables_ == nullptr ||
+                    dirty_rows_.size() * 4 >= static_cast<size_t>(n);
+  if (full) {
+    auto base = std::make_shared<ServingSnapshot::BaseTables>();
+    base->verified_best.resize(n);
+    base->verified_latency.resize(n);
+    base->states.resize(static_cast<size_t>(n) * k);
+    for (int q = 0; q < n; ++q) {
+      fill_row(q, &base->verified_best[q], &base->verified_latency[q],
+               &base->states[static_cast<size_t>(q) * k]);
+    }
+    base_tables_ = std::move(base);
+    dirty_flags_.assign(static_cast<size_t>(n), 0);
+    dirty_rows_.clear();
+    snapshot_base_stale_ = false;
+  } else {
+    LIMEQO_CHECK(base_tables_->verified_best.size() ==
+                 static_cast<size_t>(n));
+    snap->delta_queries_.assign(dirty_rows_.begin(), dirty_rows_.end());
+    std::sort(snap->delta_queries_.begin(), snap->delta_queries_.end());
+    const size_t rows = snap->delta_queries_.size();
+    snap->delta_verified_best_.resize(rows);
+    snap->delta_verified_latency_.resize(rows);
+    snap->delta_states_.resize(rows * static_cast<size_t>(k));
+    for (size_t i = 0; i < rows; ++i) {
+      fill_row(snap->delta_queries_[i], &snap->delta_verified_best_[i],
+               &snap->delta_verified_latency_[i],
+               &snap->delta_states_[i * static_cast<size_t>(k)]);
     }
   }
-  snap->have_predictions_ =
-      predictions_ != nullptr && predictions_->rows() == static_cast<size_t>(n);
+  snap->base_ = base_tables_;
+  snap->published_seq_ = drained_seq_.load(std::memory_order_relaxed);
+  snap->num_queries_ = n;
+  snap->num_hints_ = k;
+  snap->have_predictions_ = predictions_ != nullptr &&
+                            predictions_->rows() == static_cast<size_t>(n) &&
+                            predictions_->cols() == static_cast<size_t>(k);
   if (snap->have_predictions_) snap->predictions_ = predictions_;
   snap->regret_spent_ = regret_spent_.load(std::memory_order_relaxed);
   snap->options_ = options_.online;
@@ -268,10 +365,16 @@ void ExplorationEngine::Publish() {
   snap->pick_seed_ = MixSeed(options_.online.seed, kPickStream);
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
+    // Version stamp and published counter come from one fetch_add, so the
+    // value inside the snapshot can never drift from the counter (the old
+    // split read-stamp-swap-bump let a reader observe a snapshot whose
+    // version was ahead of snapshot_version()). A reader probing the new
+    // version before the swap lands serializes behind snapshot_mu_ in
+    // snapshot() and gets the new pointer.
+    snap->version_ =
+        snapshot_version_.fetch_add(1, std::memory_order_release) + 1;
     snapshot_ = std::shared_ptr<const ServingSnapshot>(std::move(snap));
   }
-  snapshot_version_.store(snapshot_version_.load(std::memory_order_relaxed) + 1,
-                          std::memory_order_release);
 }
 
 size_t ExplorationEngine::SyncEpoch() {
@@ -305,31 +408,55 @@ void ExplorationEngine::TrainLoop() {
   // snapshot handoff on every serving.
   uint64_t drained_at_last_attempt = ~uint64_t{0};
   uint64_t published_seen = drained_seq_.load(std::memory_order_relaxed);
+  // The next refit may not start before the drain front passes this mark:
+  // everything in flight when the previous refit finished must land first.
+  // Under light load the mark is always behind the front (refits run on
+  // the refresh_every cadence); under saturation it amortizes one refit
+  // per queue-capacity's worth of servings, so a slow model can never
+  // starve the drain-and-publish path — on a loaded box the serving plane
+  // keeps its throughput and the model refreshes as fast as it can keep
+  // up, which is the Bao-style advisor-loop behaviour.
+  uint64_t refit_after_seq = 0;
+  const auto publish_cadence =
+      static_cast<uint64_t>(options_.online.publish_every);
   // NumComplete is an O(n*k) scan — evaluate it once, then remember: every
   // drained observation is itself a complete observation, so the flag only
   // ever flips to true.
   bool has_complete = matrix_.NumComplete() > 0;
   while (!stop_training_.load(std::memory_order_relaxed)) {
-    const size_t drained = Drain();
+    // Drain batches are capped at one queue lap: under light load the loop
+    // publishes every publish_every drained observations (fresh
+    // snapshots), and under saturation it amortizes one publication per
+    // capacity-sized batch instead of thrashing the serving threads with
+    // publication work. Either way the publication lag behind the drain
+    // front stays below queue_capacity() + publish_every, which (with the
+    // queue's back-pressure) gives free-running serving a hard staleness
+    // bound of 2 * queue_capacity() + serving threads + publish_every.
+    const size_t drained = Drain(slots_.size());
     if (drained > 0) has_complete = true;
     const uint64_t seen = drained_seq_.load(std::memory_order_relaxed);
     const bool due =
-        predictor_ != nullptr &&
+        predictor_ != nullptr && seen >= refit_after_seq &&
         (updates_since_refresh_ >= options_.online.refresh_every ||
          (predictions_ == nullptr && has_complete));
     bool refreshed = false;
     if (due && seen != drained_at_last_attempt) {
       drained_at_last_attempt = seen;
       refreshed = TryRefit();
+      // Only a *completed* refit defers the next one behind the in-flight
+      // backlog; a failed attempt may retry as soon as new observations
+      // drain (drained_at_last_attempt already prevents failure storms).
+      if (refreshed) {
+        refit_after_seq = next_seq_.load(std::memory_order_relaxed);
+      }
     }
-    // Publication is epoch-granular (refresh_every drained observations or
-    // a successful refit), not per-drain: snapshots are O(n*k) to build,
-    // and a version bump pushes every serving thread through the pointer
-    // handoff — publishing after every single observation would defeat
-    // the cached-snapshot fast path on large matrices.
-    if (refreshed ||
-        seen - published_seen >=
-            static_cast<uint64_t>(options_.online.refresh_every)) {
+    // Publication is cadence-granular (publish_every drained observations
+    // or a successful refit), not per-drain: even a delta snapshot is an
+    // allocation plus a version bump that pushes every serving thread
+    // through the pointer handoff, so publishing after every single
+    // observation would defeat the cached-snapshot fast path. Between
+    // refits these publications are deltas — O(changed rows), not O(n*k).
+    if (refreshed || seen - published_seen >= publish_cadence) {
       Publish();
       published_seen = seen;
     } else if (drained == 0) {
@@ -340,21 +467,25 @@ void ExplorationEngine::TrainLoop() {
 
 void ExplorationEngine::Observe(int query, int hint, double latency) {
   matrix_.Observe(query, hint, latency);
+  MarkRowDirty(query);
   ++updates_since_refresh_;
 }
 
 void ExplorationEngine::ObserveCensored(int query, int hint, double timeout) {
   matrix_.ObserveCensored(query, hint, timeout);
+  MarkRowDirty(query);
   ++updates_since_refresh_;
 }
 
 void ExplorationEngine::Clear(int query, int hint) {
   matrix_.Clear(query, hint);
+  MarkRowDirty(query);
   ++updates_since_refresh_;
 }
 
 int ExplorationEngine::AppendQueries(int count) {
   const int first = matrix_.AppendQueries(count);
+  InvalidateSnapshotBase();
   ++updates_since_refresh_;
   return first;
 }
@@ -372,6 +503,7 @@ void ExplorationEngine::ObserveServing(int query, int hint, double latency,
 
 void ExplorationEngine::ResetMatrix(WorkloadMatrix matrix) {
   matrix_ = std::move(matrix);
+  InvalidateSnapshotBase();
   InvalidateModel();
   Publish();
 }

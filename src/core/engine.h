@@ -14,6 +14,7 @@
 /// deterministic schedule is bitwise identical at every thread count.
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -40,10 +41,18 @@ struct OnlineExplorationOptions {
   /// exhausted, behaviour is identical to the plain OnlineOptimizer.
   double regret_budget_seconds = 60.0;
   /// Prediction refresh cadence: the completion model is re-run after this
-  /// many matrix updates (predictions go stale as cells fill in). On the
-  /// concurrent serving plane this is also the epoch length: snapshots are
-  /// republished and the regret ledger is re-frozen at this granularity.
+  /// many matrix updates (predictions go stale as cells fill in). A
+  /// successful refit also rebuilds the snapshot base (see
+  /// EngineOptions::delta_publication), so this is the compaction cadence
+  /// of the delta-publication protocol.
   int refresh_every = 32;
+  /// Snapshot publication cadence, decoupled from (and typically more
+  /// frequent than) the refit cadence: the free-running train loop
+  /// republishes after this many drained observations, and the
+  /// epoch-synchronized simulation driver uses it as the epoch length.
+  /// Publications between refits are deltas (cheap), so republishing often
+  /// keeps serving decisions fresh without paying O(n*k) per publication.
+  int publish_every = 8;
   /// Per-serving risk gate: only explore a query whose verified-plan
   /// latency is at most this fraction of the *remaining* regret budget. A
   /// single bad probe can cost several multiples of the baseline latency,
@@ -93,6 +102,15 @@ struct ServingObservation {
 /// the frozen regret ledger. Built by ExplorationEngine::Publish; read by
 /// any number of serving threads with no synchronization beyond the
 /// shared_ptr that delivered it.
+///
+/// Representation: a snapshot is a *base* (full per-row tables, shared
+/// across consecutive snapshots by shared_ptr) plus a small sorted *delta
+/// overlay* of rows changed since the base was built. Row lookups check the
+/// overlay first (binary search over at most a few dozen entries), so reads
+/// stay lock-free and cheap while publication cost drops from O(n*k) to
+/// O(changed rows * k). The base is rebuilt — and the overlay emptied — on
+/// refit, ResetMatrix, AppendQueries, or overlay compaction (see
+/// EngineOptions::delta_publication).
 class ServingSnapshot {
  public:
   /// Monotonic publication counter (compare with
@@ -109,10 +127,10 @@ class ServingSnapshot {
 
   /// The verified-best hint for `query` (the OnlineOptimizer rule at
   /// publication time): the fastest complete observation, else 0.
-  int VerifiedHint(int query) const { return verified_best_[query]; }
+  int VerifiedHint(int query) const;
   /// Observed latency of the verified-best hint; +infinity when the row
   /// has no complete default observation (serving falls back to hint 0).
-  double VerifiedLatency(int query) const { return verified_latency_[query]; }
+  double VerifiedLatency(int query) const;
 
   /// Regret ledger as frozen at publication. Serving decisions in the
   /// epoch after this snapshot gate on this value; regret charged inside
@@ -129,9 +147,10 @@ class ServingSnapshot {
   /// The serving options frozen into this snapshot.
   const OnlineExplorationOptions& options() const { return options_; }
   /// Observation state of (query, hint) at publication time.
-  CellState state(int query, int hint) const {
-    return states_[static_cast<size_t>(query) * num_hints_ + hint];
-  }
+  CellState state(int query, int hint) const;
+  /// Rows this snapshot carries in its delta overlay; 0 means the snapshot
+  /// is served entirely from its (possibly freshly rebuilt) base.
+  int delta_rows() const { return static_cast<int>(delta_queries_.size()); }
 
   /// The serving decision: usually the verified best, sometimes (bounded
   /// by the options) the model's predicted-best unverified hint. A pure
@@ -152,13 +171,33 @@ class ServingSnapshot {
   friend class ExplorationEngine;
   ServingSnapshot() = default;
 
+  /// The full per-row tables, shared across every snapshot published since
+  /// the last base rebuild. Never mutated after construction.
+  struct BaseTables {
+    std::vector<int> verified_best;
+    std::vector<double> verified_latency;
+    std::vector<CellState> states;  // row-major n*k
+  };
+  /// One resolved row: either the overlay's copy or the base's.
+  struct RowView {
+    int verified_best;
+    double verified_latency;
+    const CellState* states;  // num_hints_ entries
+  };
+  /// Resolves `query` against the delta overlay, falling back to the base.
+  RowView Row(int query) const;
+
   uint64_t version_ = 0;
   uint64_t published_seq_ = 0;
   int num_queries_ = 0;
   int num_hints_ = 0;
-  std::vector<int> verified_best_;
-  std::vector<double> verified_latency_;
-  std::vector<CellState> states_;
+  std::shared_ptr<const BaseTables> base_;
+  /// Delta overlay: rows changed since the base was built, sorted by query
+  /// index, with their tables stored row-major alongside.
+  std::vector<int> delta_queries_;
+  std::vector<int> delta_verified_best_;
+  std::vector<double> delta_verified_latency_;
+  std::vector<CellState> delta_states_;  // delta_queries_.size() * num_hints_
   /// Shared with the engine and other snapshots: predictions only change
   /// on a successful refit, so publication shares the pointer instead of
   /// copying n*k doubles per epoch.
@@ -183,6 +222,15 @@ struct EngineOptions {
   /// the servings in flight between drains; producers spin when the queue
   /// is a full lap ahead of the train plane (back-pressure, not loss).
   size_t queue_capacity = 4096;
+  /// Publish snapshots incrementally: each Publish ships the persistent
+  /// base plus a delta overlay of the rows changed since the base was
+  /// built (O(changed rows * k) instead of O(n*k) per publication). The
+  /// base is fully rebuilt on a successful refit, on ResetMatrix /
+  /// AppendQueries, and when the overlay grows past a quarter of the rows
+  /// (compaction). Delta snapshots are bitwise-equivalent to full rebuilds
+  /// at every publication point (tests/engine_delta_test.cc); disable only
+  /// for the equivalence tests and the publication-cost bench.
+  bool delta_publication = true;
 };
 
 /// The engine joining the two planes. All train-plane methods (Drain,
@@ -259,6 +307,11 @@ class ExplorationEngine {
   /// Queues one observation. Wait-free unless the queue is a full lap
   /// ahead of the drain (then spins for back-pressure). Thread-safe.
   void Report(const ServingObservation& obs);
+  /// Observation-queue capacity actually in force (the rounded-up power of
+  /// two). A producer of serving s blocks in Report until the drain has
+  /// passed s - queue_capacity(), which is what bounds snapshot staleness
+  /// in free-running operation.
+  size_t queue_capacity() const { return slots_.size(); }
 
   /// Serves the deterministic round-robin schedule [begin, end) as one
   /// epoch of the concurrent serving plane, then runs the SyncEpoch
@@ -280,18 +333,26 @@ class ExplorationEngine {
                                double latency)>& record = nullptr);
 
   // --- Train plane -------------------------------------------------------
-  /// Applies every contiguously published observation, in sequence order:
-  /// matrix updates, regret ledger, exploration counters. Returns how many
-  /// observations were applied.
-  size_t Drain();
+  /// No cap for Drain: consume the whole contiguous published prefix.
+  static constexpr size_t kDrainAll = ~size_t{0};
+  /// Applies contiguously published observations, in sequence order:
+  /// matrix updates, regret ledger, exploration counters. Stops after
+  /// `max_observations` (the free-running train loop caps each batch at
+  /// one queue lap so publications can never lag the drain front by more
+  /// than queue_capacity() + publish_every). Returns how many observations
+  /// were applied.
+  size_t Drain(size_t max_observations = kDrainAll);
   /// Re-runs the completion model when predictions are stale (never ran,
   /// refresh_every matrix updates ago, or the matrix grew). Warm-starts
   /// from the previous factors when enabled. Returns true when usable
   /// predictions are available afterwards. `force` refits regardless of
   /// staleness.
   bool RefreshPredictions(bool force = false);
-  /// Builds a fresh ServingSnapshot from the train-plane state and
-  /// publishes it with one pointer swap (then bumps the version counter).
+  /// Builds a ServingSnapshot from the train-plane state — a delta overlay
+  /// over the persistent base when possible, a full base rebuild on refit /
+  /// ResetMatrix / AppendQueries / compaction — and publishes it with one
+  /// pointer swap. The version stamped into the snapshot and the published
+  /// counter come from a single fetch_add, so they can never drift apart.
   /// Readers holding the previous snapshot keep it alive through their
   /// own shared_ptr; there is no reclamation to coordinate.
   void Publish();
@@ -383,12 +444,28 @@ class ExplorationEngine {
   void ApplyObservation(const ServingObservation& obs);
   void TrainLoop();
   /// Refits unconditionally; true when the fit succeeded (predictions_
-  /// replaced, staleness counter reset).
+  /// replaced, staleness counter reset). A successful refit schedules a
+  /// full snapshot-base rebuild for the next Publish.
   bool TryRefit();
+  /// Marks one row changed since the snapshot base was built; the next
+  /// Publish ships it in the delta overlay.
+  void MarkRowDirty(int query);
+  /// Invalidates the snapshot base entirely (shape change, refit,
+  /// wholesale matrix replacement): the next Publish rebuilds it.
+  void InvalidateSnapshotBase();
 
   EngineOptions options_;
   WorkloadMatrix matrix_;
   Predictor* predictor_;
+
+  // Delta-publication state: the persistent base shared into snapshots,
+  // the rows changed since it was built (flag array + insertion list — the
+  // drain hot path marks a row dirty in O(1) with no allocation; Publish
+  // sorts the short list), and the rebuild flag.
+  std::shared_ptr<const ServingSnapshot::BaseTables> base_tables_;
+  std::vector<uint8_t> dirty_flags_;  // sized to the matrix rows
+  std::vector<int> dirty_rows_;       // unsorted insertion order
+  bool snapshot_base_stale_ = true;
 
   // Model state (train plane). predictions_ is shared into snapshots and
   // replaced (never mutated) on refit.

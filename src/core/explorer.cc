@@ -25,7 +25,8 @@ OfflineExplorer::OfflineExplorer(WorkloadBackend* backend,
       engine_(WorkloadMatrix(options.initial_queries > 0
                                  ? options.initial_queries
                                  : backend->num_queries(),
-                             backend->num_hints())),
+                             backend->num_hints()),
+              /*predictor=*/nullptr, options.engine),
       rng_(options.seed) {
   LIMEQO_CHECK(backend != nullptr && policy != nullptr);
   LIMEQO_CHECK(options.batch_size > 0);

@@ -16,6 +16,7 @@ OnlineExplorationOptimizer::OnlineExplorationOptimizer(
   LIMEQO_CHECK(options_.min_predicted_ratio >= 0.0);
   LIMEQO_CHECK(options_.regret_budget_seconds >= 0.0);
   LIMEQO_CHECK(options_.refresh_every > 0);
+  LIMEQO_CHECK(options_.publish_every > 0);
   engine_->ConfigureServing(options);
 }
 

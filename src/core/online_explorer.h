@@ -36,6 +36,11 @@ namespace limeqo::core {
 /// ChooseHint reads the live train-plane matrix (no snapshot staleness),
 /// each ReportLatency applies its observation immediately, and the regret
 /// check is live — so the budget can be overshot by at most one serving.
+/// The adapter's verified-best rule is the same OnlineOptimizer the
+/// engine's snapshot builder delegates to, so the adapter and the delta
+/// snapshot path (full or incremental publication alike) can never
+/// disagree about which plan is verified-best for a given matrix state —
+/// tests/engine_delta_test.cc pins this equivalence.
 /// The gate and fallback-pick streams are forked sequentially from
 /// options.seed exactly as before the refactor, keeping the gate sequence
 /// a pure function of (seed, serving index). Model refreshes go through

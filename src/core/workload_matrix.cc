@@ -11,7 +11,10 @@ WorkloadMatrix::WorkloadMatrix(int num_queries, int num_hints)
       timeouts_(num_queries, num_hints),
       states_(static_cast<size_t>(num_queries) * num_hints,
               CellState::kUnobserved) {
-  LIMEQO_CHECK(num_queries > 0 && num_hints > 0);
+  // Zero queries is a legal (empty) workload: fleets start with no rows
+  // and grow by AppendQueries as queries arrive. The hint space, by
+  // contrast, is fixed by the DBMS and must be non-empty.
+  LIMEQO_CHECK(num_queries >= 0 && num_hints > 0);
 }
 
 size_t WorkloadMatrix::CellIndex(int query, int hint) const {
@@ -115,6 +118,7 @@ int WorkloadMatrix::NumUnobserved() const {
 }
 
 double WorkloadMatrix::FillFraction() const {
+  if (states_.empty()) return 0.0;  // empty workload: nothing to fill
   return static_cast<double>(NumComplete()) /
          static_cast<double>(states_.size());
 }

@@ -331,6 +331,10 @@ std::string SimulationResult::Summary() const {
      << " arrivals=" << arrivals
      << " servings=" << servings << " explorations=" << explorations
      << " regret=" << regret_spent << "s violations=" << violations.size();
+  if (staleness_max > 0.0 || regret_slack > 0.0) {
+    os << " staleness[p50/p95/max]=" << staleness_p50 << "/" << staleness_p95
+       << "/" << staleness_max << " slack=" << regret_slack << "s";
+  }
   for (const std::string& v : violations) os << "\n  VIOLATED " << v;
   return os.str();
 }
@@ -378,6 +382,16 @@ SimulationResult SimulationDriver::Run(const RunConfig& config) {
   options.seed = MixSeed(spec_.seed, 0x4558u);
   options.initial_queries =
       total_arrivals > 0 ? spec_.num_queries - total_arrivals : -1;
+  options.engine.delta_publication = !config.full_snapshot_rebuild;
+  if (config.free_running) {
+    LIMEQO_CHECK(config.serve_threads >= 1);
+    // A queue much smaller than the serving phase makes the free-running
+    // staleness bound meaningful (2 * capacity + threads + publish_every
+    // must undercut the total servings): producers more than a lap ahead
+    // of the drain block, so the bound is a hard invariant, not a
+    // heuristic.
+    options.engine.queue_capacity = 64;
+  }
   core::OfflineExplorer explorer(backend.get(), exploration_policy.get(),
                                  options);
 
@@ -474,9 +488,11 @@ SimulationResult SimulationDriver::Run(const RunConfig& config) {
 
     // The per-mode regret-overshoot allowance: one serving's latency in
     // the synchronous mode (the budget check is live, before each
-    // serving), one epoch's exploratory regret in the concurrent mode
-    // (the gate reads the snapshot's frozen ledger, so everything charged
-    // within an epoch lands after the decision that allowed it).
+    // serving); one epoch's exploratory regret in the epoch-synchronized
+    // concurrent mode (the gate reads the snapshot's frozen ledger, so
+    // everything charged within an epoch lands after the decision that
+    // allowed it); the largest in-flight regret window any single
+    // decision could not yet see in the free-running mode.
     double regret_allowance = 0.0;
     const char* allowance_kind = "one serving";
 
@@ -517,12 +533,173 @@ SimulationResult SimulationDriver::Run(const RunConfig& config) {
           Violate(&result, "online-budget-freeze", os.str());
         }
       }
+    } else if (config.free_running) {
+      // -- Free-running serving plane: a real background train thread
+      // against serve_threads free-running serving threads — the
+      // deployment shape. Which snapshot a serving sees depends on
+      // timing, so the invariants checked below are statistical (hard
+      // staleness bound, gate correctness, slack-bounded regret, ledger
+      // consistency) rather than bitwise.
+      engine.ConfigureServing(online);
+      engine.RefreshPredictions(/*force=*/true);
+      engine.Publish();
+
+      const int total = spec_.online_servings;
+      const int threads = config.serve_threads;
+      const int n = spec_.num_queries;
+      // Everything the replay checks need, written once per seq by the
+      // serving thread that owned it (no locking required).
+      struct FreeRecord {
+        int query = 0;
+        int hint = 0;
+        double latency = 0.0;
+        bool exploratory = false;
+        double regret_delta = 0.0;
+        uint64_t snapshot_seq = 0;  // published_seq of the deciding snapshot
+      };
+      std::vector<FreeRecord> records(total);
+
+      engine.StartTraining();
+      std::vector<std::thread> servers;
+      servers.reserve(threads);
+      for (int t = 0; t < threads; ++t) {
+        servers.emplace_back([&] {
+          std::shared_ptr<const core::ServingSnapshot> snap =
+              engine.snapshot();
+          uint64_t version = snap->version();
+          for (;;) {
+            const uint64_t seq = engine.AcquireServingIndex();
+            if (seq >= static_cast<uint64_t>(total)) break;
+            // Steady-state read path: one relaxed version probe; the
+            // pointer handoff only happens on an actual publication.
+            if (engine.snapshot_version() != version) {
+              snap = engine.snapshot();
+              version = snap->version();
+            }
+            const int q = static_cast<int>(seq % n);
+            const int hint = snap->ChooseHint(q, seq);
+            const double latency = backend->ServeLatency(q, hint, seq);
+            const core::ServingObservation obs =
+                snap->MakeObservation(seq, q, hint, latency);
+            records[seq] = {q, hint, latency, obs.exploratory,
+                            obs.regret_delta, snap->published_seq()};
+            engine.Report(obs);
+          }
+        });
+      }
+      for (std::thread& t : servers) t.join();
+      engine.StopTraining();  // final drain + publish
+
+      result.servings = total;
+      result.explorations = engine.explorations();
+      result.regret_spent = engine.regret_spent();
+      result.final_latency = explorer.matrix().CurrentWorkloadLatency();
+
+      // ---- Replay checks (seq order). prefix[s] is the regret drained
+      // before serving s — bitwise the ledger any snapshot published at
+      // drain front s froze, because the drain applies deltas in the same
+      // order with the same additions.
+      std::vector<double> prefix(static_cast<size_t>(total) + 1, 0.0);
+      for (int s = 0; s < total; ++s) {
+        prefix[s + 1] = prefix[s] + records[s].regret_delta;
+      }
+      if (std::abs(prefix[total] - result.regret_spent) > 1e-9) {
+        std::ostringstream os;
+        os << "drained ledger " << result.regret_spent
+           << "s != replayed per-serving deltas " << prefix[total] << "s";
+        Violate(&result, "free-ledger-consistency", os.str());
+      }
+      // Gate correctness + the explicit slack term: every exploration's
+      // deciding snapshot must have been under budget, and the total
+      // regret can exceed the budget only by what some single decision
+      // could not yet see (its in-flight window).
+      double max_inflight = 0.0;
+      for (int s = 0; s < total; ++s) {
+        if (!records[s].exploratory) continue;
+        const uint64_t p = records[s].snapshot_seq;
+        if (p > static_cast<uint64_t>(total)) {
+          std::ostringstream os;
+          os << "serving " << s << " decided on snapshot seq " << p
+             << " beyond the " << total << " servings";
+          Violate(&result, "free-gate", os.str());
+          continue;
+        }
+        if (prefix[p] >= online.regret_budget_seconds) {
+          std::ostringstream os;
+          os << "serving " << s << " (query " << records[s].query << ", hint "
+             << records[s].hint << ", " << records[s].latency
+             << "s) explored on a snapshot whose ledger (" << prefix[p]
+             << "s) already exhausted the budget ("
+             << online.regret_budget_seconds << "s)";
+          Violate(&result, "free-gate", os.str());
+        }
+        max_inflight = std::max(max_inflight, prefix[s + 1] - prefix[p]);
+      }
+      regret_allowance = max_inflight;
+      allowance_kind = "max in-flight window";
+      result.regret_slack = std::max(
+          0.0, result.regret_spent - online.regret_budget_seconds);
+
+      // Staleness percentiles and the hard bound: a producer of serving s
+      // blocks until the drain passes s - capacity, the train loop's
+      // publications lag the drain front by < capacity + publish_every
+      // (capacity-capped batches, publish at >= publish_every lag), and
+      // at most `threads` acquired indices are unreported at any instant.
+      std::vector<uint64_t> staleness(total);
+      for (int s = 0; s < total; ++s) {
+        const uint64_t p = records[s].snapshot_seq;
+        staleness[s] = static_cast<uint64_t>(s) > p
+                           ? static_cast<uint64_t>(s) - p
+                           : 0;
+      }
+      std::sort(staleness.begin(), staleness.end());
+      result.staleness_p50 = static_cast<double>(staleness[total / 2]);
+      result.staleness_p95 =
+          static_cast<double>(staleness[(95 * (total - 1)) / 100]);
+      result.staleness_max = static_cast<double>(staleness.back());
+      const uint64_t staleness_bound =
+          2 * engine.queue_capacity() + static_cast<uint64_t>(threads) +
+          static_cast<uint64_t>(online.publish_every);
+      if (staleness.back() > staleness_bound) {
+        std::ostringstream os;
+        os << "max snapshot staleness " << staleness.back()
+           << " servings exceeds 2*capacity (" << 2 * engine.queue_capacity()
+           << ") + threads (" << threads << ") + publish_every ("
+           << online.publish_every << ")";
+        Violate(&result, "free-staleness", os.str());
+      }
+
+      // Eventual freeze: once the exhausted ledger is published (the
+      // final StopTraining publish at the latest), no serving may explore
+      // again. Probe with schedule-assigned sequence numbers so the queue
+      // stays contiguous past the threads' unreported overshoot indices.
+      if (engine.budget_exhausted()) {
+        const int frozen = engine.explorations();
+        std::shared_ptr<const core::ServingSnapshot> snap =
+            engine.snapshot();
+        for (int i = 0; i < 50; ++i) {
+          const uint64_t seq = static_cast<uint64_t>(total) + i;
+          const int q = static_cast<int>(seq % n);
+          const int hint = snap->ChooseHint(q, seq);
+          const double latency = backend->ServeLatency(q, hint, seq);
+          engine.Report(snap->MakeObservation(seq, q, hint, latency));
+        }
+        engine.SyncEpoch();
+        if (engine.explorations() != frozen) {
+          std::ostringstream os;
+          os << engine.explorations() - frozen
+             << " explorations after budget exhaustion";
+          Violate(&result, "online-budget-freeze", os.str());
+        }
+      }
     } else {
       // -- Concurrent serving plane: serve_threads threads over shared
       // snapshots, epoch-synchronized with the train plane. Decisions are
       // pure functions of (snapshot, serving index) and observations
       // drain in serving order, so the merged trace is bitwise identical
-      // at every thread count.
+      // at every thread count. Epochs are publish_every servings long;
+      // the engine refits on its own refresh_every cadence inside the
+      // epoch barrier, so the publications between refits are deltas.
       engine.ConfigureServing(online);
       engine.RefreshPredictions(/*force=*/true);
       engine.Publish();
@@ -533,8 +710,8 @@ SimulationResult SimulationDriver::Run(const RunConfig& config) {
       double max_epoch_regret = 0.0;
       auto run_epochs = [&](int first, int last) {
         for (int epoch = first; epoch < last;
-             epoch += online.refresh_every) {
-          const int end = std::min(last, epoch + online.refresh_every);
+             epoch += online.publish_every) {
+          const int end = std::min(last, epoch + online.publish_every);
           const double regret_before = engine.regret_spent();
           engine.ServeEpoch(
               epoch, end, threads,

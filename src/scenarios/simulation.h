@@ -96,10 +96,30 @@ struct RunConfig {
   /// OnlineExplorationOptimizer, with the live (per-serving) regret
   /// check. >= 1 runs the concurrent serving plane: that many serving
   /// threads decide hints on shared ServingSnapshots over a deterministic
-  /// schedule, in epochs of refresh_every servings, with the engine
-  /// draining/refitting/republishing at each epoch boundary. The merged
-  /// serving trace is bitwise identical at every serve_threads >= 1.
+  /// schedule, in epochs of publish_every servings, with the engine
+  /// draining/refitting-on-cadence/republishing at each epoch boundary.
+  /// The merged serving trace is bitwise identical at every
+  /// serve_threads >= 1.
   int serve_threads = 0;
+  /// Free-running online mode (requires serve_threads >= 1): the actual
+  /// deployment shape — a background train thread
+  /// (StartTraining/StopTraining) drains, refits, and republishes while
+  /// the serving threads free-run against whatever snapshot is current.
+  /// Timing decides which snapshot each serving sees, so the bitwise
+  /// trace contract does not apply; the driver instead checks
+  /// *statistical* invariants: a hard snapshot-staleness bound
+  /// (2 * queue capacity + serve_threads + publish_every), gate
+  /// correctness (no exploration ever decided on an exhausted published
+  /// ledger), regret bounded by the budget plus an explicit in-flight
+  /// slack term, the binomial epsilon cap, and eventual
+  /// freeze-after-exhaustion. The epoch-synchronized mode
+  /// (free_running = false) keeps its bitwise-determinism contract.
+  bool free_running = false;
+  /// Forces every snapshot publication to a full O(n*k) rebuild instead of
+  /// the default base+delta protocol. Exists for the delta/full
+  /// equivalence tests and the publication-cost bench; results must be
+  /// bitwise identical either way.
+  bool full_snapshot_rebuild = false;
   /// Offline policies (Greedy, ModelGuided) may re-probe censored cells
   /// whose bound/prediction still undercuts the row's current best.
   bool revisit_censored = false;
@@ -148,9 +168,21 @@ struct SimulationResult {
   int explorations = 0;           ///< exploratory servings
   double regret_spent = 0.0;      ///< cumulative regret charged (seconds)
   /// Per-serving record of the online phase (filled only by the
-  /// concurrent serving mode, serve_threads >= 1), indexed by serving
-  /// sequence number — the bitwise determinism artifact.
+  /// epoch-synchronized concurrent mode, serve_threads >= 1 and not
+  /// free_running), indexed by serving sequence number — the bitwise
+  /// determinism artifact. Free-running runs are timing-dependent by
+  /// design and record the statistical fields below instead.
   std::vector<ServingRecord> serving_trace;
+
+  // Free-running serving accounting (zeros unless RunConfig::free_running).
+  double staleness_p50 = 0.0;  ///< median snapshot age at decision (servings)
+  double staleness_p95 = 0.0;  ///< 95th-percentile snapshot age (servings)
+  double staleness_max = 0.0;  ///< worst snapshot age observed (servings)
+  /// Regret overshoot past the budget (seconds): regret charged by
+  /// explorations whose deciding snapshot predated budget exhaustion. The
+  /// driver checks it against the explicit in-flight slack term (the
+  /// largest regret any single decision could not yet see).
+  double regret_slack = 0.0;
 
   /// Human-readable invariant violations; empty means the run is clean.
   std::vector<std::string> violations;
@@ -187,11 +219,18 @@ struct SimulationResult {
 ///    regret (concurrent mode, where the gate reads the snapshot's frozen
 ///    ledger), exploration count stays under its binomial epsilon cap, and
 ///    an exhausted budget freezes exploration;
-///  * serving determinism (concurrent mode): the merged serving trace is a
-///    pure function of (spec, config) — bitwise identical at every
-///    serve_threads — because each decision depends only on the epoch's
-///    snapshot and its serving index, and observations are drained in
-///    serving order.
+///  * serving determinism (epoch-synchronized concurrent mode): the merged
+///    serving trace is a pure function of (spec, config) — bitwise
+///    identical at every serve_threads — because each decision depends
+///    only on the epoch's snapshot and its serving index, and
+///    observations are drained in serving order;
+///  * free-running statistics (free_running mode): snapshot staleness is
+///    hard-bounded by 2 * queue capacity + serve_threads + publish_every,
+///    no exploration is ever decided on a published ledger at/over budget,
+///    total regret stays within budget plus the largest in-flight window
+///    any decision could not see, the drained ledger reproduces the
+///    per-serving regret deltas exactly, and exploration freezes for good
+///    once an exhausted ledger is published.
 class SimulationDriver {
  public:
   /// Captures the spec; each Run compiles a fresh world from it.

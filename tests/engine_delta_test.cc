@@ -1,0 +1,331 @@
+// Delta snapshot publication must be bitwise-equivalent to full rebuilds
+// at every publication point. Twin engines — one publishing base+delta
+// overlays, one forced to full O(n*k) rebuilds — run identical operation
+// sequences (observations, censoring, clears, queue reports, refits,
+// appends, matrix resets) and their snapshots are compared field by field
+// and decision by decision after every Publish. On top of the unit
+// property, whole scenario-grid runs through the epoch-synchronized
+// concurrent driver must produce bitwise-identical serving traces with
+// delta publication on and off.
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/als.h"
+#include "core/engine.h"
+#include "core/online.h"
+#include "proptest.h"
+#include "scenarios/scenario.h"
+#include "scenarios/simulation.h"
+
+namespace limeqo::core {
+namespace {
+
+WorkloadMatrix RandomMatrix(int n, int k, double fill, uint64_t seed) {
+  WorkloadMatrix w(n, k);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    w.Observe(i, 0, rng.Uniform(0.1, 10.0));
+    for (int j = 1; j < k; ++j) {
+      if (rng.Bernoulli(fill)) w.Observe(i, j, rng.Uniform(0.01, 10.0));
+    }
+  }
+  return w;
+}
+
+/// Field-by-field and decision-by-decision snapshot comparison. Returns
+/// false (with a diagnostic on stderr) at the first divergence.
+bool SnapshotsEquivalent(const ServingSnapshot& delta,
+                         const ServingSnapshot& full) {
+  if (delta.num_queries() != full.num_queries() ||
+      delta.num_hints() != full.num_hints() ||
+      delta.published_seq() != full.published_seq() ||
+      delta.regret_spent() != full.regret_spent() ||
+      delta.budget_exhausted() != full.budget_exhausted() ||
+      delta.has_predictions() != full.has_predictions()) {
+    std::cerr << "snapshot headers diverge: n " << delta.num_queries() << "/"
+              << full.num_queries() << " k " << delta.num_hints() << "/"
+              << full.num_hints() << " seq " << delta.published_seq() << "/"
+              << full.published_seq() << " regret " << delta.regret_spent()
+              << "/" << full.regret_spent() << " preds "
+              << delta.has_predictions() << "/" << full.has_predictions()
+              << "\n";
+    return false;
+  }
+  const int n = delta.num_queries();
+  const int k = delta.num_hints();
+  for (int q = 0; q < n; ++q) {
+    if (delta.VerifiedHint(q) != full.VerifiedHint(q)) {
+      std::cerr << "verified hint diverges at query " << q << ": "
+                << delta.VerifiedHint(q) << " vs " << full.VerifiedHint(q)
+                << "\n";
+      return false;
+    }
+    // Bitwise: both +infinity and finite latencies must match exactly.
+    const double dl = delta.VerifiedLatency(q);
+    const double fl = full.VerifiedLatency(q);
+    if (!(dl == fl || (std::isinf(dl) && std::isinf(fl)))) {
+      std::cerr << "verified latency diverges at query " << q << ": " << dl
+                << " vs " << fl << "\n";
+      return false;
+    }
+    for (int j = 0; j < k; ++j) {
+      if (delta.state(q, j) != full.state(q, j)) {
+        std::cerr << "cell state diverges at (" << q << "," << j << ")\n";
+        return false;
+      }
+    }
+  }
+  // Behavioral equivalence: the serving decision for any (query, index)
+  // pair must coincide — this exercises the epsilon gate, the frozen
+  // ledger, the prediction scan, and the fallback pick together.
+  for (uint64_t s = 0; s < 64; ++s) {
+    const int q = static_cast<int>(s % static_cast<uint64_t>(n));
+    if (delta.ChooseHint(q, s) != full.ChooseHint(q, s)) {
+      std::cerr << "ChooseHint diverges at (query " << q << ", serving " << s
+                << ")\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The twin-engine operation-sequence property: after every Publish, the
+/// delta engine's snapshot must be indistinguishable from the full
+/// engine's, and both must agree with the OnlineOptimizer rule recomputed
+/// from the live matrix.
+bool DeltaMatchesFullOverRandomOps(proptest::Params& p) {
+  const int n = static_cast<int>(p.Int(3, 24));
+  const int k = static_cast<int>(p.Int(2, 8));
+  const double fill = p.Double(0.05, 0.5);
+
+  EngineOptions delta_opt;
+  delta_opt.online.epsilon = 0.5;
+  delta_opt.online.min_predicted_ratio = 0.0;
+  delta_opt.online.regret_budget_seconds = 50.0;
+  delta_opt.online.seed = p.case_seed() ^ 0x5EEDu;
+  delta_opt.delta_publication = true;
+  EngineOptions full_opt = delta_opt;
+  full_opt.delta_publication = false;
+
+  AlsOptions als;
+  als.seed = p.case_seed() ^ 0xA15u;
+  als.convergence_tol = 1e-3;
+  CompleterPredictor delta_predictor(std::make_unique<AlsCompleter>(als));
+  CompleterPredictor full_predictor(std::make_unique<AlsCompleter>(als));
+
+  WorkloadMatrix seed_matrix = RandomMatrix(n, k, fill, p.case_seed());
+  ExplorationEngine delta_engine(seed_matrix, &delta_predictor, delta_opt);
+  ExplorationEngine full_engine(std::move(seed_matrix), &full_predictor,
+                                full_opt);
+
+  Rng ops(p.case_seed() ^ 0x09Au);
+  uint64_t seq = 0;
+  int rows = n;
+  for (int step = 0; step < 50; ++step) {
+    const int q = static_cast<int>(ops.NextUint64Below(rows));
+    const int j = static_cast<int>(ops.NextUint64Below(k));
+    switch (ops.NextUint64Below(9)) {
+      case 0:
+      case 1: {  // direct train-plane observation
+        const double latency = ops.Uniform(0.01, 10.0);
+        delta_engine.Observe(q, j, latency);
+        full_engine.Observe(q, j, latency);
+        break;
+      }
+      case 2: {  // censored observation
+        const double timeout = ops.Uniform(0.01, 5.0);
+        delta_engine.ObserveCensored(q, j, timeout);
+        full_engine.ObserveCensored(q, j, timeout);
+        break;
+      }
+      case 3:  // forget (data-shift invalidation)
+        delta_engine.Clear(q, j);
+        full_engine.Clear(q, j);
+        break;
+      case 4: {  // a batch of queue reports, drained in order
+        const int batch = 1 + static_cast<int>(ops.NextUint64Below(6));
+        for (int b = 0; b < batch; ++b) {
+          const int bq = static_cast<int>(ops.NextUint64Below(rows));
+          const int bj = static_cast<int>(ops.NextUint64Below(k));
+          const double latency = ops.Uniform(0.01, 10.0);
+          const ServingObservation da =
+              delta_engine.snapshot()->MakeObservation(seq, bq, bj, latency);
+          const ServingObservation fa =
+              full_engine.snapshot()->MakeObservation(seq, bq, bj, latency);
+          if (da.exploratory != fa.exploratory ||
+              da.regret_delta != fa.regret_delta) {
+            std::cerr << "MakeObservation diverges at seq " << seq << "\n";
+            return false;
+          }
+          delta_engine.Report(da);
+          full_engine.Report(fa);
+          ++seq;
+        }
+        delta_engine.Drain();
+        full_engine.Drain();
+        break;
+      }
+      case 5: {  // refit (the delta engine's full-rebuild trigger)
+        const bool da = delta_engine.RefreshPredictions(/*force=*/true);
+        const bool fa = full_engine.RefreshPredictions(/*force=*/true);
+        if (da != fa) {
+          std::cerr << "RefreshPredictions diverges: " << da << " vs " << fa
+                    << "\n";
+          return false;
+        }
+        break;
+      }
+      case 6: {  // workload shift: new rows join
+        const int count = 1 + static_cast<int>(ops.NextUint64Below(2));
+        delta_engine.AppendQueries(count);
+        full_engine.AppendQueries(count);
+        rows += count;
+        break;
+      }
+      case 7: {  // wholesale replacement (resume-from-disk)
+        WorkloadMatrix fresh =
+            RandomMatrix(rows, k, fill, p.case_seed() ^ (0xF00Du + step));
+        delta_engine.ResetMatrix(fresh);
+        full_engine.ResetMatrix(std::move(fresh));
+        break;
+      }
+      default:
+        break;  // publish-only step
+    }
+    delta_engine.Publish();
+    full_engine.Publish();
+    std::shared_ptr<const ServingSnapshot> ds = delta_engine.snapshot();
+    std::shared_ptr<const ServingSnapshot> fs = full_engine.snapshot();
+    if (!SnapshotsEquivalent(*ds, *fs)) {
+      std::cerr << "divergence after step " << step << " (rows " << rows
+                << ", k " << k << ")\n";
+      return false;
+    }
+    // Both must match the rule recomputed from the live matrix — the
+    // "identical verified-best semantics" contract shared with the
+    // synchronous OnlineExplorationOptimizer adapter.
+    const OnlineOptimizer rule(&delta_engine.matrix());
+    for (int query = 0; query < rows; ++query) {
+      if (ds->VerifiedHint(query) != rule.ChooseHint(query)) {
+        std::cerr << "snapshot verified hint diverges from the live rule at "
+                  << "query " << query << " (step " << step << ")\n";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(EngineDeltaTest, DeltaPublicationIsBitwiseEquivalentToFullRebuild) {
+  proptest::Config config;
+  config.runs = 12;
+  proptest::Check("delta snapshots match full rebuilds over random ops",
+                  DeltaMatchesFullOverRandomOps, config);
+}
+
+TEST(EngineDeltaTest, DeltaSnapshotsShareTheBaseAndStayImmutable) {
+  // Defaults-only fill: every non-default cell starts unobserved.
+  ExplorationEngine engine(RandomMatrix(16, 6, 0.0, 41));
+  std::shared_ptr<const ServingSnapshot> base_snap = engine.snapshot();
+  EXPECT_EQ(base_snap->delta_rows(), 0);  // construction publishes a base
+
+  engine.Observe(3, 2, 0.123);
+  engine.Publish();
+  std::shared_ptr<const ServingSnapshot> first = engine.snapshot();
+  EXPECT_EQ(first->delta_rows(), 1);  // only the touched row rides the delta
+  EXPECT_EQ(first->state(3, 2), CellState::kComplete);
+  // The retained earlier snapshots are untouched by later publications.
+  EXPECT_EQ(base_snap->state(3, 2), CellState::kUnobserved);
+
+  engine.Observe(7, 1, 0.456);
+  engine.Publish();
+  std::shared_ptr<const ServingSnapshot> second = engine.snapshot();
+  EXPECT_EQ(second->delta_rows(), 2);  // overlay accumulates until rebuild
+  EXPECT_EQ(first->state(7, 1), CellState::kUnobserved);
+  EXPECT_EQ(second->state(7, 1), CellState::kComplete);
+
+  // AppendQueries forces the next publication back to a full base.
+  engine.AppendQueries(2);
+  engine.Publish();
+  std::shared_ptr<const ServingSnapshot> rebuilt = engine.snapshot();
+  EXPECT_EQ(rebuilt->delta_rows(), 0);
+  EXPECT_EQ(rebuilt->num_queries(), 18);
+  EXPECT_EQ(rebuilt->state(7, 1), CellState::kComplete);
+  // Older snapshots keep their pre-append shape.
+  EXPECT_EQ(second->num_queries(), 16);
+}
+
+TEST(EngineDeltaTest, OverlayCompactionBoundsTheDeltaSize) {
+  // Touching more than a quarter of the rows without a refit must fold the
+  // overlay back into a fresh base instead of growing it without bound.
+  ExplorationEngine engine(RandomMatrix(16, 4, 0.0, 42));
+  for (int q = 0; q < 12; ++q) {
+    engine.Observe(q, 1, 1.0 + q);
+  }
+  engine.Publish();
+  std::shared_ptr<const ServingSnapshot> snap = engine.snapshot();
+  EXPECT_EQ(snap->delta_rows(), 0) << "12 dirty rows of 16 must compact";
+  for (int q = 0; q < 12; ++q) {
+    EXPECT_EQ(snap->state(q, 1), CellState::kComplete);
+  }
+}
+
+}  // namespace
+}  // namespace limeqo::core
+
+namespace limeqo::scenarios {
+namespace {
+
+ScenarioSpec GridWorld(const std::string& name) {
+  for (const ScenarioSpec& s : ScenarioGrid()) {
+    if (s.name == name) return s;
+  }
+  ADD_FAILURE() << "no grid world named " << name;
+  return ScenarioSpec{};
+}
+
+// The end-to-end form of the equivalence: every publication point of a
+// whole epoch-synchronized concurrent run drives real serving decisions,
+// so bitwise-equal traces with delta publication on and off prove the
+// protocol equivalent at each of those points.
+TEST(EngineDeltaTest, GridTracesIdenticalWithAndWithoutDeltaPublication) {
+  for (const std::string& name :
+       {std::string("baseline"), std::string("heavy-tail-extreme"),
+        std::string("online-tight-budget")}) {
+    const ScenarioSpec spec = GridWorld(name);
+    RunConfig delta_config;
+    delta_config.serve_threads = 2;
+    RunConfig full_config = delta_config;
+    full_config.full_snapshot_rebuild = true;
+
+    const SimulationResult delta_run = SimulationDriver(spec).Run(delta_config);
+    const SimulationResult full_run = SimulationDriver(spec).Run(full_config);
+    ASSERT_TRUE(delta_run.ok()) << delta_run.Summary();
+    ASSERT_TRUE(full_run.ok()) << full_run.Summary();
+    ASSERT_EQ(delta_run.serving_trace.size(), full_run.serving_trace.size())
+        << name;
+    for (size_t s = 0; s < delta_run.serving_trace.size(); ++s) {
+      ASSERT_TRUE(delta_run.serving_trace[s] == full_run.serving_trace[s])
+          << name << " serving " << s << " diverges: ("
+          << delta_run.serving_trace[s].query << ","
+          << delta_run.serving_trace[s].hint << ","
+          << delta_run.serving_trace[s].latency << ") vs ("
+          << full_run.serving_trace[s].query << ","
+          << full_run.serving_trace[s].hint << ","
+          << full_run.serving_trace[s].latency << ")";
+    }
+    EXPECT_EQ(delta_run.final_latency, full_run.final_latency) << name;
+    EXPECT_EQ(delta_run.regret_spent, full_run.regret_spent) << name;
+    EXPECT_EQ(delta_run.explorations, full_run.explorations) << name;
+  }
+}
+
+}  // namespace
+}  // namespace limeqo::scenarios

@@ -5,6 +5,7 @@
 // tsan job runs `ctest -R "engine_test|serving_plane_test"`).
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <iostream>
 #include <memory>
@@ -139,6 +140,110 @@ TEST(EngineTest, EpsilonZeroAndExhaustedBudgetServeVerifiedOnly) {
 }
 
 // ---------------------------------------------------------------------------
+// Engine-edge regressions: empty workloads, shape-stale predictions, and
+// version-counter consistency.
+// ---------------------------------------------------------------------------
+
+TEST(EngineTest, ServeEpochOnAnEmptyWorkloadIsANoOpBarrier) {
+  // A zero-row matrix is a legal workload (rows arrive via AppendQueries);
+  // ServeEpoch used to compute s % 0 on it. The guarded path must execute
+  // nothing while still running the epoch barrier.
+  ExplorationEngine engine(WorkloadMatrix(0, 4));
+  const uint64_t v0 = engine.snapshot_version();
+  engine.ServeEpoch(0, 64, 2, [](int, int, uint64_t) -> double {
+    ADD_FAILURE() << "no serving should execute on an empty workload";
+    return 0.0;
+  });
+  EXPECT_EQ(engine.drained_servings(), 0u);
+  EXPECT_GT(engine.snapshot_version(), v0);  // the barrier still published
+
+  // Once rows exist the same engine serves normally.
+  engine.AppendQueries(4);
+  for (int q = 0; q < 4; ++q) engine.Observe(q, 0, 1.0 + q);
+  engine.Publish();
+  engine.ServeEpoch(0, 8, 2,
+                    [](int, int, uint64_t) -> double { return 1.0; });
+  EXPECT_EQ(engine.drained_servings(), 8u);
+}
+
+TEST(EngineTest, ServeEpochEmptyRangeRunsOnlyTheBarrier) {
+  ExplorationEngine engine(MakeMatrix(5, 3, 0.2, 21));
+  const uint64_t v0 = engine.snapshot_version();
+  engine.ServeEpoch(7, 7, 3, [](int, int, uint64_t) -> double {
+    ADD_FAILURE() << "empty range must not serve";
+    return 0.0;
+  });
+  EXPECT_EQ(engine.drained_servings(), 0u);
+  EXPECT_GT(engine.snapshot_version(), v0);
+}
+
+/// A predictor whose output shape is decoupled from the input matrix, to
+/// reproduce shape-stale predictions.
+class FixedShapePredictor : public Predictor {
+ public:
+  void SetShape(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+  }
+  StatusOr<linalg::Matrix> Predict(const WorkloadMatrix&) override {
+    return linalg::Matrix(rows_, cols_, 1.0);
+  }
+  std::string name() const override { return "fixed-shape"; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+};
+
+TEST(EngineTest, RefreshPredictionsRejectsHintColumnStaleness) {
+  FixedShapePredictor predictor;
+  predictor.SetShape(8, 5);
+  ExplorationEngine engine(MakeMatrix(8, 5, 0.3, 22), &predictor);
+  EXPECT_TRUE(engine.RefreshPredictions(/*force=*/true));
+  engine.Publish();
+  EXPECT_TRUE(engine.snapshot()->has_predictions());
+
+  // The right row count but the wrong hint-column count: serving these
+  // predictions would index them out of bounds in ChooseHint, so both the
+  // refresh result and the published snapshot must reject them.
+  predictor.SetShape(8, 7);
+  EXPECT_FALSE(engine.RefreshPredictions(/*force=*/true));
+  engine.Publish();
+  EXPECT_FALSE(engine.snapshot()->has_predictions());
+}
+
+TEST(EngineTest, SnapshotVersionNeverDriftsFromThePublishedCounter) {
+  ExplorationEngine engine(MakeMatrix(6, 4, 0.2, 23));
+  for (int i = 0; i < 32; ++i) {
+    engine.Observe(i % 6, 1 + i % 3, 0.5 + i);
+    engine.Publish();
+    EXPECT_EQ(engine.snapshot()->version(), engine.snapshot_version());
+  }
+}
+
+TEST(EngineTest, PublishedVersionCounterNeverLagsAVisibleSnapshot) {
+  // The version stamp and the counter bump come from one fetch_add inside
+  // the publication critical section. Under the old split
+  // read-stamp-swap-bump, a reader could fetch a snapshot whose version
+  // was ahead of snapshot_version(); this hammers that window.
+  ExplorationEngine engine(MakeMatrix(6, 4, 0.2, 24));
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    for (int i = 0; i < 3000; ++i) {
+      engine.Observe(i % 6, 1 + i % 3, 0.5);
+      engine.Publish();
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  while (!stop.load(std::memory_order_acquire)) {
+    std::shared_ptr<const ServingSnapshot> snap = engine.snapshot();
+    ASSERT_LE(snap->version(), engine.snapshot_version());
+  }
+  publisher.join();
+  EXPECT_EQ(engine.snapshot()->version(), engine.snapshot_version());
+}
+
+// ---------------------------------------------------------------------------
 // Observation queue: sequence-ordered drain.
 // ---------------------------------------------------------------------------
 
@@ -182,6 +287,81 @@ TEST(EngineTest, RegretLedgerAccumulatesFromObservationRecords) {
   EXPECT_EQ(engine.Drain(), 3u);
   EXPECT_DOUBLE_EQ(engine.regret_spent(), 3.0);
   EXPECT_EQ(engine.explorations(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Queue wrap: producers a full lap ahead of the drain must block in
+// Report's yield loop (back-pressure, never loss or overwrite).
+// ---------------------------------------------------------------------------
+
+TEST(EngineTest, ReportBlocksWhenAProducerLapsTheQueue) {
+  EngineOptions options;
+  options.queue_capacity = 64;  // the rounded-up minimum
+  ExplorationEngine engine(MakeMatrix(4, 3, 0.0, 25), nullptr, options);
+  ASSERT_EQ(engine.queue_capacity(), 64u);
+  std::shared_ptr<const ServingSnapshot> snap = engine.snapshot();
+  // Fill exactly one lap without draining.
+  for (uint64_t seq = 0; seq < 64; ++seq) {
+    engine.Report(snap->MakeObservation(seq, static_cast<int>(seq % 4), 1,
+                                        1.0 + static_cast<double>(seq)));
+  }
+  // Seq 64 maps to the slot still owned by seq 0: the producer must park
+  // in the yield loop until the drain frees the lap.
+  std::atomic<bool> completed{false};
+  std::thread producer([&] {
+    engine.Report(snap->MakeObservation(64, 0, 1, 99.0));
+    completed.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(completed.load(std::memory_order_acquire))
+      << "Report returned while the queue was a full lap ahead of Drain";
+  EXPECT_EQ(engine.Drain(), 64u);  // frees the lap, unblocks the producer
+  producer.join();
+  EXPECT_TRUE(completed.load(std::memory_order_acquire));
+  EXPECT_EQ(engine.Drain(), 1u);
+  EXPECT_EQ(engine.drained_servings(), 65u);
+  EXPECT_DOUBLE_EQ(engine.matrix().observed(0, 1), 99.0);
+}
+
+TEST(EngineTest, QueueWrapStressManyLapsUnderConcurrentProducers) {
+  // 4 producers push 64 laps' worth of observations through a 64-slot
+  // queue while the main thread drains: every producer repeatedly runs a
+  // full lap ahead and must wait its turn, and every observation must be
+  // applied exactly once, in sequence order.
+  constexpr int kProducers = 4;
+  constexpr uint64_t kTotal = 4096;
+  EngineOptions options;
+  options.queue_capacity = 64;
+  ExplorationEngine engine(MakeMatrix(8, 3, 0.0, 26), nullptr, options);
+  std::shared_ptr<const ServingSnapshot> snap = engine.snapshot();
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&] {
+      for (;;) {
+        const uint64_t seq = engine.AcquireServingIndex();
+        if (seq >= kTotal) break;
+        engine.Report(snap->MakeObservation(
+            seq, static_cast<int>(seq % 8), 1,
+            1.0 + static_cast<double>(seq)));
+      }
+    });
+  }
+  uint64_t drained = 0;
+  while (drained < kTotal) {
+    drained += engine.Drain();
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(engine.drained_servings(), kTotal);
+  EXPECT_EQ(engine.Drain(), 0u);
+  // Sequence-ordered drain: the last writer of cell (q, 1) is the highest
+  // seq mapping to q, so the cell must hold that latency.
+  for (int q = 0; q < 8; ++q) {
+    const uint64_t last_seq = kTotal - 8 + q;
+    EXPECT_DOUBLE_EQ(engine.matrix().observed(q, 1),
+                     1.0 + static_cast<double>(last_seq))
+        << "query " << q;
+  }
 }
 
 // ---------------------------------------------------------------------------
