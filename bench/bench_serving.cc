@@ -27,6 +27,7 @@
 #include "core/engine.h"
 #include "core/explorer.h"
 #include "core/policy.h"
+#include "core/serialization.h"
 #include "scenarios/scenario.h"
 #include "scenarios/synthetic_backend.h"
 
@@ -170,6 +171,117 @@ double MeasurePublication(int n, int k, bool delta) {
   return timed / reps * 1e9;
 }
 
+/// Checkpoint write cost vs matrix rows: one MakeCheckpoint +
+/// crash-atomic SaveCheckpoint (serialize, write temp, fsync, rename).
+/// This is what the free-running train loop pays every checkpoint_every
+/// drained observations, so it has to stay far below the drain cadence.
+double MeasureCheckpointWrite(int n, int k, const std::string& path) {
+  core::WorkloadMatrix w(n, k);
+  Rng fill(91);
+  for (int q = 0; q < n; ++q) {
+    w.Observe(q, 0, fill.Uniform(0.1, 10.0));
+    w.Observe(q, 1 + static_cast<int>(fill.NextUint64Below(k - 1)),
+              fill.Uniform(0.05, 10.0));
+  }
+  core::EngineOptions options;
+  options.checkpoint_path = path;
+  core::ExplorationEngine engine(std::move(w), nullptr, options);
+  engine.Publish();
+
+  const int reps = std::max(4, static_cast<int>(200'000 / std::max(1, n)));
+  double timed = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t0 = WallSeconds();
+    if (!engine.SaveCheckpoint().ok()) return -1.0;
+    timed += WallSeconds() - t0;
+  }
+  std::remove(path.c_str());
+  return timed / reps * 1e9;
+}
+
+/// Warm vs cold restart: wall time from "state on disk" to "engine serving
+/// with fresh predictions" after a crash. Both paths restart from disk —
+/// the cold one from the matrix-only persistence that predates the
+/// checkpoint subsystem (load observations, refit ALS from a random
+/// initialization), the warm one from the engine checkpoint (load, restore,
+/// refit resuming from the saved factors via CompleteFrom). The gap is the
+/// crash-recovery win the checkpoint subsystem exists for: a warm refit
+/// re-enters at the fixed point and stops after the patience window.
+void MeasureRestore(const std::string& ckpt_path,
+                    const std::string& matrix_path, double* warm_ms,
+                    double* cold_ms, int* warm_sweeps, int* cold_sweeps) {
+  constexpr int kRows = 2000;
+  constexpr int kHints = 16;
+  scenarios::ScenarioSpec spec;
+  spec.num_queries = kRows;
+  spec.num_hints = kHints;
+  spec.latent_rank = 3;
+  spec.structure_strength = 0.9;
+  spec.noise_sigma = 0.05;
+  spec.seed = 777;
+  scenarios::SyntheticBackend backend(spec);
+  core::WorkloadMatrix w(kRows, kHints);
+  Rng cells(333);
+  for (int q = 0; q < kRows; ++q) {
+    w.Observe(q, 0, backend.TrueLatency(q, 0));
+    for (int j = 1; j < kHints; ++j) {
+      if (cells.NextDouble() < 0.3) w.Observe(q, j, backend.TrueLatency(q, j));
+    }
+  }
+  core::AlsOptions als;
+  als.rank = 3;
+  als.iterations = 200;
+  als.convergence_tol = 1e-4;
+  als.seed = 7;
+  core::CompleterPredictor fitted_predictor(
+      std::make_unique<core::AlsCompleter>(als));
+  core::ExplorationEngine fitted(w, &fitted_predictor);
+  fitted.RefreshPredictions(/*force=*/true);
+  if (!core::SaveEngineCheckpointToFile(fitted.MakeCheckpoint(), ckpt_path)
+           .ok() ||
+      !core::SaveWorkloadMatrixToFile(w, matrix_path).ok()) {
+    *warm_ms = *cold_ms = -1.0;
+    return;
+  }
+
+  constexpr int kReps = 5;
+  double warm = 0.0;
+  double cold = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    {
+      const double t0 = WallSeconds();
+      StatusOr<core::EngineCheckpoint> c =
+          core::LoadEngineCheckpointFromFile(ckpt_path);
+      auto completer = std::make_unique<core::AlsCompleter>(als);
+      const core::AlsCompleter* sweeps = completer.get();
+      core::CompleterPredictor predictor(std::move(completer));
+      core::ExplorationEngine engine(core::WorkloadMatrix(1, kHints),
+                                     &predictor);
+      engine.RestoreFromCheckpoint(std::move(*c));
+      engine.RefreshPredictions(/*force=*/true);
+      warm += WallSeconds() - t0;
+      *warm_sweeps = sweeps->last_iterations();
+    }
+    {
+      const double t0 = WallSeconds();
+      StatusOr<core::WorkloadMatrix> m =
+          core::LoadWorkloadMatrixFromFile(matrix_path);
+      auto completer = std::make_unique<core::AlsCompleter>(als);
+      const core::AlsCompleter* sweeps = completer.get();
+      core::CompleterPredictor predictor(std::move(completer));
+      core::ExplorationEngine engine(std::move(*m), &predictor);
+      engine.RefreshPredictions(/*force=*/true);
+      engine.Publish();
+      cold += WallSeconds() - t0;
+      *cold_sweeps = sweeps->last_iterations();
+    }
+  }
+  std::remove(ckpt_path.c_str());
+  std::remove(matrix_path.c_str());
+  *warm_ms = warm / kReps * 1e3;
+  *cold_ms = cold / kReps * 1e3;
+}
+
 int Main(int argc, char** argv) {
   const std::string json_path =
       JsonPathFromArgs(argc, argv, "BENCH_serving.json");
@@ -218,6 +330,37 @@ int Main(int argc, char** argv) {
                 "(%.1fx)\n",
                 n, full_ns, delta_ns, full_ns / delta_ns);
   }
+
+  // Checkpoint write cost vs n (k=16): the train loop's per-cadence price
+  // for crash consistency. Same log10(n) convention as the publication
+  // sweep.
+  std::printf("\n  checkpoint write cost (serialize + fsync + rename, k=16):\n");
+  for (int n : {1000, 10000, 100000}) {
+    const double ns =
+        MeasureCheckpointWrite(n, 16, "/tmp/limeqo_bench_ckpt.tmp");
+    const int log10n = n >= 100000 ? 5 : (n >= 10000 ? 4 : 3);
+    reporter.Report("checkpoint_write_ns", ns, 1, log10n);
+    std::printf("    n=%6d: %10.0f ns/checkpoint (%.2f ms)\n", n, ns,
+                ns / 1e6);
+  }
+
+  // Warm vs cold restart from disk on a 2000-query world: checkpoint +
+  // CompleteFrom resume vs matrix-only persistence + refit-from-scratch.
+  // The "threads" slot carries 1 for warm, 0 for cold.
+  double warm_ms = 0.0;
+  double cold_ms = 0.0;
+  int warm_sweeps = 0;
+  int cold_sweeps = 0;
+  MeasureRestore("/tmp/limeqo_bench_restore_ckpt.tmp",
+                 "/tmp/limeqo_bench_restore_matrix.tmp", &warm_ms, &cold_ms,
+                 &warm_sweeps, &cold_sweeps);
+  reporter.Report("restore_warm_ms", warm_ms, 1, 1);
+  reporter.Report("restore_cold_ms", cold_ms, 1, 0);
+  std::printf(
+      "\n  restart to serving-ready (2000 queries): warm (checkpoint) "
+      "%.2f ms / %d ALS sweeps, cold (matrix-only) %.2f ms / %d sweeps "
+      "(%.1fx)\n",
+      warm_ms, warm_sweeps, cold_ms, cold_sweeps, cold_ms / warm_ms);
 
   if (!json_path.empty()) {
     if (reporter.WriteJson(json_path)) {

@@ -13,6 +13,11 @@ struct BackendResult {
   /// timeout threshold (the true latency is at least this much).
   double observed_latency = 0.0;
   bool timed_out = false;
+  /// True when the execution did not produce a usable measurement at all
+  /// (connection loss, crash, a fault-injection decorator exhausting its
+  /// retries). A failed result carries no latency information: callers
+  /// must not observe it into the matrix or charge it to any budget.
+  bool failed = false;
 };
 
 /// The only contract LimeQO requires of the system under optimization

@@ -145,6 +145,7 @@ ExplorationEngine::ExplorationEngine(WorkloadMatrix matrix,
   queue_mask_ = slots_.size() - 1;
   LIMEQO_CHECK(options.online.refresh_every > 0);
   LIMEQO_CHECK(options.online.publish_every > 0);
+  LIMEQO_CHECK(options.checkpoint_every >= 0);
   for (size_t i = 0; i < slots_.size(); ++i) {
     slots_[i].turn.store(i, std::memory_order_relaxed);
   }
@@ -178,6 +179,20 @@ void ExplorationEngine::ServeEpoch(
     const std::function<double(int query, int hint, uint64_t seq)>& execute,
     const std::function<void(uint64_t seq, int query, int hint,
                              double latency)>& record) {
+  ServeEpochResolved(
+      begin, end, threads,
+      [&execute](int query, int hint, uint64_t seq) {
+        return ServedOutcome{hint, execute(query, hint, seq)};
+      },
+      record);
+}
+
+void ExplorationEngine::ServeEpochResolved(
+    uint64_t begin, uint64_t end, int threads,
+    const std::function<ServedOutcome(int query, int chosen_hint,
+                                      uint64_t seq)>& resolve,
+    const std::function<void(uint64_t seq, int query, int hint,
+                             double latency)>& record) {
   LIMEQO_CHECK(threads >= 1);
   LIMEQO_CHECK(begin <= end);
   std::shared_ptr<const ServingSnapshot> snap = snapshot();
@@ -205,10 +220,22 @@ void ExplorationEngine::ServeEpoch(
       for (uint64_t s = chunk_begin + lane; s < chunk_end;
            s += static_cast<uint64_t>(threads)) {
         const int q = static_cast<int>(s % n);
-        const int hint = snap->ChooseHint(q, s);
-        const double latency = execute(q, hint, s);
-        if (record) record(s, q, hint, latency);
-        Report(snap->MakeObservation(s, q, hint, latency));
+        const int chosen = snap->ChooseHint(q, s);
+        // The resolver may substitute a different hint (degradation);
+        // the observation is built for what actually ran.
+        const ServedOutcome out = resolve(q, chosen, s);
+        if (record) record(s, q, out.hint, out.latency);
+        ServingObservation obs =
+            snap->MakeObservation(s, q, out.hint, out.latency);
+        if (out.degraded) {
+          // A degraded fallback is an infrastructure fault, not an
+          // exploration decision: it must neither count against the
+          // exploration budget nor look like a budgeted probe to the
+          // free-gate invariant.
+          obs.exploratory = false;
+          obs.regret_delta = 0.0;
+        }
+        Report(obs);
       }
     };
     if (threads == 1) {
@@ -398,6 +425,83 @@ void ExplorationEngine::StopTraining() {
   training_ = false;
   // Flush whatever the loop had not picked up and leave a current snapshot.
   SyncEpoch();
+  // A clean shutdown leaves a checkpoint at the final drain front, so a
+  // restart resumes from exactly where serving stopped.
+  if (options_.checkpoint_every > 0 && !options_.checkpoint_path.empty()) {
+    (void)SaveCheckpoint();
+  }
+}
+
+EngineCheckpoint ExplorationEngine::MakeCheckpoint() const {
+  EngineCheckpoint c;
+  c.matrix = matrix_;
+  c.factors = factors_;
+  // Shape-stale predictions (the matrix grew since the last refit) are
+  // dropped rather than persisted: Publish refuses to serve them anyway,
+  // and the checkpoint format requires predictions to match the matrix.
+  if (predictions_ != nullptr &&
+      predictions_->rows() == static_cast<size_t>(matrix_.num_queries()) &&
+      predictions_->cols() == static_cast<size_t>(matrix_.num_hints())) {
+    c.predictions = *predictions_;
+    c.have_predictions = true;
+  }
+  c.regret_spent = regret_spent_.load(std::memory_order_relaxed);
+  c.explorations = explorations_.load(std::memory_order_relaxed);
+  c.serving_seq = drained_seq_.load(std::memory_order_relaxed);
+  c.updates_since_refresh = updates_since_refresh_;
+  c.snapshot_version = snapshot_version_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void ExplorationEngine::RestoreFromCheckpoint(EngineCheckpoint c) {
+  LIMEQO_CHECK(!training_);
+  matrix_ = std::move(c.matrix);
+  factors_ = std::move(c.factors);
+  if (c.have_predictions) {
+    predictions_ =
+        std::make_shared<const linalg::Matrix>(std::move(c.predictions));
+  } else {
+    predictions_.reset();
+  }
+  updates_since_refresh_ = c.updates_since_refresh;
+  regret_spent_.store(c.regret_spent, std::memory_order_relaxed);
+  explorations_.store(c.explorations, std::memory_order_relaxed);
+  // Rewind the serving plane to the checkpointed sequence: both counters
+  // restart at the durable prefix, and the ring's turn stamps are rebuilt
+  // so the slot for sequence s expects exactly s again (a slot whose
+  // in-lap position precedes the head belongs to the *next* lap).
+  const uint64_t head = c.serving_seq;
+  next_seq_.store(head, std::memory_order_relaxed);
+  drained_seq_.store(head, std::memory_order_relaxed);
+  const uint64_t lap = head & ~static_cast<uint64_t>(queue_mask_);
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    uint64_t turn = lap + i;
+    if (turn < head) turn += slots_.size();
+    slots_[i].turn.store(turn, std::memory_order_relaxed);
+  }
+  // The predictor may carry model state fitted on pre-crash traffic that
+  // the checkpoint does not capture; reset it so the next refit is a pure
+  // function of (matrix, factors) — the CompleteFrom contract.
+  if (predictor_ != nullptr) predictor_->Reset();
+  // The published version counter stays monotonic across the restart so
+  // staleness probes never see it go backwards.
+  if (c.snapshot_version >
+      snapshot_version_.load(std::memory_order_relaxed)) {
+    snapshot_version_.store(c.snapshot_version, std::memory_order_relaxed);
+  }
+  InvalidateSnapshotBase();
+  Publish();
+}
+
+Status ExplorationEngine::SaveCheckpoint() {
+  if (options_.checkpoint_path.empty()) {
+    return Status::FailedPrecondition(
+        "no EngineOptions::checkpoint_path configured");
+  }
+  Status st =
+      SaveEngineCheckpointToFile(MakeCheckpoint(), options_.checkpoint_path);
+  if (st.ok()) checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  return st;
 }
 
 void ExplorationEngine::TrainLoop() {
@@ -419,6 +523,17 @@ void ExplorationEngine::TrainLoop() {
   uint64_t refit_after_seq = 0;
   const auto publish_cadence =
       static_cast<uint64_t>(options_.online.publish_every);
+  // Checkpoints ride the same drain-front cadence as publications. The
+  // write happens on this thread (serialize + fsync + rename) while the
+  // serving plane keeps running against the current snapshot; the only
+  // coupling is back-pressure — producers more than a queue lap ahead wait
+  // for the next drain — which the free-running staleness bound already
+  // accounts for.
+  const auto checkpoint_cadence =
+      static_cast<uint64_t>(options_.checkpoint_every);
+  const bool checkpoints_enabled =
+      checkpoint_cadence > 0 && !options_.checkpoint_path.empty();
+  uint64_t checkpointed_seen = drained_seq_.load(std::memory_order_relaxed);
   // NumComplete is an O(n*k) scan — evaluate it once, then remember: every
   // drained observation is itself a complete observation, so the flag only
   // ever flips to true.
@@ -461,6 +576,13 @@ void ExplorationEngine::TrainLoop() {
       published_seen = seen;
     } else if (drained == 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    if (checkpoints_enabled && seen - checkpointed_seen >= checkpoint_cadence) {
+      // A failed write (disk gone, path unwritable) is not fatal to the
+      // loop: serving continues and checkpoints_written() stops advancing,
+      // which is the observable signal operators alert on.
+      (void)SaveCheckpoint();
+      checkpointed_seen = seen;
     }
   }
 }

@@ -19,11 +19,14 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "core/predictor.h"
+#include "core/serialization.h"
 #include "core/workload_matrix.h"
 
 namespace limeqo::core {
@@ -95,6 +98,26 @@ struct ServingObservation {
   bool exploratory = false;
   /// Regret charged against the budget (>= 0, seconds).
   double regret_delta = 0.0;
+};
+
+/// What a serving resolver actually did for one serving (see
+/// ExplorationEngine::ServeEpochResolved): the hint that was really served
+/// — normally the chosen one, but a fault-degradation policy may
+/// substitute the default plan after exhausting its retries — and the
+/// latency that was observed for it.
+struct ServedOutcome {
+  /// Hint actually served (may differ from the chosen hint under graceful
+  /// degradation).
+  int hint = 0;
+  /// Observed latency of the serving, in seconds.
+  double latency = 0.0;
+  /// True when the serving was *degraded*: the chosen hint failed and the
+  /// resolver substituted a fallback. A degraded serving is recorded as
+  /// non-exploratory with zero regret — its cost is an infrastructure
+  /// fault, not an exploration decision, and is accounted separately
+  /// (SimulationResult's fault block) so faults can never double-charge
+  /// the regret ledger.
+  bool degraded = false;
 };
 
 /// An immutable, shareable picture of everything the serving plane needs:
@@ -231,6 +254,17 @@ struct EngineOptions {
   /// at every publication point (tests/engine_delta_test.cc); disable only
   /// for the equivalence tests and the publication-cost bench.
   bool delta_publication = true;
+  /// When non-empty, the free-running train loop writes crash-consistent
+  /// checkpoints (SaveEngineCheckpointToFile: temp file + fsync + rename)
+  /// to this path on the checkpoint_every cadence, and StopTraining writes
+  /// a final one. Checkpointing happens entirely on the train plane — the
+  /// serving plane is never paused, and a reader (or a post-crash restart)
+  /// always sees a complete previous or complete current checkpoint.
+  std::string checkpoint_path;
+  /// Checkpoint cadence in drained observations (0 disables). Like
+  /// publish_every it is measured at the drain front, so every checkpoint
+  /// captures a consistent prefix of the serving history.
+  int checkpoint_every = 0;
 };
 
 /// The engine joining the two planes. All train-plane methods (Drain,
@@ -332,6 +366,22 @@ class ExplorationEngine {
       const std::function<void(uint64_t seq, int query, int hint,
                                double latency)>& record = nullptr);
 
+  /// ServeEpoch for callers that may serve a *different* hint than the one
+  /// chosen from the snapshot — the graceful-degradation path, where a
+  /// faulted serving retries and then falls back to the default plan.
+  /// `resolve(query, chosen_hint, seq)` returns the hint actually served
+  /// and its latency; the observation is built for that hint, so the
+  /// regret ledger charges what really ran. `resolve` must be thread-safe
+  /// and a pure function of its arguments (fault schedules are seed-pure
+  /// per serving index), which preserves the bitwise thread-count
+  /// determinism of ServeEpoch. `record` sees the resolved hint.
+  void ServeEpochResolved(
+      uint64_t begin, uint64_t end, int threads,
+      const std::function<ServedOutcome(int query, int chosen_hint,
+                                        uint64_t seq)>& resolve,
+      const std::function<void(uint64_t seq, int query, int hint,
+                               double latency)>& record = nullptr);
+
   // --- Train plane -------------------------------------------------------
   /// No cap for Drain: consume the whole contiguous published prefix.
   static constexpr size_t kDrainAll = ~size_t{0};
@@ -365,8 +415,38 @@ class ExplorationEngine {
   /// no other thread may call train-plane methods.
   void StartTraining();
   /// Stops and joins the background train thread, then drains any
-  /// remaining observations and publishes a final snapshot.
+  /// remaining observations and publishes a final snapshot (and, when
+  /// checkpointing is configured, writes a final checkpoint).
   void StopTraining();
+
+  // --- Crash-consistent checkpoints (train plane) --------------------------
+  /// Captures the train-plane state as of the current drain front: the
+  /// workload matrix, warm-start factors, published predictions, the
+  /// frozen regret ledger, and the serving / refresh counters. Train-plane
+  /// method; serving threads may keep running (they never touch the state
+  /// being copied). The captured `serving_seq` is the drained prefix —
+  /// every observation at or past it is deliberately excluded, because
+  /// only the drained prefix is consistent with the matrix and ledgers.
+  EngineCheckpoint MakeCheckpoint() const;
+
+  /// Warm-restarts this engine from a checkpoint taken by an engine with
+  /// the same construction options: replaces the matrix, factors,
+  /// predictions, ledgers, and counters, rewinds the serving plane to the
+  /// checkpointed `serving_seq`, and publishes a fresh snapshot. Because
+  /// serving decisions are pure functions of (snapshot, serving index) and
+  /// the factors seed the next refit via CompleteFrom, an engine restored
+  /// at an op boundary (drain / refit / publish / append) replays the
+  /// remaining schedule bitwise-identically to an engine that never died
+  /// (tests/engine_checkpoint_test.cc). Train-plane method; must not be
+  /// called while serving traffic or the background train thread runs.
+  void RestoreFromCheckpoint(EngineCheckpoint c);
+
+  /// Writes MakeCheckpoint() crash-atomically to
+  /// EngineOptions::checkpoint_path. Returns FailedPrecondition when no
+  /// path was configured. Train-plane method (the train loop calls it on
+  /// the checkpoint_every cadence; callers may also invoke it manually at
+  /// an op boundary).
+  Status SaveCheckpoint();
 
   // --- Train-plane observation entry points (offline loop, adapters) -----
   /// Records a completed execution directly (no queue, no regret): the
@@ -432,6 +512,11 @@ class ExplorationEngine {
   uint64_t drained_servings() const {
     return drained_seq_.load(std::memory_order_relaxed);
   }
+  /// Checkpoints successfully written by SaveCheckpoint (including the
+  /// train loop's cadence-driven writes and StopTraining's final one).
+  uint64_t checkpoints_written() const {
+    return checkpoints_written_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Slot {
@@ -476,6 +561,7 @@ class ExplorationEngine {
   // Ledgers: written by the train plane, read anywhere.
   std::atomic<double> regret_spent_{0.0};
   std::atomic<int> explorations_{0};
+  std::atomic<uint64_t> checkpoints_written_{0};
 
   // Snapshot publication: the pointer is guarded by snapshot_mu_ (held
   // only for the copy/swap); the version counter is the lock-free probe.

@@ -14,6 +14,24 @@ double WallSeconds() {
       .count();
 }
 
+/// Free observations (defaults, post-shift re-runs) are not optional: the
+/// matrix invariants assume every active row has its default class
+/// observed. A transiently failing backend is retried — each Execute call
+/// rolls a fresh fault decision, so the loop terminates almost surely for
+/// any failure probability < 1 — and a backend that fails the same cell
+/// this many times in a row is treated as permanently broken.
+constexpr int kMaxFreeObservationAttempts = 10000;
+
+BackendResult ExecuteFreeObservation(WorkloadBackend* backend, int query,
+                                     int hint) {
+  for (int attempt = 0; attempt < kMaxFreeObservationAttempts; ++attempt) {
+    const BackendResult r = backend->Execute(query, hint, 0.0);
+    if (!r.failed) return r;
+  }
+  LIMEQO_CHECK(false);  // backend permanently failing a free observation
+  return BackendResult{};
+}
+
 }  // namespace
 
 OfflineExplorer::OfflineExplorer(WorkloadBackend* backend,
@@ -22,7 +40,7 @@ OfflineExplorer::OfflineExplorer(WorkloadBackend* backend,
     : backend_(backend),
       policy_(policy),
       options_(options),
-      engine_(WorkloadMatrix(options.initial_queries > 0
+      engine_(WorkloadMatrix(options.initial_queries >= 0
                                  ? options.initial_queries
                                  : backend->num_queries(),
                              backend->num_hints()),
@@ -42,8 +60,7 @@ OfflineExplorer::OfflineExplorer(WorkloadBackend* backend,
 }
 
 void OfflineExplorer::ObserveDefaultClass(int query) {
-  const BackendResult r =
-      backend_->Execute(query, 0, /*timeout_seconds=*/0.0);
+  const BackendResult r = ExecuteFreeObservation(backend_, query, 0);
   for (int j : backend_->EquivalentHints(query, 0)) {
     engine_.Observe(query, j, r.observed_latency);
   }
@@ -89,6 +106,14 @@ void OfflineExplorer::ExecuteCandidate(const Candidate& candidate) {
   }
 
   const BackendResult r = backend_->Execute(q, h, timeout);
+  if (r.failed) {
+    // A failed execution never ran to a measurable result: nothing enters
+    // the matrix, and — the no-double-charge invariant — nothing is added
+    // to the offline clock or the execution counters. The candidate simply
+    // remains unobserved; the policy is free to propose it again.
+    ++num_failed_executions_;
+    return;
+  }
   // The exploration clock advances by the time actually spent (Eq. 3): the
   // full latency on completion, the timeout value on a cut-off.
   offline_seconds_ += r.observed_latency;
@@ -129,8 +154,7 @@ void OfflineExplorer::ResetAfterDataShift() {
     for (int j = 0; j < matrix().num_hints(); ++j) engine_.Clear(i, j);
     // The previous best hint keeps serving the online path, so its latency
     // on the new data is observed for free (and so is its plan class).
-    const BackendResult r =
-        backend_->Execute(i, best, /*timeout_seconds=*/0.0);
+    const BackendResult r = ExecuteFreeObservation(backend_, i, best);
     for (int j : backend_->EquivalentHints(i, best)) {
       engine_.Observe(i, j, r.observed_latency);
     }

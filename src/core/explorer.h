@@ -29,7 +29,11 @@ struct ExplorerOptions {
   /// exists for ablations.
   bool use_timeouts = true;
   /// Number of query rows initially active; -1 means all backend queries.
-  /// Fig. 9 starts with 70% of the workload and adds the rest later.
+  /// Fig. 9 starts with 70% of the workload and adds the rest later. 0 is
+  /// a legal *cold start*: the explorer begins with an empty matrix (no
+  /// default observations, nothing to explore) and grows row-by-row as
+  /// traffic attaches via AddNewQueries — the fleet bring-up path, where
+  /// an engine is stood up before its workload exists.
   int initial_queries = -1;
   /// Seed for policy tie-breaking / random fallback.
   uint64_t seed = 99;
@@ -118,6 +122,13 @@ class OfflineExplorer {
   /// BackendResult::timed_out for invariant checks.
   int num_timeouts() const { return num_timeouts_; }
 
+  /// Candidate executions the backend reported as *failed*
+  /// (BackendResult::failed — e.g. a FaultyBackend that exhausted its
+  /// internal retries). Failed executions are dropped whole: no offline
+  /// charge, no matrix observation, no num_executions() count — the
+  /// no-double-charge invariant for transient faults.
+  int num_failed_executions() const { return num_failed_executions_; }
+
   /// Largest single charge any execution added to the offline clock; the
   /// budget in Explore can be overshot by at most this much.
   double max_single_charge() const { return max_single_charge_; }
@@ -152,6 +163,7 @@ class OfflineExplorer {
   double overhead_seconds_ = 0.0;
   int num_executions_ = 0;
   int num_timeouts_ = 0;
+  int num_failed_executions_ = 0;
   double max_single_charge_ = 0.0;
 };
 

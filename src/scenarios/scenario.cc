@@ -159,6 +159,19 @@ std::vector<ScenarioSpec> ScenarioGrid() {
     s.seed = 118;
     grid.push_back(s);
   }
+  {
+    // Cold-start fleet bring-up: the explorer is stood up over an *empty*
+    // workload (zero rows, no default observations, nothing to explore)
+    // and the entire workload attaches later through arrival bursts — the
+    // way a fresh fleet member comes up before its traffic exists. The
+    // arrival schedule covers every query, so initial_queries is 0.
+    ScenarioSpec s;
+    s.name = "cold-start-fleet";
+    s.num_queries = 36;
+    s.arrivals = {{0.1, 12}, {0.4, 12}, {0.7, 12}};
+    s.seed = 119;
+    grid.push_back(s);
+  }
 
   return grid;
 }

@@ -99,6 +99,57 @@ void Violate(SimulationResult* result, const std::string& invariant,
   result->violations.push_back(invariant + ": " + detail);
 }
 
+/// Executes the default hint until the backend produces a usable result —
+/// the synchronous-mode degradation fallback. The default plan is the
+/// always-available one, and every Execute call rolls fresh fault
+/// decisions, so for any failure probability < 1 this terminates almost
+/// surely; a backend failing this many calls in a row is permanently
+/// broken, not faulty.
+core::BackendResult ExecuteDefaultFallback(core::WorkloadBackend* backend,
+                                           int query) {
+  constexpr int kMaxFallbackAttempts = 10000;
+  for (int i = 0; i < kMaxFallbackAttempts; ++i) {
+    const core::BackendResult r = backend->Execute(query, 0, 0.0);
+    if (!r.failed) return r;
+  }
+  LIMEQO_CHECK(false);  // backend permanently failing the default plan
+  return core::BackendResult{};
+}
+
+/// Resolves which hint a faulted serving actually serves: retry the chosen
+/// hint up to max_retries extra attempts (accounting seeded exponential
+/// backoff per retry), then degrade to the default hint, which never
+/// fails. Pure in (backend schedule, query, chosen, seq), so serving
+/// traces stay bitwise identical at any thread count under faults.
+struct ResolvedServing {
+  int hint = 0;
+  int failures = 0;
+  bool degraded = false;
+  double backoff_seconds = 0.0;
+};
+ResolvedServing ResolveServingFaults(const ScenarioBackend& backend,
+                                     const FaultSpec& faults, int max_retries,
+                                     double backoff_base, int query,
+                                     int chosen, uint64_t seq) {
+  ResolvedServing r;
+  r.hint = chosen;
+  for (int attempt = 0;; ++attempt) {
+    if (!backend.ServeAttemptFails(query, r.hint, seq, attempt)) break;
+    ++r.failures;
+    if (attempt >= max_retries) {
+      // Graceful degradation: the chosen plan keeps failing, the serving
+      // must still answer — fall back to the default hint (never fails).
+      r.hint = 0;
+      r.degraded = true;
+      break;
+    }
+    Rng jitter(MixSeed(faults.seed, seq, static_cast<uint64_t>(attempt)));
+    r.backoff_seconds +=
+        backoff_base * std::ldexp(1.0, attempt) * (0.5 + jitter.NextDouble());
+  }
+  return r;
+}
+
 /// The serving rule's no-regression guarantee (Algorithm 1 lines 13-15),
 /// checked against the hints the *actual serving component* chose — not
 /// re-derived from the matrix, so a regression in OnlineOptimizer or
@@ -335,6 +386,14 @@ std::string SimulationResult::Summary() const {
     os << " staleness[p50/p95/max]=" << staleness_p50 << "/" << staleness_p95
        << "/" << staleness_max << " slack=" << regret_slack << "s";
   }
+  if (fault_exec_failures > 0 || fault_serve_failures > 0 ||
+      fault_serve_fallbacks > 0) {
+    os << " faults[exec-fail/retry/dropped]=" << fault_exec_failures << "/"
+       << fault_exec_retries << "/" << fault_exec_exhausted
+       << " faults[serve-fail/fallback]=" << fault_serve_failures << "/"
+       << fault_serve_fallbacks << " backoff=" << fault_backoff_seconds
+       << "s";
+  }
   for (const std::string& v : violations) os << "\n  VIOLATED " << v;
   return os.str();
 }
@@ -364,6 +423,18 @@ SimulationResult SimulationDriver::Run(const RunConfig& config) {
   } else {
     backend = std::make_unique<SyntheticBackend>(spec_);
   }
+  // Under a fault world the whole run talks to the decorator: exploration,
+  // serving, and the invariant checks all see the faulted surface, and the
+  // decorator's own accounting (timeouts_reported, max_single_charge)
+  // describes what the run actually observed.
+  FaultyBackend* fault_injector = nullptr;
+  if (config.faults.any()) {
+    auto faulty = std::make_unique<FaultyBackend>(
+        std::move(backend), config.faults, config.max_retries,
+        config.retry_backoff_seconds);
+    fault_injector = faulty.get();
+    backend = std::move(faulty);
+  }
   result.default_latency = backend->DefaultWorkloadLatency();
   result.optimal_latency = backend->OptimalWorkloadLatency();
 
@@ -373,7 +444,10 @@ SimulationResult SimulationDriver::Run(const RunConfig& config) {
 
   int total_arrivals = 0;
   for (const ArrivalEvent& a : spec_.arrivals) total_arrivals += a.count;
-  LIMEQO_CHECK(total_arrivals < spec_.num_queries);
+  // Arrivals covering the whole workload is the cold-start fleet: the
+  // explorer is stood up over an empty matrix (initial_queries == 0) and
+  // every query attaches later through the arrival schedule.
+  LIMEQO_CHECK(total_arrivals <= spec_.num_queries);
 
   core::ExplorerOptions options;
   options.batch_size = spec_.batch_size;
@@ -505,6 +579,21 @@ SimulationResult SimulationDriver::Run(const RunConfig& config) {
         const int hint = optimizer.ChooseHint(q);
         const core::BackendResult r =
             backend->Execute(q, hint, /*timeout_seconds=*/0.0);
+        if (r.failed) {
+          // Graceful degradation, synchronous flavor: the chosen plan's
+          // execution kept failing, so this serving answers with the
+          // default hint instead. The fallback bypasses the optimizer —
+          // it is an infrastructure fault, not an exploration decision —
+          // and is reported non-exploratory with zero regret, so the
+          // ledger and the gate/freeze invariants never see fault cost.
+          const core::BackendResult fb =
+              ExecuteDefaultFallback(backend.get(), q);
+          ++result.fault_serve_fallbacks;
+          max_served = std::max(max_served, fb.observed_latency);
+          engine.ObserveServing(q, 0, fb.observed_latency,
+                                /*exploratory=*/false, /*regret_delta=*/0.0);
+          continue;
+        }
         max_served = std::max(max_served, r.observed_latency);
         optimizer.ReportLatency(q, hint, r.observed_latency);
       }
@@ -524,6 +613,7 @@ SimulationResult SimulationDriver::Run(const RunConfig& config) {
           const int q = s % spec_.num_queries;
           const int hint = optimizer.ChooseHint(q);
           const core::BackendResult r = backend->Execute(q, hint, 0.0);
+          if (r.failed) continue;  // a dropped probe can't unfreeze anything
           optimizer.ReportLatency(q, hint, r.observed_latency);
         }
         if (optimizer.explorations() != frozen) {
@@ -556,6 +646,9 @@ SimulationResult SimulationDriver::Run(const RunConfig& config) {
         bool exploratory = false;
         double regret_delta = 0.0;
         uint64_t snapshot_seq = 0;  // published_seq of the deciding snapshot
+        int serve_failures = 0;     // faulted attempts before this serving
+        bool degraded = false;      // fell back to the default hint
+        double backoff_seconds = 0.0;  // seeded retry backoff accounted
       };
       std::vector<FreeRecord> records(total);
 
@@ -577,12 +670,29 @@ SimulationResult SimulationDriver::Run(const RunConfig& config) {
               version = snap->version();
             }
             const int q = static_cast<int>(seq % n);
-            const int hint = snap->ChooseHint(q, seq);
-            const double latency = backend->ServeLatency(q, hint, seq);
-            const core::ServingObservation obs =
-                snap->MakeObservation(seq, q, hint, latency);
-            records[seq] = {q, hint, latency, obs.exploratory,
-                            obs.regret_delta, snap->published_seq()};
+            const int chosen = snap->ChooseHint(q, seq);
+            const ResolvedServing served = ResolveServingFaults(
+                *backend, config.faults, config.max_retries,
+                config.retry_backoff_seconds, q, chosen, seq);
+            const double latency = backend->ServeLatency(q, served.hint, seq);
+            core::ServingObservation obs =
+                snap->MakeObservation(seq, q, served.hint, latency);
+            if (served.degraded) {
+              // A degraded fallback is fault cost, not an exploration
+              // decision: it must neither charge the ledger nor look like
+              // a budgeted probe to the free-gate/freeze invariants.
+              obs.exploratory = false;
+              obs.regret_delta = 0.0;
+            }
+            records[seq] = {q,
+                            served.hint,
+                            latency,
+                            obs.exploratory,
+                            obs.regret_delta,
+                            snap->published_seq(),
+                            served.failures,
+                            served.degraded,
+                            served.backoff_seconds};
             engine.Report(obs);
           }
         });
@@ -602,6 +712,11 @@ SimulationResult SimulationDriver::Run(const RunConfig& config) {
       std::vector<double> prefix(static_cast<size_t>(total) + 1, 0.0);
       for (int s = 0; s < total; ++s) {
         prefix[s + 1] = prefix[s] + records[s].regret_delta;
+        // Fault accounting, summed in sequence order so the reported
+        // numbers are deterministic despite the timing-dependent run.
+        result.fault_serve_failures += records[s].serve_failures;
+        if (records[s].degraded) ++result.fault_serve_fallbacks;
+        result.fault_backoff_seconds += records[s].backoff_seconds;
       }
       if (std::abs(prefix[total] - result.regret_spent) > 1e-9) {
         std::ostringstream os;
@@ -707,16 +822,34 @@ SimulationResult SimulationDriver::Run(const RunConfig& config) {
       const int total = spec_.online_servings;
       const int threads = config.serve_threads;
       result.serving_trace.resize(total);
+      // Per-seq fault accounting, written by the serving thread that owns
+      // the index and summed in sequence order afterwards — so the fault
+      // numbers are as bitwise-deterministic as the trace itself.
+      std::vector<int> serve_failures(total, 0);
+      std::vector<uint8_t> serve_degraded(total, 0);
+      std::vector<double> serve_backoff(total, 0.0);
       double max_epoch_regret = 0.0;
       auto run_epochs = [&](int first, int last) {
         for (int epoch = first; epoch < last;
              epoch += online.publish_every) {
           const int end = std::min(last, epoch + online.publish_every);
           const double regret_before = engine.regret_spent();
-          engine.ServeEpoch(
+          engine.ServeEpochResolved(
               epoch, end, threads,
-              [&](int q, int hint, uint64_t seq) {
-                return backend->ServeLatency(q, hint, seq);
+              [&](int q, int chosen, uint64_t seq) {
+                const ResolvedServing served = ResolveServingFaults(
+                    *backend, config.faults, config.max_retries,
+                    config.retry_backoff_seconds, q, chosen, seq);
+                if (seq < static_cast<uint64_t>(total)) {
+                  serve_failures[seq] = served.failures;
+                  serve_degraded[seq] = served.degraded ? 1 : 0;
+                  serve_backoff[seq] = served.backoff_seconds;
+                }
+                core::ServedOutcome out;
+                out.hint = served.hint;
+                out.degraded = served.degraded;
+                out.latency = backend->ServeLatency(q, served.hint, seq);
+                return out;
               },
               [&](uint64_t seq, int q, int hint, double latency) {
                 if (seq < static_cast<uint64_t>(total)) {
@@ -728,6 +861,11 @@ SimulationResult SimulationDriver::Run(const RunConfig& config) {
         }
       };
       run_epochs(0, total);
+      for (int s = 0; s < total; ++s) {
+        result.fault_serve_failures += serve_failures[s];
+        if (serve_degraded[s]) ++result.fault_serve_fallbacks;
+        result.fault_backoff_seconds += serve_backoff[s];
+      }
       regret_allowance = max_epoch_regret;
       allowance_kind = "one epoch";
 
@@ -788,6 +926,24 @@ SimulationResult SimulationDriver::Run(const RunConfig& config) {
                       "online-serving", &result);
   } else {
     result.final_latency = explorer.matrix().CurrentWorkloadLatency();
+  }
+
+  if (fault_injector != nullptr) {
+    result.fault_exec_failures = fault_injector->exec_failures();
+    result.fault_exec_retries = fault_injector->exec_retries();
+    result.fault_exec_exhausted = fault_injector->exec_exhausted();
+    result.fault_backoff_seconds += fault_injector->backoff_seconds();
+    // No-double-charge: every Execute call the decorator dropped must have
+    // been dropped whole by its caller too — the explorer's failed-call
+    // count can never exceed what the backend actually refused (serving
+    // fallbacks and free-observation retries consume the rest).
+    if (explorer.num_failed_executions() > fault_injector->exec_exhausted()) {
+      std::ostringstream os;
+      os << "explorer dropped " << explorer.num_failed_executions()
+         << " executions but the backend only refused "
+         << fault_injector->exec_exhausted();
+      Violate(&result, "fault-accounting", os.str());
+    }
   }
   return result;
 }

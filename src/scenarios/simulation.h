@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "nn/tcnn.h"
+#include "scenarios/faulty_backend.h"
 #include "scenarios/scenario.h"
 #include "scenarios/scenario_backend.h"
 #include "scenarios/synthetic_backend.h"
@@ -123,6 +124,24 @@ struct RunConfig {
   /// Offline policies (Greedy, ModelGuided) may re-probe censored cells
   /// whose bound/prediction still undercuts the row's current best.
   bool revisit_censored = false;
+  /// Fault world to run under: when faults.any(), the scenario backend is
+  /// wrapped in a FaultyBackend injecting the spec's seed-pure schedule
+  /// (execution crashes, latency spikes, timeout storms, serving
+  /// failures), and the driver applies retry-with-backoff plus graceful
+  /// degradation — a serving whose chosen hint keeps failing falls back to
+  /// the default hint, reported non-exploratory with zero regret and
+  /// accounted in the result's fault block. Every invariant the driver
+  /// checks must still hold. The default spec injects nothing.
+  FaultSpec faults;
+  /// Extra attempts after a faulted execution or serving attempt before
+  /// giving up (offline: BackendResult::failed; serving: degradation to
+  /// the default hint).
+  int max_retries = 3;
+  /// Base of the seeded exponential backoff accounted per retry, in
+  /// seconds. Backoff is accounted (SimulationResult::fault_backoff_seconds),
+  /// never slept, and never charged to the offline clock or the regret
+  /// ledger — the no-double-charge invariant for transient faults.
+  double retry_backoff_seconds = 0.05;
 };
 
 /// One serving of the concurrent serving plane, recorded at its global
@@ -184,6 +203,23 @@ struct SimulationResult {
   /// largest regret any single decision could not yet see).
   double regret_slack = 0.0;
 
+  // Fault accounting (zeros unless RunConfig::faults is active). Fault
+  // costs live here and only here: a degraded serving is reported
+  // non-exploratory with zero regret, and a retried execution charges the
+  // offline clock exactly once — faults never double-charge any budget.
+  /// Offline execution attempts that crashed (each retried or given up).
+  int fault_exec_failures = 0;
+  /// Retry attempts performed after a crashed execution attempt.
+  int fault_exec_retries = 0;
+  /// Execute calls that exhausted every retry (dropped, re-proposable).
+  int fault_exec_exhausted = 0;
+  /// Serving attempts that failed before producing a latency.
+  int fault_serve_failures = 0;
+  /// Servings degraded to the default hint after exhausting retries.
+  int fault_serve_fallbacks = 0;
+  /// Seconds of seeded exponential backoff accounted across all retries.
+  double fault_backoff_seconds = 0.0;
+
   /// Human-readable invariant violations; empty means the run is clean.
   std::vector<std::string> violations;
 
@@ -230,7 +266,13 @@ struct SimulationResult {
 ///    total regret stays within budget plus the largest in-flight window
 ///    any decision could not see, the drained ledger reproduces the
 ///    per-serving regret deltas exactly, and exploration freezes for good
-///    once an exhausted ledger is published.
+///    once an exhausted ledger is published;
+///  * fault tolerance (RunConfig::faults): under any seed-pure fault world
+///    every invariant above still holds — failed executions are dropped
+///    whole (no offline charge, no observation), failed servings retry and
+///    then degrade to the default hint (non-exploratory, zero regret), and
+///    all fault costs land in the result's fault block, never in the
+///    offline or regret budgets.
 class SimulationDriver {
  public:
   /// Captures the spec; each Run compiles a fresh world from it.

@@ -198,5 +198,159 @@ TEST(SerializationTest, FileErrorsSurfaceAsStatus) {
       SaveWorkloadMatrixToFile(w, "/nonexistent/dir/matrix.txt").ok());
 }
 
+// The legacy v1 format (no length prefix, no CRC) must keep loading: it is
+// what pre-checkpoint deployments wrote to disk.
+TEST(SerializationTest, LegacyV1FormatStillLoads) {
+  std::stringstream ss(
+      "limeqo-workload-matrix v1 3 2\n"
+      "C 0 0 1.25\n"
+      "X 2 1 0.5\n");
+  StatusOr<WorkloadMatrix> loaded = LoadWorkloadMatrix(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->state(0, 0), CellState::kComplete);
+  EXPECT_EQ(loaded->observed(0, 0), 1.25);
+  EXPECT_EQ(loaded->state(2, 1), CellState::kCensored);
+  EXPECT_EQ(loaded->NumUnobserved(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption fuzz: no damaged v2 record — matrix or engine checkpoint —
+// may ever load silently. A flipped byte changes the payload (CRC
+// mismatch) or the header (magic / version / length / CRC field rejected);
+// a truncation falls short of the length prefix. Every case must surface
+// as a Status, never as a quietly wrong object.
+// ---------------------------------------------------------------------------
+
+EngineCheckpoint FuzzCheckpoint(proptest::Params& p) {
+  EngineCheckpoint c;
+  c.matrix = MakeMixedMatrix(static_cast<int>(p.Int(0, 20)),
+                             static_cast<int>(p.Int(1, 8)),
+                             static_cast<uint64_t>(p.Int(1, 1 << 30)));
+  const int rank = static_cast<int>(p.Int(0, 3));
+  if (rank > 0 && c.matrix.num_queries() > 0) {
+    c.factors.query_factors =
+        linalg::Matrix(c.matrix.num_queries(), rank, 0.25);
+    c.factors.hint_factors = linalg::Matrix(c.matrix.num_hints(), rank, -1.5);
+  }
+  if (p.Bool(0.5) && c.matrix.num_queries() > 0) {
+    c.predictions =
+        linalg::Matrix(c.matrix.num_queries(), c.matrix.num_hints(), 0.75);
+    c.have_predictions = true;
+  }
+  c.regret_spent = p.Double(0.0, 100.0);
+  c.explorations = static_cast<int>(p.Int(0, 1000));
+  c.serving_seq = static_cast<uint64_t>(p.Int(0, 1 << 20));
+  c.updates_since_refresh = static_cast<int>(p.Int(0, 64));
+  c.snapshot_version = static_cast<uint64_t>(p.Int(0, 1 << 20));
+  return c;
+}
+
+TEST(CorruptionFuzzTest, DamagedMatrixRecordsNeverLoadSilently) {
+  proptest::Config config;
+  config.runs = 40;
+  proptest::Check(
+      "corrupted v2 matrix records are rejected",
+      [](proptest::Params& p) {
+        const WorkloadMatrix w =
+            MakeMixedMatrix(static_cast<int>(p.Int(1, 30)),
+                            static_cast<int>(p.Int(1, 10)),
+                            static_cast<uint64_t>(p.Int(1, 1 << 30)));
+        std::stringstream ss;
+        if (!SaveWorkloadMatrix(w, ss).ok()) return false;
+        std::string bytes = ss.str();
+        if (p.Bool(0.5)) {
+          // Truncation: any proper prefix must be rejected.
+          bytes = bytes.substr(
+              0, static_cast<size_t>(
+                     p.Int(0, static_cast<int64_t>(bytes.size()) - 1)));
+        } else {
+          // Single-byte flip anywhere in the record.
+          const size_t pos = static_cast<size_t>(
+              p.Int(0, static_cast<int64_t>(bytes.size()) - 1));
+          bytes[pos] ^= static_cast<char>(p.Int(1, 255));
+        }
+        std::stringstream damaged(bytes);
+        if (LoadWorkloadMatrix(damaged).ok()) {
+          std::cerr << "damaged matrix record loaded silently\n";
+          return false;
+        }
+        return true;
+      },
+      config);
+}
+
+TEST(CorruptionFuzzTest, DamagedCheckpointsNeverLoadSilently) {
+  proptest::Config config;
+  config.runs = 40;
+  proptest::Check(
+      "corrupted engine checkpoints are rejected",
+      [](proptest::Params& p) {
+        const EngineCheckpoint c = FuzzCheckpoint(p);
+        std::stringstream ss;
+        if (!SaveEngineCheckpoint(c, ss).ok()) return false;
+        std::string bytes = ss.str();
+        if (p.Bool(0.5)) {
+          bytes = bytes.substr(
+              0, static_cast<size_t>(
+                     p.Int(0, static_cast<int64_t>(bytes.size()) - 1)));
+        } else {
+          const size_t pos = static_cast<size_t>(
+              p.Int(0, static_cast<int64_t>(bytes.size()) - 1));
+          bytes[pos] ^= static_cast<char>(p.Int(1, 255));
+        }
+        std::stringstream damaged(bytes);
+        if (LoadEngineCheckpoint(damaged).ok()) {
+          std::cerr << "damaged checkpoint loaded silently\n";
+          return false;
+        }
+        return true;
+      },
+      config);
+}
+
+TEST(CheckpointHeaderTest, RejectsBadMagicVersionAndCrc) {
+  EngineCheckpoint c;
+  c.matrix = MakeMixedMatrix(4, 3, 11);
+  c.regret_spent = 1.5;
+  std::stringstream ss;
+  ASSERT_TRUE(SaveEngineCheckpoint(c, ss).ok());
+  const std::string good = ss.str();
+
+  {
+    std::string bad = good;
+    bad.replace(0, 6, "notck-");
+    std::stringstream in(bad);
+    EXPECT_FALSE(LoadEngineCheckpoint(in).ok());
+  }
+  {
+    std::string bad = good;
+    const size_t v = bad.find("v1");
+    ASSERT_NE(v, std::string::npos);
+    bad.replace(v, 2, "v9");
+    std::stringstream in(bad);
+    EXPECT_FALSE(LoadEngineCheckpoint(in).ok());
+  }
+  {
+    // Flip one payload character without touching the header: only the
+    // CRC can catch this.
+    std::string bad = good;
+    const size_t header_end = bad.find('\n');
+    ASSERT_NE(header_end, std::string::npos);
+    bad[header_end + 1] ^= 0x01;
+    std::stringstream in(bad);
+    const StatusOr<EngineCheckpoint> loaded = LoadEngineCheckpoint(in);
+    EXPECT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("CRC"), std::string::npos)
+        << loaded.status().message();
+  }
+  // And the untouched record still loads + round-trips byte-identically.
+  std::stringstream in(good);
+  StatusOr<EngineCheckpoint> loaded = LoadEngineCheckpoint(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  std::stringstream again;
+  ASSERT_TRUE(SaveEngineCheckpoint(*loaded, again).ok());
+  EXPECT_EQ(good, again.str());
+}
+
 }  // namespace
 }  // namespace limeqo::core

@@ -1,0 +1,595 @@
+// Crash-consistent checkpoints of the exploration engine. The contract
+// under test: a checkpoint captured at an op boundary (drain / refit /
+// publish / append) and written through the real on-disk format restores
+// into an engine whose remaining serving trace — at any thread count — is
+// bitwise identical to the engine that never died, whose regret ledger and
+// matrix agree exactly, and whose next refit warm-starts from the
+// checkpointed factors. Plus the failure half: corrupted or truncated
+// checkpoints are rejected loudly and the caller falls back to a cold
+// start, and the free-running train loop's checkpoint cadence never
+// exposes a torn file to a concurrent reader.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/als.h"
+#include "core/engine.h"
+#include "core/predictor.h"
+#include "core/serialization.h"
+#include "core/workload_matrix.h"
+#include "proptest.h"
+#include "scenarios/scenario.h"
+#include "scenarios/synthetic_backend.h"
+
+namespace limeqo::scenarios {
+namespace {
+
+// A unique checkpoint path per call, so proptest runs never collide.
+std::string UniqueCheckpointPath(const char* tag) {
+  static std::atomic<int> counter{0};
+  std::ostringstream os;
+  os << ::testing::TempDir() << "limeqo_" << tag << "_"
+     << counter.fetch_add(1) << ".ckpt";
+  return os.str();
+}
+
+// Bitwise matrix equality (values, mask, censoring thresholds, states).
+::testing::AssertionResult MatricesIdentical(const core::WorkloadMatrix& a,
+                                             const core::WorkloadMatrix& b) {
+  if (a.num_queries() != b.num_queries() || a.num_hints() != b.num_hints()) {
+    return ::testing::AssertionFailure()
+           << "shape " << a.num_queries() << "x" << a.num_hints() << " vs "
+           << b.num_queries() << "x" << b.num_hints();
+  }
+  for (int q = 0; q < a.num_queries(); ++q) {
+    for (int j = 0; j < a.num_hints(); ++j) {
+      if (a.values()(q, j) != b.values()(q, j) ||
+          a.mask()(q, j) != b.mask()(q, j) ||
+          a.timeouts()(q, j) != b.timeouts()(q, j) ||
+          a.state(q, j) != b.state(q, j)) {
+        return ::testing::AssertionFailure()
+               << "cell (" << q << "," << j << ") differs";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Builds an engine over `rows` queries of `backend` with the default plan
+// of every row observed (the normal bring-up state).
+core::WorkloadMatrix SeedMatrix(const SyntheticBackend& backend, int rows,
+                                int hints) {
+  core::WorkloadMatrix m(rows, hints);
+  for (int q = 0; q < rows; ++q) m.Observe(q, 0, backend.TrueLatency(q, 0));
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// The twin schedule: a random interleaving of the train-plane op kinds a
+// live engine performs between serving epochs. Every op ends in a
+// publication — exactly what the train loop does after mutating state — so
+// every op boundary is a legal kill point: the live snapshot, the drained
+// matrix, and the ledgers all agree there, which is the consistency a
+// checkpoint captures.
+// ---------------------------------------------------------------------------
+
+enum class OpKind { kEpoch, kObserve, kAppend, kRefit };
+struct Op {
+  OpKind kind;
+  int arg = 0;
+};
+
+struct TraceEntry {
+  int query = -1;
+  int hint = -1;
+  double latency = 0.0;
+  bool valid = false;
+};
+
+void ApplyOp(core::ExplorationEngine& engine, const SyntheticBackend& backend,
+             const Op& op, int threads, uint64_t* next_seq,
+             std::vector<TraceEntry>* trace) {
+  switch (op.kind) {
+    case OpKind::kEpoch: {
+      const uint64_t begin = *next_seq;
+      const uint64_t end = begin + static_cast<uint64_t>(op.arg);
+      engine.ServeEpoch(
+          begin, end, threads,
+          [&backend](int q, int h, uint64_t s) {
+            return backend.ServeLatency(q, h, s);
+          },
+          [trace](uint64_t s, int q, int h, double latency) {
+            (*trace)[s] = {q, h, latency, true};
+          });
+      *next_seq = end;
+      break;
+    }
+    case OpKind::kObserve: {
+      // One direct train-plane observation (the offline exploration path),
+      // then republish so the serving plane sees it.
+      const int n = engine.matrix().num_queries();
+      const int k = engine.matrix().num_hints();
+      const int q = op.arg % n;
+      const int h = 1 + (op.arg / n) % (k - 1);
+      engine.Observe(q, h, backend.TrueLatency(q, h));
+      engine.Publish();
+      break;
+    }
+    case OpKind::kAppend: {
+      const int first = engine.AppendQueries(op.arg);
+      for (int q = first; q < first + op.arg; ++q) {
+        engine.Observe(q, 0, backend.TrueLatency(q, 0));
+      }
+      engine.Publish();
+      break;
+    }
+    case OpKind::kRefit:
+      engine.SyncEpoch();
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-restore twins: the headline property.
+// ---------------------------------------------------------------------------
+
+TEST(KillRestoreTest, RestoredTwinReplaysBitwiseAtEveryThreadCount) {
+  proptest::Config config;
+  config.runs = 8;
+  proptest::Check(
+      "kill-and-restore twin serves bitwise-identically",
+      [](proptest::Params& p) {
+        const int hints = static_cast<int>(p.Int(4, 8));
+        const int init_rows = static_cast<int>(p.Int(6, 12));
+        int append_budget = static_cast<int>(p.Int(0, 10));
+        ScenarioSpec spec;
+        spec.name = "kill-restore";
+        spec.num_queries = init_rows + append_budget;
+        spec.num_hints = hints;
+        spec.latent_rank = static_cast<int>(p.Int(1, 3));
+        spec.noise_sigma = p.Double(0.0, 0.2);
+        spec.seed = static_cast<uint64_t>(p.Int(1, 1 << 30));
+        const SyntheticBackend backend(spec);
+
+        core::EngineOptions opts;
+        opts.online.epsilon = p.Double(0.1, 0.4);
+        opts.online.min_predicted_ratio = 0.05;
+        opts.online.regret_budget_seconds = p.Double(0.5, 10.0);
+        opts.online.refresh_every = static_cast<int>(p.Int(6, 24));
+        opts.online.publish_every = static_cast<int>(p.Int(4, 12));
+        opts.online.seed = static_cast<uint64_t>(p.Int(1, 1 << 30));
+        opts.warm_start = p.Bool(0.7);
+        opts.delta_publication = p.Bool(0.8);
+
+        core::AlsOptions als;
+        als.rank = static_cast<int>(p.Int(1, 3));
+        als.iterations = 12;
+        als.seed = static_cast<uint64_t>(p.Int(1, 1 << 30));
+
+        // Random op schedule, and a random op boundary to die at. The
+        // remaining schedule must serve at least one epoch or the property
+        // is vacuous.
+        const int num_ops = static_cast<int>(p.Int(3, 7));
+        std::vector<Op> ops;
+        uint64_t total = 0;
+        for (int i = 0; i < num_ops; ++i) {
+          switch (p.Int(0, 3)) {
+            case 0: {
+              const int len = static_cast<int>(p.Int(6, 30));
+              ops.push_back({OpKind::kEpoch, len});
+              total += static_cast<uint64_t>(len);
+              break;
+            }
+            case 1:
+              ops.push_back({OpKind::kObserve, static_cast<int>(p.Int(0, 999))});
+              break;
+            case 2:
+              if (append_budget > 0) {
+                const int c = static_cast<int>(p.Int(1, append_budget));
+                append_budget -= c;
+                ops.push_back({OpKind::kAppend, c});
+                break;
+              }
+              [[fallthrough]];
+            default:
+              ops.push_back({OpKind::kRefit, 0});
+              break;
+          }
+        }
+        const int kill_after = static_cast<int>(p.Int(0, num_ops - 1));
+        bool tail_epoch = false;
+        for (size_t i = static_cast<size_t>(kill_after) + 1; i < ops.size();
+             ++i) {
+          tail_epoch |= ops[i].kind == OpKind::kEpoch;
+        }
+        if (!tail_epoch) {
+          ops.push_back({OpKind::kEpoch, 16});
+          total += 16;
+        }
+
+        // Reference engine A: lives through the whole schedule, but writes
+        // a checkpoint through the real file format at the kill boundary.
+        auto als_a = std::make_unique<core::AlsCompleter>(als);
+        core::CompleterPredictor pred_a(std::move(als_a));
+        core::ExplorationEngine a(SeedMatrix(backend, init_rows, hints),
+                                  &pred_a, opts);
+        a.SyncEpoch();
+
+        const std::string path = UniqueCheckpointPath("kill_restore");
+        std::vector<TraceEntry> trace_a(total);
+        uint64_t seq_a = 0;
+        uint64_t kill_seq = 0;
+        for (size_t i = 0; i < ops.size(); ++i) {
+          ApplyOp(a, backend, ops[i], /*threads=*/1, &seq_a, &trace_a);
+          if (i == static_cast<size_t>(kill_after)) {
+            const Status saved =
+                core::SaveEngineCheckpointToFile(a.MakeCheckpoint(), path);
+            if (!saved.ok()) {
+              std::fprintf(stderr, "save failed: %s\n",
+                           saved.message().c_str());
+              return false;
+            }
+            kill_seq = seq_a;
+          }
+        }
+
+        // Twins: fresh engine + fresh completer restored from the file,
+        // replaying the post-kill schedule at several thread counts.
+        for (const int threads : {1, 2, 4}) {
+          StatusOr<core::EngineCheckpoint> loaded =
+              core::LoadEngineCheckpointFromFile(path);
+          if (!loaded.ok()) {
+            std::fprintf(stderr, "load failed: %s\n",
+                         loaded.status().message().c_str());
+            return false;
+          }
+          auto als_b = std::make_unique<core::AlsCompleter>(als);
+          core::CompleterPredictor pred_b(std::move(als_b));
+          core::ExplorationEngine b(core::WorkloadMatrix(1, hints), &pred_b,
+                                    opts);
+          b.RestoreFromCheckpoint(std::move(*loaded));
+
+          std::vector<TraceEntry> trace_b(total);
+          uint64_t seq_b = kill_seq;
+          for (size_t i = static_cast<size_t>(kill_after) + 1; i < ops.size();
+               ++i) {
+            ApplyOp(b, backend, ops[i], threads, &seq_b, &trace_b);
+          }
+          if (seq_b != seq_a) {
+            std::fprintf(stderr, "twin served to %llu, reference to %llu\n",
+                         static_cast<unsigned long long>(seq_b),
+                         static_cast<unsigned long long>(seq_a));
+            return false;
+          }
+          for (uint64_t s = kill_seq; s < seq_a; ++s) {
+            const TraceEntry& ea = trace_a[s];
+            const TraceEntry& eb = trace_b[s];
+            if (ea.valid != eb.valid || ea.query != eb.query ||
+                ea.hint != eb.hint || ea.latency != eb.latency) {
+              std::fprintf(
+                  stderr,
+                  "trace diverges at seq %llu (threads=%d): "
+                  "ref (q=%d h=%d lat=%.17g) twin (q=%d h=%d lat=%.17g)\n",
+                  static_cast<unsigned long long>(s), threads, ea.query,
+                  ea.hint, ea.latency, eb.query, eb.hint, eb.latency);
+              return false;
+            }
+          }
+          if (!MatricesIdentical(a.matrix(), b.matrix())) return false;
+          if (a.regret_spent() != b.regret_spent() ||
+              a.explorations() != b.explorations()) {
+            std::fprintf(stderr,
+                         "ledger diverges: ref (%.17g, %d) twin (%.17g, %d)\n",
+                         a.regret_spent(), a.explorations(), b.regret_spent(),
+                         b.explorations());
+            return false;
+          }
+        }
+        std::remove(path.c_str());
+        return true;
+      },
+      config);
+}
+
+// ---------------------------------------------------------------------------
+// Restore mechanics: rewind, republication, and the save/load/save format
+// fixed point.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointFormatTest, SaveLoadSaveIsByteIdentical) {
+  ScenarioSpec spec;
+  spec.num_queries = 14;
+  spec.num_hints = 6;
+  spec.seed = 41;
+  const SyntheticBackend backend(spec);
+  core::AlsOptions als;
+  als.rank = 2;
+  auto completer = std::make_unique<core::AlsCompleter>(als);
+  core::CompleterPredictor pred(std::move(completer));
+  core::EngineOptions opts;
+  opts.online.epsilon = 0.25;
+  opts.online.regret_budget_seconds = 4.0;
+  core::ExplorationEngine engine(SeedMatrix(backend, 14, 6), &pred, opts);
+  engine.Observe(3, 2, backend.TrueLatency(3, 2));
+  engine.ObserveCensored(5, 4, 0.75);
+  engine.SyncEpoch();
+  engine.ServeEpoch(0, 32, 2, [&backend](int q, int h, uint64_t s) {
+    return backend.ServeLatency(q, h, s);
+  });
+
+  const core::EngineCheckpoint original = engine.MakeCheckpoint();
+  std::ostringstream first;
+  ASSERT_TRUE(core::SaveEngineCheckpoint(original, first).ok());
+  std::istringstream in(first.str());
+  StatusOr<core::EngineCheckpoint> loaded = core::LoadEngineCheckpoint(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  std::ostringstream second;
+  ASSERT_TRUE(core::SaveEngineCheckpoint(*loaded, second).ok());
+  EXPECT_EQ(first.str(), second.str());
+
+  EXPECT_EQ(loaded->serving_seq, 32u);
+  EXPECT_EQ(loaded->regret_spent, original.regret_spent);
+  EXPECT_EQ(loaded->explorations, original.explorations);
+  EXPECT_EQ(loaded->have_predictions, original.have_predictions);
+  EXPECT_TRUE(MatricesIdentical(loaded->matrix, original.matrix));
+}
+
+TEST(CheckpointRestoreTest, RestoreRewindsServingPlaneAndRepublishes) {
+  ScenarioSpec spec;
+  spec.num_queries = 10;
+  spec.num_hints = 5;
+  spec.seed = 42;
+  const SyntheticBackend backend(spec);
+  core::EngineOptions opts;
+  opts.online.epsilon = 0.2;
+  core::ExplorationEngine a(SeedMatrix(backend, 10, 5), nullptr, opts);
+  a.SyncEpoch();
+  a.ServeEpoch(0, 24, 1, [&backend](int q, int h, uint64_t s) {
+    return backend.ServeLatency(q, h, s);
+  });
+
+  core::ExplorationEngine b(core::WorkloadMatrix(1, 5), nullptr, opts);
+  b.RestoreFromCheckpoint(a.MakeCheckpoint());
+  // The serving plane resumes exactly where the drained prefix ended...
+  EXPECT_EQ(b.AcquireServingIndex(), 24u);
+  // ...and a fresh snapshot of the restored state is already published.
+  const std::shared_ptr<const core::ServingSnapshot> snap = b.snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->published_seq(), 24u);
+  EXPECT_EQ(snap->num_queries(), 10);
+  EXPECT_TRUE(MatricesIdentical(a.matrix(), b.matrix()));
+  EXPECT_EQ(a.regret_spent(), b.regret_spent());
+}
+
+// ---------------------------------------------------------------------------
+// Warm restart vs cold start: the checkpointed factors must make the first
+// post-restore refit converge in measurably fewer ALS sweeps.
+// ---------------------------------------------------------------------------
+
+TEST(WarmRestartTest, WarmRestartConvergesInFewerSweepsThanColdStart) {
+  ScenarioSpec spec;
+  spec.num_queries = 40;
+  spec.num_hints = 10;
+  spec.latent_rank = 2;
+  spec.seed = 77;
+  const SyntheticBackend backend(spec);
+  core::WorkloadMatrix matrix(40, 10);
+  for (int q = 0; q < 40; ++q) {
+    matrix.Observe(q, 0, backend.TrueLatency(q, 0));
+    for (int j = 1; j < 10; ++j) {
+      if ((q * 3 + j) % 2 == 0) {
+        matrix.Observe(q, j, backend.TrueLatency(q, j));
+      }
+    }
+  }
+  core::AlsOptions als;
+  als.rank = 2;
+  als.iterations = 80;
+  als.convergence_tol = 1e-3;
+  als.seed = 9;
+
+  core::EngineOptions opts;
+  auto als_fit = std::make_unique<core::AlsCompleter>(als);
+  core::CompleterPredictor pred_fit(std::move(als_fit));
+  core::ExplorationEngine fitted(std::move(matrix), &pred_fit, opts);
+  ASSERT_TRUE(fitted.RefreshPredictions(/*force=*/true));
+  const core::EngineCheckpoint warm = fitted.MakeCheckpoint();
+  ASSERT_FALSE(warm.factors.empty());
+
+  // Warm twin: restore factors + predictions, then force a refit.
+  auto als_warm_owned = std::make_unique<core::AlsCompleter>(als);
+  const core::AlsCompleter* als_warm = als_warm_owned.get();
+  core::CompleterPredictor pred_warm(std::move(als_warm_owned));
+  core::ExplorationEngine warm_engine(core::WorkloadMatrix(1, 10), &pred_warm,
+                                      opts);
+  warm_engine.RestoreFromCheckpoint(warm);
+  ASSERT_TRUE(warm_engine.RefreshPredictions(/*force=*/true));
+
+  // Cold twin: same matrix, but the factor state is gone (the situation
+  // after a crash with no checkpoint — or a rejected one).
+  core::EngineCheckpoint cold = warm;
+  cold.factors.clear();
+  cold.predictions = linalg::Matrix();
+  cold.have_predictions = false;
+  auto als_cold_owned = std::make_unique<core::AlsCompleter>(als);
+  const core::AlsCompleter* als_cold = als_cold_owned.get();
+  core::CompleterPredictor pred_cold(std::move(als_cold_owned));
+  core::ExplorationEngine cold_engine(core::WorkloadMatrix(1, 10), &pred_cold,
+                                      opts);
+  cold_engine.RestoreFromCheckpoint(cold);
+  ASSERT_TRUE(cold_engine.RefreshPredictions(/*force=*/true));
+
+  EXPECT_LT(als_warm->last_iterations(), als_cold->last_iterations())
+      << "warm restart should resume at (or near) the ALS fixed point";
+}
+
+// ---------------------------------------------------------------------------
+// Rejection + fallback: a damaged checkpoint must fail loudly, and the
+// caller's recovery is a legal cold start.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointRecoveryTest, CorruptedCheckpointIsRejectedWithColdFallback) {
+  ScenarioSpec spec;
+  spec.num_queries = 8;
+  spec.num_hints = 4;
+  spec.seed = 55;
+  const SyntheticBackend backend(spec);
+  core::EngineOptions opts;
+  core::ExplorationEngine engine(SeedMatrix(backend, 8, 4), nullptr, opts);
+  engine.SyncEpoch();
+  const std::string path = UniqueCheckpointPath("corrupt");
+  ASSERT_TRUE(core::SaveEngineCheckpointToFile(engine.MakeCheckpoint(), path)
+                  .ok());
+
+  // Flip one payload byte: the CRC must catch it.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    bytes = os.str();
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  std::string corrupted = bytes;
+  corrupted[bytes.size() / 2] ^= 0x5a;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << corrupted;
+  }
+  const StatusOr<core::EngineCheckpoint> flipped =
+      core::LoadEngineCheckpointFromFile(path);
+  EXPECT_FALSE(flipped.ok());
+  EXPECT_FALSE(flipped.status().message().empty());
+
+  // Truncation (the torn write a non-atomic writer would leave behind).
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes.substr(0, bytes.size() / 3);
+  }
+  const StatusOr<core::EngineCheckpoint> truncated =
+      core::LoadEngineCheckpointFromFile(path);
+  EXPECT_FALSE(truncated.ok());
+
+  // The documented recovery: treat "no usable checkpoint" as a cold start.
+  // An empty-backend bring-up is legal and grows through AppendQueries.
+  if (!truncated.ok()) {
+    core::ExplorationEngine cold(core::WorkloadMatrix(0, 4), nullptr, opts);
+    EXPECT_EQ(cold.AppendQueries(8), 0);
+    for (int q = 0; q < 8; ++q) cold.Observe(q, 0, backend.TrueLatency(q, 0));
+    cold.SyncEpoch();
+    cold.ServeEpoch(0, 16, 2, [&backend](int q, int h, uint64_t s) {
+      return backend.ServeLatency(q, h, s);
+    });
+    EXPECT_EQ(cold.drained_servings(), 16u);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Free-running cadence: the train loop writes checkpoints while serving
+// threads keep running, every write is crash-atomic (a concurrent reader
+// never sees a torn file), and the final checkpoint agrees exactly with
+// the engine that wrote it.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointCadenceTest, FreeRunningTrainLoopWritesConsistentCheckpoints) {
+  constexpr uint64_t kTotal = 1500;
+  constexpr int kRows = 16;
+  constexpr int kHints = 6;
+  ScenarioSpec spec;
+  spec.num_queries = kRows;
+  spec.num_hints = kHints;
+  spec.seed = 99;
+  const SyntheticBackend backend(spec);
+
+  const std::string path = UniqueCheckpointPath("cadence");
+  core::EngineOptions opts;
+  opts.online.epsilon = 0.2;
+  opts.online.regret_budget_seconds = 5.0;
+  opts.online.publish_every = 8;
+  opts.online.seed = 11;
+  opts.queue_capacity = 64;
+  opts.checkpoint_path = path;
+  opts.checkpoint_every = 25;
+  core::ExplorationEngine engine(SeedMatrix(backend, kRows, kHints), nullptr,
+                                 opts);
+  engine.StartTraining();
+
+  // A concurrent reader plays the post-crash restart: every checkpoint it
+  // manages to open must parse — rename atomicity means it sees either the
+  // previous complete file or the current complete one, never a torn mix.
+  std::atomic<bool> done{false};
+  std::atomic<int> reads_ok{0};
+  std::atomic<int> torn_reads{0};
+  std::thread reader([&] {
+    bool last_pass = false;
+    while (true) {
+      const StatusOr<core::EngineCheckpoint> c =
+          core::LoadEngineCheckpointFromFile(path);
+      if (c.ok()) {
+        reads_ok.fetch_add(1);
+        if (c->serving_seq > kTotal || c->matrix.num_queries() != kRows ||
+            c->matrix.num_hints() != kHints) {
+          torn_reads.fetch_add(1);
+        }
+      } else if (reads_ok.load() > 0) {
+        // Once one checkpoint exists, a reader must never fail again.
+        torn_reads.fetch_add(1);
+      }
+      if (last_pass) break;
+      if (done.load()) last_pass = true;  // one final read after shutdown
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> servers;
+  for (int t = 0; t < 2; ++t) {
+    servers.emplace_back([&] {
+      std::shared_ptr<const core::ServingSnapshot> snap = engine.snapshot();
+      uint64_t version = snap->version();
+      while (true) {
+        const uint64_t s = engine.AcquireServingIndex();
+        if (s >= kTotal) break;
+        if (engine.snapshot_version() != version) {
+          snap = engine.snapshot();
+          version = snap->version();
+        }
+        const int q = static_cast<int>(s % kRows);
+        const int h = snap->ChooseHint(q, s);
+        engine.Report(
+            snap->MakeObservation(s, q, h, backend.ServeLatency(q, h, s)));
+      }
+    });
+  }
+  for (std::thread& t : servers) t.join();
+  engine.StopTraining();
+  done.store(true);
+  reader.join();
+
+  EXPECT_GE(engine.checkpoints_written(), 2u)
+      << "the cadence plus the final StopTraining write";
+  EXPECT_EQ(torn_reads.load(), 0);
+  EXPECT_GT(reads_ok.load(), 0);
+
+  // The final checkpoint is exactly the engine that wrote it.
+  const StatusOr<core::EngineCheckpoint> final_ckpt =
+      core::LoadEngineCheckpointFromFile(path);
+  ASSERT_TRUE(final_ckpt.ok()) << final_ckpt.status().message();
+  EXPECT_EQ(final_ckpt->serving_seq, kTotal);
+  EXPECT_TRUE(MatricesIdentical(final_ckpt->matrix, engine.matrix()));
+  EXPECT_EQ(final_ckpt->regret_spent, engine.regret_spent());
+  EXPECT_EQ(final_ckpt->explorations, engine.explorations());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace limeqo::scenarios

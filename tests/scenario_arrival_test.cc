@@ -148,21 +148,88 @@ TEST(ArrivalPropertyTest, RandomArrivalSchedulesKeepAllInvariants) {
       config);
 }
 
-// The grid's arrival worlds must be present and cover the Fig. 9 shape.
+// The grid's arrival worlds must be present and cover the Fig. 9 shape,
+// plus the cold-start fleet world where the arrival schedule *is* the
+// whole workload.
 TEST(ArrivalGridTest, GridContainsArrivalWorlds) {
   int with_arrivals = 0;
   int with_both_shifts = 0;
+  int cold_starts = 0;
   for (const ScenarioSpec& s : ScenarioGrid()) {
     if (s.arrivals.empty()) continue;
     ++with_arrivals;
     int arriving = 0;
     for (const ArrivalEvent& a : s.arrivals) arriving += a.count;
-    EXPECT_LT(arriving, s.num_queries) << s.name;
+    EXPECT_LE(arriving, s.num_queries) << s.name;
+    if (arriving == s.num_queries) ++cold_starts;
     if (!s.drift.empty()) ++with_both_shifts;
   }
   EXPECT_GE(with_arrivals, 3);
   EXPECT_GE(with_both_shifts, 1)
       << "need a world where drift and arrivals interleave";
+  EXPECT_GE(cold_starts, 1)
+      << "need a cold-start fleet world (arrivals cover every query)";
+}
+
+// ---------------------------------------------------------------------------
+// Cold start: an explorer stood up over an empty workload (zero rows) must
+// be fully functional — nothing to explore, nothing observed — and must
+// grow into a complete grid world through AddNewQueries alone.
+// ---------------------------------------------------------------------------
+
+TEST(ColdStartTest, EmptyExplorerGrowsToFullWorldViaArrivalsAlone) {
+  ScenarioSpec spec;
+  spec.num_queries = 24;
+  spec.equivalence_class_size = 2;
+  spec.seed = 23;
+  SyntheticBackend backend(spec);
+  core::GreedyPolicy policy;
+  core::ExplorerOptions options;
+  options.initial_queries = 0;  // fleet bring-up: no traffic attached yet
+  options.seed = 7;
+  core::OfflineExplorer explorer(&backend, &policy, options);
+
+  // The empty engine is legal and inert: no rows, no observations, and an
+  // Explore call finds nothing to do (and charges nothing).
+  EXPECT_EQ(explorer.matrix().num_queries(), 0);
+  explorer.Explore(backend.DefaultWorkloadLatency());
+  EXPECT_EQ(explorer.offline_seconds(), 0.0);
+  EXPECT_EQ(explorer.num_executions(), 0);
+
+  // Traffic attaches in bursts; every burst joins with exactly its default
+  // plan class observed, like any other arrival.
+  explorer.AddNewQueries(10);
+  explorer.AddNewQueries(14);
+  ASSERT_EQ(explorer.matrix().num_queries(), spec.num_queries);
+  for (int q = 0; q < spec.num_queries; ++q) {
+    EXPECT_TRUE(explorer.matrix().IsComplete(q, 0)) << "row " << q;
+  }
+
+  // From here the grown engine explores exactly like a warm-started one.
+  const std::vector<core::TrajectoryPoint> trajectory =
+      explorer.Explore(0.4 * backend.DefaultWorkloadLatency());
+  EXPECT_GT(explorer.num_executions(), 0);
+  for (size_t t = 1; t < trajectory.size(); ++t) {
+    EXPECT_LE(trajectory[t].workload_latency,
+              trajectory[t - 1].workload_latency + 1e-9);
+  }
+  EXPECT_LT(explorer.WorkloadLatency(), backend.DefaultWorkloadLatency());
+}
+
+// The full driver runs the cold-start grid world end to end (offline +
+// online serving) with every invariant intact.
+TEST(ColdStartTest, ColdStartFleetWorldRunsCleanThroughTheDriver) {
+  const std::vector<ScenarioSpec> grid = ScenarioGrid();
+  const auto it =
+      std::find_if(grid.begin(), grid.end(), [](const ScenarioSpec& s) {
+        return s.name == "cold-start-fleet";
+      });
+  ASSERT_NE(it, grid.end());
+  const SimulationResult result =
+      SimulationDriver(*it).Run(PolicyKind::kModelGuided, CompleterKind::kAls);
+  EXPECT_TRUE(result.ok()) << result.Summary();
+  EXPECT_EQ(result.arrivals, it->num_queries);
+  EXPECT_LT(result.final_latency, result.default_latency);
 }
 
 }  // namespace

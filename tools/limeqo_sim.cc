@@ -12,6 +12,7 @@
 //              --load=ceb_matrix.txt --save=ceb_matrix.txt
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +28,7 @@
 #include "core/explorer.h"
 #include "core/serialization.h"
 #include "core/simdb_backend.h"
+#include "scenarios/faulty_backend.h"
 #include "workloads/workloads.h"
 
 namespace limeqo {
@@ -47,6 +49,21 @@ struct Args {
   /// Serving threads for the serving phase (deterministic schedule: the
   /// merged trace is identical at any thread count).
   int serve_threads = 1;
+  /// Directory for crash-consistent engine checkpoints: one is written
+  /// after exploration and after every serving epoch (atomic temp + fsync
+  /// + rename, so a kill at any instant leaves a loadable file).
+  std::string checkpoint_dir;
+  /// Warm-restart from an engine checkpoint written by --checkpoint-dir.
+  /// An unusable checkpoint (truncated, corrupted, wrong shape) is
+  /// reported and the run falls back to a cold start.
+  std::string restore;
+  /// Fault world for the serving phase (see FaultWorlds(): none, flaky,
+  /// spiky, storms, chaos). Failed servings retry up to --max-retries
+  /// times, then degrade to the default hint (non-exploratory, zero
+  /// regret).
+  std::string faults;
+  /// Retries before a faulted serving degrades to the default hint.
+  int max_retries = 3;
 };
 
 void Usage() {
@@ -61,6 +78,14 @@ void Usage() {
       "                  [--save=PATH]  save the matrix afterwards\n"
       "                  [--serve=N]    online servings after exploring\n"
       "                  [--serve-threads=T]  serving threads (default 1)\n"
+      "                  [--checkpoint-dir=DIR]  write crash-consistent\n"
+      "                                 engine checkpoints to DIR/engine.ckpt\n"
+      "                  [--restore=PATH]  warm-restart from a checkpoint\n"
+      "                                 (falls back to cold start if unusable)\n"
+      "                  [--faults=W]   serving fault world: none|flaky|\n"
+      "                                 spiky|storms|chaos\n"
+      "                  [--max-retries=N]  serving retries before degrading\n"
+      "                                 to the default hint (default 3)\n"
       "                  [--list]      list workloads and exit\n");
 }
 
@@ -89,6 +114,14 @@ bool Parse(int argc, char** argv, Args* args) {
       args->serve = std::atoi(v);
     } else if (const char* v = value("--serve-threads=")) {
       args->serve_threads = std::atoi(v);
+    } else if (const char* v = value("--checkpoint-dir=")) {
+      args->checkpoint_dir = v;
+    } else if (const char* v = value("--restore=")) {
+      args->restore = v;
+    } else if (const char* v = value("--faults=")) {
+      args->faults = v;
+    } else if (const char* v = value("--max-retries=")) {
+      args->max_retries = std::atoi(v);
     } else if (arg == "--list") {
       args->list = true;
     } else {
@@ -152,6 +185,47 @@ int Run(const Args& args) {
   core::OfflineExplorer explorer(&backend, policy.get(),
                                  core::ExplorerOptions{});
 
+  scenarios::FaultSpec fault_spec;
+  if (!args.faults.empty()) {
+    StatusOr<scenarios::FaultSpec> world =
+        scenarios::FaultWorldByName(args.faults);
+    if (!world.ok()) {
+      std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
+      return 2;
+    }
+    fault_spec = *world;
+  }
+  const std::string checkpoint_path =
+      args.checkpoint_dir.empty() ? std::string()
+                                  : args.checkpoint_dir + "/engine.ckpt";
+
+  if (!args.restore.empty()) {
+    StatusOr<core::EngineCheckpoint> ckpt =
+        core::LoadEngineCheckpointFromFile(args.restore);
+    if (!ckpt.ok()) {
+      // The documented recovery: any unusable checkpoint means cold start.
+      std::fprintf(stderr,
+                   "checkpoint unusable (%s); starting cold instead\n",
+                   ckpt.status().ToString().c_str());
+    } else if (ckpt->matrix.num_queries() != db->num_queries() ||
+               ckpt->matrix.num_hints() != db->num_hints()) {
+      std::fprintf(stderr,
+                   "checkpoint shape %dx%d does not match workload %dx%d "
+                   "(same --workload/--scale/--seed?); starting cold\n",
+                   ckpt->matrix.num_queries(), ckpt->matrix.num_hints(),
+                   db->num_queries(), db->num_hints());
+    } else {
+      std::printf(
+          "warm restart from %s: %d complete / %d censored cells, serving "
+          "seq %llu, regret spent %.2f s\n",
+          args.restore.c_str(), ckpt->matrix.NumComplete(),
+          ckpt->matrix.NumCensored(),
+          static_cast<unsigned long long>(ckpt->serving_seq),
+          ckpt->regret_spent);
+      explorer.engine().RestoreFromCheckpoint(std::move(*ckpt));
+    }
+  }
+
   if (!args.load.empty()) {
     StatusOr<core::WorkloadMatrix> loaded =
         core::LoadWorkloadMatrixFromFile(args.load);
@@ -176,6 +250,14 @@ int Run(const Args& args) {
 
   const double before = explorer.WorkloadLatency();
   explorer.Explore(args.budget * db->DefaultTotal());
+  if (!checkpoint_path.empty()) {
+    Status st = core::SaveEngineCheckpointToFile(
+        explorer.engine().MakeCheckpoint(), checkpoint_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "checkpoint failed: %s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
   std::printf(
       "%s on %s (n=%d): %.0f s -> %.0f s of %.0f s default (optimal %.0f "
       "s)\n"
@@ -206,14 +288,54 @@ int Run(const Args& args) {
     const double before_serving = explorer.WorkloadLatency();
     const auto t0 = std::chrono::steady_clock::now();
     const int epoch_len = online.refresh_every;
-    for (int epoch = 0; epoch < args.serve; epoch += epoch_len) {
-      const int end = std::min(args.serve, epoch + epoch_len);
+    // A warm restart resumes the serving sequence where the checkpoint
+    // left off; a fresh engine starts at 0.
+    const uint64_t base = engine.drained_servings();
+    // Serving faults retry up to max_retries attempts, then degrade to the
+    // default hint — reported non-exploratory with zero regret, so fault
+    // cost never touches the exploration ledger. The counters are atomics
+    // because the resolver runs on the serving threads.
+    std::atomic<long> serve_failures{0};
+    std::atomic<long> serve_fallbacks{0};
+    const auto resolve = [&](int q, int chosen,
+                             uint64_t seq) -> core::ServedOutcome {
+      core::ServedOutcome out;
+      out.hint = chosen;
+      for (int attempt = 0;; ++attempt) {
+        if (!scenarios::FaultyBackend::AttemptFails(fault_spec, q, out.hint,
+                                                    seq, attempt)) {
+          break;
+        }
+        serve_failures.fetch_add(1, std::memory_order_relaxed);
+        if (attempt >= args.max_retries) {
+          out.hint = 0;  // graceful degradation: serve the default plan
+          out.degraded = true;
+          serve_fallbacks.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
       // The online path always runs to completion; the simulated latency
       // is the database's ground truth.
-      engine.ServeEpoch(epoch, end, threads,
-                        [&](int q, int hint, uint64_t) {
-                          return db->TrueLatency(q, hint);
-                        });
+      out.latency = db->TrueLatency(q, out.hint);
+      return out;
+    };
+    for (uint64_t epoch = base; epoch < base + args.serve;
+         epoch += epoch_len) {
+      const uint64_t end =
+          std::min<uint64_t>(base + args.serve, epoch + epoch_len);
+      engine.ServeEpochResolved(epoch, end, threads, resolve);
+      if (!checkpoint_path.empty()) {
+        // Epoch boundaries are op boundaries: the drained matrix, the
+        // ledger, and the published snapshot agree, so the checkpoint is
+        // warm-restartable bitwise (tests/engine_checkpoint_test.cc).
+        Status st = core::SaveEngineCheckpointToFile(engine.MakeCheckpoint(),
+                                                     checkpoint_path);
+        if (!st.ok()) {
+          std::fprintf(stderr, "checkpoint failed: %s\n",
+                       st.ToString().c_str());
+          return 2;
+        }
+      }
     }
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -225,6 +347,13 @@ int Run(const Args& args) {
         args.serve, threads, wall, args.serve / std::max(wall, 1e-9),
         before_serving, explorer.WorkloadLatency(), engine.explorations(),
         engine.regret_spent(), online.regret_budget_seconds);
+    if (fault_spec.any()) {
+      std::printf(
+          "  fault world '%s': %ld failed serving attempts, %ld degraded "
+          "to the default hint\n",
+          fault_spec.name.c_str(), serve_failures.load(),
+          serve_fallbacks.load());
+    }
     // The predictor is block-scoped; detach it before it goes away.
     engine.SetPredictor(nullptr);
   }
