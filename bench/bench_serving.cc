@@ -15,9 +15,11 @@
 // would show as superlinear slowdown) and staleness blow-ups.
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -42,37 +44,60 @@ double WallSeconds() {
       .count();
 }
 
+/// A warm serving world: matrix seeded the way deployment would (defaults
+/// known, a short offline exploration pass), ALS predictor attached and
+/// refitted, serving options configured, first snapshot published. Shared
+/// by the end-to-end throughput measurement and the pure decision-cost
+/// sweeps so both run over the same snapshot shape.
+struct WarmServingWorld {
+  explicit WarmServingWorld(const scenarios::ScenarioSpec& spec)
+      : backend(spec),
+        explorer(&backend, &policy, MakeExplorerOptions()),
+        predictor(std::make_unique<core::AlsCompleter>(MakeAlsOptions())) {
+    explorer.Explore(0.2 * backend.DefaultWorkloadLatency());
+    core::ExplorationEngine& e = explorer.engine();
+    e.SetPredictor(&predictor);
+    core::OnlineExplorationOptions online;
+    online.epsilon = 0.1;
+    online.min_predicted_ratio = 0.05;
+    online.regret_budget_seconds = 1e9;
+    online.seed = 31;
+    e.ConfigureServing(online);
+    e.RefreshPredictions(/*force=*/true);
+    e.Publish();
+  }
+  core::ExplorationEngine& engine() { return explorer.engine(); }
+
+  static core::ExplorerOptions MakeExplorerOptions() {
+    core::ExplorerOptions options;
+    options.seed = 42;
+    return options;
+  }
+  static core::AlsOptions MakeAlsOptions() {
+    core::AlsOptions als;
+    als.convergence_tol = 1e-3;
+    als.seed = 7;
+    return als;
+  }
+
+  scenarios::SyntheticBackend backend;
+  core::RandomPolicy policy;
+  core::OfflineExplorer explorer;
+  core::CompleterPredictor predictor;
+};
+
 /// One throughput measurement: `threads` serving threads push
 /// kServingsPerConfig servings through a fresh engine while the train
-/// plane free-runs. Returns ns/serving; *staleness_out receives the mean
-/// snapshot age (in servings) at decision time.
+/// plane free-runs. The loop is the production batched protocol (claim 16
+/// indices per atomic RMW, one version probe and one ChooseHints call per
+/// batch, execute + report per serving). Returns ns/serving;
+/// *staleness_out receives the mean snapshot age (in servings) at
+/// decision time.
 double MeasureServing(const scenarios::ScenarioSpec& spec, int threads,
                       double* staleness_out) {
-  scenarios::SyntheticBackend backend(spec);
-
-  // Seed the matrix the way deployment would: defaults known, a short
-  // offline exploration pass for initial verified plans.
-  core::RandomPolicy policy;
-  core::ExplorerOptions options;
-  options.seed = 42;
-  core::OfflineExplorer explorer(&backend, &policy, options);
-  explorer.Explore(0.2 * backend.DefaultWorkloadLatency());
-
-  core::AlsOptions als;
-  als.convergence_tol = 1e-3;
-  als.seed = 7;
-  core::CompleterPredictor predictor(
-      std::make_unique<core::AlsCompleter>(als));
-  core::ExplorationEngine& engine = explorer.engine();
-  engine.SetPredictor(&predictor);
-  core::OnlineExplorationOptions online;
-  online.epsilon = 0.1;
-  online.min_predicted_ratio = 0.05;
-  online.regret_budget_seconds = 1e9;
-  online.seed = 31;
-  engine.ConfigureServing(online);
-  engine.RefreshPredictions(/*force=*/true);
-  engine.Publish();
+  WarmServingWorld world(spec);
+  core::ExplorationEngine& engine = world.engine();
+  scenarios::SyntheticBackend& backend = world.backend;
 
   const int n = backend.num_queries();
   std::vector<double> staleness_sums(threads, 0.0);
@@ -88,23 +113,40 @@ double MeasureServing(const scenarios::ScenarioSpec& spec, int threads,
       uint64_t version = snap->version();
       double stale = 0.0;
       long count = 0;
+      constexpr size_t kBatch = 16;
+      std::array<int, kBatch> queries;
+      std::array<int, kBatch> hints;
       while (true) {
-        const uint64_t seq = engine.AcquireServingIndex();
-        if (seq >= static_cast<uint64_t>(kServingsPerConfig)) break;
-        // Steady-state read path: one relaxed version probe per serving;
+        const uint64_t first =
+            engine.AcquireServingIndices(static_cast<uint64_t>(kBatch));
+        if (first >= static_cast<uint64_t>(kServingsPerConfig)) break;
+        const size_t cnt = static_cast<size_t>(
+            std::min<uint64_t>(kBatch, static_cast<uint64_t>(
+                                           kServingsPerConfig) -
+                                           first));
+        // Steady-state read path: one relaxed version probe per batch;
         // the shared_ptr swap only happens when the train plane published.
         if (engine.snapshot_version() != version) {
           snap = engine.snapshot();
           version = snap->version();
         }
-        if (seq > snap->published_seq()) {
-          stale += static_cast<double>(seq - snap->published_seq());
+        if (first > snap->published_seq()) {
+          stale += static_cast<double>(first - snap->published_seq()) *
+                   static_cast<double>(cnt);
         }
-        const int q = static_cast<int>(seq % n);
-        const int hint = snap->ChooseHint(q, seq);
-        const double latency = backend.ServeLatency(q, hint, seq);
-        engine.Report(snap->MakeObservation(seq, q, hint, latency));
-        ++count;
+        for (size_t i = 0; i < cnt; ++i) {
+          queries[i] = static_cast<int>((first + i) % n);
+        }
+        snap->ChooseHints(std::span<const int>(queries.data(), cnt), first,
+                          std::span<int>(hints.data(), cnt));
+        for (size_t i = 0; i < cnt; ++i) {
+          const uint64_t seq = first + i;
+          const double latency =
+              backend.ServeLatency(queries[i], hints[i], seq);
+          engine.Report(
+              snap->MakeObservation(seq, queries[i], hints[i], latency));
+          ++count;
+        }
       }
       staleness_sums[t] = stale;
       served_counts[t] = count;
@@ -124,6 +166,57 @@ double MeasureServing(const scenarios::ScenarioSpec& spec, int threads,
     *staleness_out = served_total > 0 ? stale_total / served_total : 0.0;
   }
   return elapsed / kServingsPerConfig * 1e9;
+}
+
+/// Pure decision cost over a pinned snapshot: no execution, no reporting,
+/// no train thread — just ChooseHint (batch == 1) or ChooseHints
+/// (batch > 1) across `threads` threads deciding disjoint contiguous
+/// sequence ranges. This isolates the decision-kernel cost the end-to-end
+/// loop dilutes with backend execution and queue traffic (and, on a
+/// 1-core container, with train-thread time-slicing). Returns ns/decision;
+/// *checksum accumulates the chosen hints so the loop cannot be optimized
+/// away.
+double MeasureDecisionCost(core::ExplorationEngine& engine, int threads,
+                           int batch, long decisions_per_thread,
+                           long* checksum) {
+  std::shared_ptr<const core::ServingSnapshot> snap = engine.snapshot();
+  const int n = snap->num_queries();
+  std::vector<long> sums(threads, 0);
+  const double t0 = WallSeconds();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const uint64_t begin =
+          static_cast<uint64_t>(t) * static_cast<uint64_t>(decisions_per_thread);
+      const uint64_t end = begin + static_cast<uint64_t>(decisions_per_thread);
+      long sum = 0;
+      if (batch == 1) {
+        for (uint64_t s = begin; s < end; ++s) {
+          sum += snap->ChooseHint(static_cast<int>(s % n), s);
+        }
+      } else {
+        std::vector<int> queries(batch);
+        std::vector<int> hints(batch);
+        for (uint64_t s = begin; s < end; s += static_cast<uint64_t>(batch)) {
+          const size_t cnt = static_cast<size_t>(
+              std::min<uint64_t>(static_cast<uint64_t>(batch), end - s));
+          for (size_t i = 0; i < cnt; ++i) {
+            queries[i] = static_cast<int>((s + i) % n);
+          }
+          snap->ChooseHints(std::span<const int>(queries.data(), cnt), s,
+                            std::span<int>(hints.data(), cnt));
+          for (size_t i = 0; i < cnt; ++i) sum += hints[i];
+        }
+      }
+      sums[t] = sum;
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double elapsed = WallSeconds() - t0;
+  for (int t = 0; t < threads; ++t) *checksum += sums[t];
+  return elapsed /
+         (static_cast<double>(decisions_per_thread) * threads) * 1e9;
 }
 
 /// Publication cost as a function of matrix rows, full-copy vs base+delta.
@@ -312,6 +405,38 @@ int Main(int argc, char** argv) {
     std::printf("    %d thread(s): %.1f ns/serving (%.2fM servings/s), "
                 "mean snapshot staleness %.1f servings\n",
                 threads, ns, 1e3 / ns, staleness);
+  }
+
+  // Pure decision cost: the kernel alone, over a pinned published
+  // snapshot (no execution, queue traffic, or train thread). The scalar
+  // number is the <100 ns ROADMAP target and the perf-smoke regression
+  // metric; the batch sweep (choose_hints_b<batch>_ns, batch x threads)
+  // shows what the batched entry point amortizes.
+  std::printf("\n  pure decision cost (kernel only, pinned snapshot):\n");
+  {
+    WarmServingWorld world(spec);
+    constexpr long kDecisionsPerThread = 2'000'000;
+    long checksum = 0;
+    for (int threads : {1, 2, 4}) {
+      const double scalar_ns =
+          MeasureDecisionCost(world.engine(), threads, /*batch=*/1,
+                              kDecisionsPerThread, &checksum);
+      reporter.Report("choose_hint_scalar_ns", scalar_ns,
+                      kDecisionsPerThread, threads);
+      std::printf("    scalar   %d thread(s): %6.1f ns/decision\n", threads,
+                  scalar_ns);
+      for (int batch : {8, 64, 256}) {
+        const double batch_ns =
+            MeasureDecisionCost(world.engine(), threads, batch,
+                                kDecisionsPerThread, &checksum);
+        char name[48];
+        std::snprintf(name, sizeof(name), "choose_hints_b%d_ns", batch);
+        reporter.Report(name, batch_ns, kDecisionsPerThread, threads);
+        std::printf("    batch=%-3d %d thread(s): %6.1f ns/decision\n",
+                    batch, threads, batch_ns);
+      }
+    }
+    std::printf("    (checksum %ld)\n", checksum);
   }
 
   // Publication cost vs n (k fixed at 16): the ROADMAP's 10^5-query-scale

@@ -69,6 +69,32 @@ class Rng {
   double cached_gaussian_ = 0.0;
 };
 
+/// The first NextUint64() of Rng(seed), computed without constructing the
+/// generator. Rng's constructor expands the seed through four splitmix64
+/// steps, but the first xoshiro256** output reads only state word 1 — the
+/// *second* splitmix64 step — so one finalizer round plus the output
+/// scrambler reproduces `Rng(seed).NextUint64()` bitwise at a fraction of
+/// the setup cost. Hot serving paths that need exactly one draw from a
+/// per-index stream (the per-serving epsilon gate) use this instead of a
+/// full Rng; paths that may need more than one draw (rejection-sampled
+/// picks) must still construct the Rng. Pinned against the full generator
+/// by tests/decision_kernel_test.cc.
+inline uint64_t FirstDraw(uint64_t seed) {
+  uint64_t z = seed + 2 * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  const uint64_t r = z * 5;
+  return ((r << 7) | (r >> 57)) * 9;
+}
+
+/// The first NextDouble() of Rng(seed) (uniform in [0, 1)), via FirstDraw.
+/// `FirstUniform(seed) < p` is bitwise-equivalent to
+/// `Rng(seed).Bernoulli(p)`.
+inline double FirstUniform(uint64_t seed) {
+  return static_cast<double>(FirstDraw(seed) >> 11) * 0x1.0p-53;
+}
+
 /// splitmix64-style finalizer combining two words into one well-mixed seed.
 /// Used for domain separation: deriving independent, reproducible streams
 /// (per module, per cell, per drift generation) from a single master seed

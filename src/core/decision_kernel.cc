@@ -1,0 +1,20 @@
+#include "core/decision_kernel.h"
+
+namespace limeqo::core {
+
+HintScan ScanHintRow(const CellState* states, const double* predictions,
+                     int num_hints) {
+  HintScan scan;
+  scan.have_predictions = predictions != nullptr;
+  for (int j = 0; j < num_hints; ++j) {
+    if (states[j] != CellState::kUnobserved) continue;
+    ++scan.unobserved_count;
+    if (predictions != nullptr && predictions[j] < scan.best_unobserved_pred) {
+      scan.best_unobserved_pred = predictions[j];
+      scan.best_unobserved = j;
+    }
+  }
+  return scan;
+}
+
+}  // namespace limeqo::core

@@ -3,6 +3,7 @@
 #include "core/online.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -10,10 +11,6 @@
 
 namespace limeqo::core {
 namespace {
-
-// Domain-separation tags for the per-serving decision streams.
-constexpr uint64_t kGateStream = 0x47415445u;  // "GATE"
-constexpr uint64_t kPickStream = 0x5049434Bu;  // "PICK"
 
 size_t RoundUpPow2(size_t v) {
   size_t p = 64;
@@ -34,12 +31,20 @@ ServingSnapshot::RowView ServingSnapshot::Row(int query) const {
                                      delta_queries_.end(), query);
     if (it != delta_queries_.end() && *it == query) {
       const size_t slot = static_cast<size_t>(it - delta_queries_.begin());
-      return {delta_verified_best_[slot], delta_verified_latency_[slot],
-              &delta_states_[slot * static_cast<size_t>(num_hints_)]};
+      return {delta_verified_best_[slot],
+              delta_verified_latency_[slot],
+              &delta_states_[slot * static_cast<size_t>(num_hints_)],
+              delta_best_unobserved_[slot],
+              delta_best_unobserved_pred_[slot],
+              delta_unobserved_count_[slot]};
     }
   }
-  return {base_->verified_best[query], base_->verified_latency[query],
-          &base_->states[static_cast<size_t>(query) * num_hints_]};
+  return {base_->verified_best[query],
+          base_->verified_latency[query],
+          &base_->states[static_cast<size_t>(query) * num_hints_],
+          base_->best_unobserved[query],
+          base_->best_unobserved_pred[query],
+          base_->unobserved_count[query]};
 }
 
 int ServingSnapshot::VerifiedHint(int query) const {
@@ -57,58 +62,89 @@ CellState ServingSnapshot::state(int query, int hint) const {
 
 int ServingSnapshot::ChooseHint(int query, uint64_t serving_index) const {
   const RowView row = Row(query);
-  const int verified = row.verified_best;
+  DecisionInputs in;
+  in.verified_best = row.verified_best;
+  in.verified_latency = row.verified_latency;
+  in.states = row.states;
+  in.num_hints = num_hints_;
+  // The frozen ledger: regret charged since publication is invisible here
+  // by design (see the regret accounting contract in docs/ARCHITECTURE.md).
+  in.regret_spent = regret_spent_;
   const OnlineExplorationOptions& opt = options_;
-  if (opt.epsilon <= 0.0 || budget_exhausted()) return verified;
-  // The epsilon gate for serving s is its own stream: a pure function of
-  // (seed, s), so the gate sequence is identical no matter which thread
-  // serves which index.
-  Rng gate(MixSeed(gate_seed_, serving_index));
-  if (!gate.Bernoulli(opt.epsilon)) return verified;
+  return DecideServingHint(
+      opt, in,
+      // The epsilon gate for serving s is its own stream — a pure function
+      // of (seed, s), so the gate sequence is identical no matter which
+      // thread serves which index. It consumes exactly one draw, so
+      // FirstUniform skips the full generator setup while staying
+      // bitwise-equal to Rng(MixSeed(...)).Bernoulli(epsilon).
+      [&] {
+        return FirstUniform(MixSeed(gate_seed_, serving_index)) < opt.epsilon;
+      },
+      // The model scan ran at publication time (ScanHintRow per dirty row);
+      // serving just reads the row precompute.
+      [&] {
+        HintScan scan;
+        scan.have_predictions = have_predictions_;
+        scan.best_unobserved = row.best_unobserved;
+        scan.best_unobserved_pred = row.best_unobserved_pred;
+        scan.unobserved_count = row.unobserved_count;
+        return scan;
+      },
+      // The pick may need several draws (rejection sampling), so it pays
+      // for a full per-index generator — but only on fallback servings.
+      [&](uint64_t n) {
+        Rng pick_rng(MixSeed(pick_seed_, serving_index));
+        return pick_rng.NextUint64Below(n);
+      });
+}
 
-  // Per-serving risk gate against the *frozen* ledger: regret charged
-  // since publication is invisible here by design (see the regret
-  // accounting contract in docs/ARCHITECTURE.md).
-  const double remaining =
-      std::max(opt.regret_budget_seconds - regret_spent_, 0.0);
-  const double baseline = row.verified_latency;
-  if (std::isfinite(baseline) &&
-      baseline > opt.max_baseline_budget_fraction * remaining) {
-    return verified;
+void ServingSnapshot::ChooseHints(std::span<const int> queries,
+                                  uint64_t first_seq,
+                                  std::span<int> out) const {
+  LIMEQO_CHECK(out.size() >= queries.size());
+  const size_t count = queries.size();
+  const OnlineExplorationOptions& opt = options_;
+  const bool frozen =
+      opt.epsilon <= 0.0 || regret_spent_ >= opt.regret_budget_seconds;
+  const bool flat = delta_queries_.empty();
+  if (frozen && flat) {
+    // Exploration is off snapshot-wide and there is no overlay: the batch
+    // is a pure gather from the base verified-best array.
+    const int* verified = base_->verified_best.data();
+    for (size_t i = 0; i < count; ++i) {
+      LIMEQO_CHECK(queries[i] >= 0 && queries[i] < num_queries_);
+      out[i] = verified[queries[i]];
+    }
+    return;
   }
-
-  // Predicted-best unobserved hint for the row and its improvement ratio
-  // against the serving baseline (Eq. 6 applied online).
-  if (have_predictions_) {
-    int best_j = -1;
-    double best_pred = std::numeric_limits<double>::infinity();
-    for (int j = 0; j < num_hints_; ++j) {
-      if (row.states[j] != CellState::kUnobserved) continue;
-      if ((*predictions_)(query, j) < best_pred) {
-        best_pred = (*predictions_)(query, j);
-        best_j = j;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t s = first_seq + i;
+    const int query = queries[i];
+    if (frozen) {
+      out[i] = Row(query).verified_best;
+      continue;
+    }
+    // Gate first: on the (1 - epsilon) fast path the decision needs only
+    // the verified-best field, and with an empty overlay that is one array
+    // read — no row resolution, no full DecisionInputs. The gate draw is
+    // the same per-index stream the scalar path uses, so batched and
+    // scalar decisions are identical for every (query, index) pair.
+    if (!(FirstUniform(MixSeed(gate_seed_, s)) < opt.epsilon)) {
+      if (flat) {
+        LIMEQO_CHECK(query >= 0 && query < num_queries_);
+        out[i] = base_->verified_best[query];
+      } else {
+        out[i] = Row(query).verified_best;
       }
+      continue;
     }
-    if (best_j >= 0 && std::isfinite(baseline)) {
-      const double ratio = (baseline - best_pred) / std::max(best_pred, 1e-9);
-      if (ratio >= opt.min_predicted_ratio) return best_j;
-    }
+    // Exploration-eligible serving: run the full kernel. Re-drawing the
+    // gate inside ChooseHint returns the same value (the stream is a pure
+    // function of (seed, s)), so this stays decision-identical to the
+    // scalar path at a cost paid only on the epsilon fraction of servings.
+    out[i] = ChooseHint(query, s);
   }
-  if (!opt.random_fallback) return verified;
-  // Algorithm 1 lines 8-9, online: no promising model candidate, so
-  // bootstrap with a random unobserved hint (regret stays budget-bounded).
-  int unobserved = 0;
-  for (int j = 0; j < num_hints_; ++j) {
-    if (row.states[j] == CellState::kUnobserved) ++unobserved;
-  }
-  if (unobserved == 0) return verified;
-  Rng pick_rng(MixSeed(pick_seed_, serving_index));
-  int pick = static_cast<int>(pick_rng.NextUint64Below(unobserved));
-  for (int j = 0; j < num_hints_; ++j) {
-    if (row.states[j] != CellState::kUnobserved) continue;
-    if (pick-- == 0) return j;
-  }
-  return verified;
 }
 
 ServingObservation ServingSnapshot::MakeObservation(uint64_t seq, int query,
@@ -122,12 +158,11 @@ ServingObservation ServingSnapshot::MakeObservation(uint64_t seq, int query,
   obs.query = query;
   obs.hint = hint;
   obs.latency = latency;
-  obs.exploratory = hint != row.verified_best &&
-                    row.states[hint] != CellState::kComplete;
-  const double baseline = row.verified_latency;
-  if (obs.exploratory && std::isfinite(baseline) && latency > baseline) {
-    obs.regret_delta = latency - baseline;
-  }
+  const ServingClassification c = ClassifyServing(
+      row.verified_best, row.verified_latency,
+      row.states[hint] == CellState::kComplete, hint, latency);
+  obs.exploratory = c.exploratory;
+  obs.regret_delta = c.regret_delta;
   return obs;
 }
 
@@ -216,30 +251,50 @@ void ExplorationEngine::ServeEpochResolved(
   for (uint64_t chunk_begin = begin; chunk_begin < end;
        chunk_begin += chunk) {
     const uint64_t chunk_end = std::min(end, chunk_begin + chunk);
+    auto apply_serving = [&, snap](uint64_t s, int q, int chosen) {
+      // The resolver may substitute a different hint (degradation);
+      // the observation is built for what actually ran.
+      const ServedOutcome out = resolve(q, chosen, s);
+      if (record) record(s, q, out.hint, out.latency);
+      ServingObservation obs =
+          snap->MakeObservation(s, q, out.hint, out.latency);
+      if (out.degraded) {
+        // A degraded fallback is an infrastructure fault, not an
+        // exploration decision: it must neither count against the
+        // exploration budget nor look like a budgeted probe to the
+        // free-gate invariant.
+        obs.exploratory = false;
+        obs.regret_delta = 0.0;
+      }
+      Report(obs);
+    };
     auto serve_lane = [&, snap](int lane) {
       for (uint64_t s = chunk_begin + lane; s < chunk_end;
            s += static_cast<uint64_t>(threads)) {
         const int q = static_cast<int>(s % n);
-        const int chosen = snap->ChooseHint(q, s);
-        // The resolver may substitute a different hint (degradation);
-        // the observation is built for what actually ran.
-        const ServedOutcome out = resolve(q, chosen, s);
-        if (record) record(s, q, out.hint, out.latency);
-        ServingObservation obs =
-            snap->MakeObservation(s, q, out.hint, out.latency);
-        if (out.degraded) {
-          // A degraded fallback is an infrastructure fault, not an
-          // exploration decision: it must neither count against the
-          // exploration budget nor look like a budgeted probe to the
-          // free-gate invariant.
-          obs.exploratory = false;
-          obs.regret_delta = 0.0;
-        }
-        Report(obs);
+        apply_serving(s, q, snap->ChooseHint(q, s));
       }
     };
     if (threads == 1) {
-      serve_lane(0);
+      // A single lane owns a contiguous sequence range, which is exactly
+      // the batched entry point's shape: decide kBatch servings per
+      // ChooseHints call (decision-identical to the scalar calls) and
+      // apply them in order.
+      constexpr size_t kBatch = 64;
+      std::array<int, kBatch> queries;
+      std::array<int, kBatch> hints;
+      for (uint64_t b = chunk_begin; b < chunk_end; b += kBatch) {
+        const size_t cnt =
+            static_cast<size_t>(std::min<uint64_t>(kBatch, chunk_end - b));
+        for (size_t i = 0; i < cnt; ++i) {
+          queries[i] = static_cast<int>((b + static_cast<uint64_t>(i)) % n);
+        }
+        snap->ChooseHints(std::span<const int>(queries.data(), cnt), b,
+                          std::span<int>(hints.data(), cnt));
+        for (size_t i = 0; i < cnt; ++i) {
+          apply_serving(b + static_cast<uint64_t>(i), queries[i], hints[i]);
+        }
+      }
     } else {
       std::vector<std::thread> workers;
       workers.reserve(threads);
@@ -329,18 +384,40 @@ bool ExplorationEngine::RefreshPredictions(bool force) {
 void ExplorationEngine::Publish() {
   const int n = matrix_.num_queries();
   const int k = matrix_.num_hints();
+  // Whether this publication serves predictions — and therefore whether
+  // the per-row precompute below is scanned against them. Predictions only
+  // change on a successful refit or a checkpoint restore, and both
+  // invalidate the base, so rows already in the base were scanned against
+  // exactly these predictions (the precompute invariant in engine.h).
+  const bool serve_predictions =
+      predictions_ != nullptr &&
+      predictions_->rows() == static_cast<size_t>(n) &&
+      predictions_->cols() == static_cast<size_t>(k);
+  const double* pred_rows = serve_predictions ? predictions_->data() : nullptr;
   // The verified-best table is the OnlineOptimizer rule, precomputed per
   // row — delegated to the one implementation so the snapshot path and
-  // the synchronous path can never drift apart.
+  // the synchronous path can never drift apart. The model-scan precompute
+  // (ScanHintRow) rides along: one pass per dirty row at publication makes
+  // the serve-time model and fallback steps O(1).
   const OnlineOptimizer rule(&matrix_);
   const auto fill_row = [&](int q, int* verified_best,
-                            double* verified_latency, CellState* states) {
+                            double* verified_latency, CellState* states,
+                            int* best_unobserved, double* best_unobserved_pred,
+                            int* unobserved_count) {
     const int best = rule.ChooseHint(q);
     *verified_best = best;
     *verified_latency = matrix_.IsComplete(q, best)
                             ? matrix_.observed(q, best)
                             : std::numeric_limits<double>::infinity();
     for (int j = 0; j < k; ++j) states[j] = matrix_.state(q, j);
+    const HintScan scan = ScanHintRow(
+        states,
+        pred_rows != nullptr ? pred_rows + static_cast<size_t>(q) * k
+                             : nullptr,
+        k);
+    *best_unobserved = scan.best_unobserved;
+    *best_unobserved_pred = scan.best_unobserved_pred;
+    *unobserved_count = scan.unobserved_count;
   };
 
   auto snap = std::shared_ptr<ServingSnapshot>(new ServingSnapshot());
@@ -355,9 +432,14 @@ void ExplorationEngine::Publish() {
     base->verified_best.resize(n);
     base->verified_latency.resize(n);
     base->states.resize(static_cast<size_t>(n) * k);
+    base->best_unobserved.resize(n);
+    base->best_unobserved_pred.resize(n);
+    base->unobserved_count.resize(n);
     for (int q = 0; q < n; ++q) {
       fill_row(q, &base->verified_best[q], &base->verified_latency[q],
-               &base->states[static_cast<size_t>(q) * k]);
+               &base->states[static_cast<size_t>(q) * k],
+               &base->best_unobserved[q], &base->best_unobserved_pred[q],
+               &base->unobserved_count[q]);
     }
     base_tables_ = std::move(base);
     dirty_flags_.assign(static_cast<size_t>(n), 0);
@@ -372,24 +454,28 @@ void ExplorationEngine::Publish() {
     snap->delta_verified_best_.resize(rows);
     snap->delta_verified_latency_.resize(rows);
     snap->delta_states_.resize(rows * static_cast<size_t>(k));
+    snap->delta_best_unobserved_.resize(rows);
+    snap->delta_best_unobserved_pred_.resize(rows);
+    snap->delta_unobserved_count_.resize(rows);
     for (size_t i = 0; i < rows; ++i) {
       fill_row(snap->delta_queries_[i], &snap->delta_verified_best_[i],
                &snap->delta_verified_latency_[i],
-               &snap->delta_states_[i * static_cast<size_t>(k)]);
+               &snap->delta_states_[i * static_cast<size_t>(k)],
+               &snap->delta_best_unobserved_[i],
+               &snap->delta_best_unobserved_pred_[i],
+               &snap->delta_unobserved_count_[i]);
     }
   }
   snap->base_ = base_tables_;
   snap->published_seq_ = drained_seq_.load(std::memory_order_relaxed);
   snap->num_queries_ = n;
   snap->num_hints_ = k;
-  snap->have_predictions_ = predictions_ != nullptr &&
-                            predictions_->rows() == static_cast<size_t>(n) &&
-                            predictions_->cols() == static_cast<size_t>(k);
+  snap->have_predictions_ = serve_predictions;
   if (snap->have_predictions_) snap->predictions_ = predictions_;
   snap->regret_spent_ = regret_spent_.load(std::memory_order_relaxed);
   snap->options_ = options_.online;
-  snap->gate_seed_ = MixSeed(options_.online.seed, kGateStream);
-  snap->pick_seed_ = MixSeed(options_.online.seed, kPickStream);
+  snap->gate_seed_ = MixSeed(options_.online.seed, kGateStreamTag);
+  snap->pick_seed_ = MixSeed(options_.online.seed, kPickStreamTag);
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     // Version stamp and published counter come from one fetch_add, so the

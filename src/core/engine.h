@@ -19,66 +19,19 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "core/decision_kernel.h"
 #include "core/predictor.h"
 #include "core/serialization.h"
 #include "core/workload_matrix.h"
 
 namespace limeqo::core {
-
-/// Options for bounded online exploration (shared by the engine's serving
-/// plane and the single-threaded OnlineExplorationOptimizer adapter).
-struct OnlineExplorationOptions {
-  /// Fraction of servings allowed to explore an unverified plan.
-  double epsilon = 0.05;
-  /// Only explore plans whose predicted improvement ratio over the current
-  /// verified best exceeds this (Eq. 6 applied online).
-  double min_predicted_ratio = 0.2;
-  /// Hard cap on cumulative regret: total extra seconds (vs the verified
-  /// best plan) that online exploration may ever cost the workload. Once
-  /// exhausted, behaviour is identical to the plain OnlineOptimizer.
-  double regret_budget_seconds = 60.0;
-  /// Prediction refresh cadence: the completion model is re-run after this
-  /// many matrix updates (predictions go stale as cells fill in). A
-  /// successful refit also rebuilds the snapshot base (see
-  /// EngineOptions::delta_publication), so this is the compaction cadence
-  /// of the delta-publication protocol.
-  int refresh_every = 32;
-  /// Snapshot publication cadence, decoupled from (and typically more
-  /// frequent than) the refit cadence: the free-running train loop
-  /// republishes after this many drained observations, and the
-  /// epoch-synchronized simulation driver uses it as the epoch length.
-  /// Publications between refits are deltas (cheap), so republishing often
-  /// keeps serving decisions fresh without paying O(n*k) per publication.
-  int publish_every = 8;
-  /// Per-serving risk gate: only explore a query whose verified-plan
-  /// latency is at most this fraction of the *remaining* regret budget. A
-  /// single bad probe can cost several multiples of the baseline latency,
-  /// so without the gate one long query can blow the entire budget (and
-  /// overshoot it) in a single serving; with it, exploration concentrates
-  /// on queries it can afford and the budget drains gradually.
-  double max_baseline_budget_fraction = 0.125;
-  /// When an exploration-eligible serving has no model candidate clearing
-  /// min_predicted_ratio, serve a *random* unobserved hint instead (the
-  /// online analogue of Algorithm 1's lines 8-9). Without this the online
-  /// path can never bootstrap: an all-defaults matrix yields flat
-  /// predictions, flat predictions yield no candidates, and no candidate
-  /// ever gets observed. Risk remains bounded by the regret budget.
-  bool random_fallback = true;
-  /// Master seed. The epsilon-gate and fallback-pick streams are derived
-  /// from it with domain separation, and on the snapshot path each serving
-  /// index gets its own stream (a pure function of seed and index), so the
-  /// explore/serve gate sequence cannot be desynchronized by
-  /// prediction-dependent branches or by which thread served which index.
-  /// Two engines with the same seed over the same serving schedule produce
-  /// identical traces, bitwise, at any thread count.
-  uint64_t seed = 31;
-};
 
 /// One serving's observation, produced on the serving plane and drained by
 /// the train plane in `seq` order. `exploratory` and `regret_delta` are
@@ -180,8 +133,21 @@ class ServingSnapshot {
   /// function of (this snapshot, query, serving_index) — the epsilon gate
   /// and the random-fallback pick for index s are drawn from streams
   /// seeded by MixSeed(seed, s), so the decision is independent of call
-  /// order and thread placement. Lock-free and const.
+  /// order and thread placement. Lock-free and const. An adapter over
+  /// DecideServingHint (decision_kernel.h): the model step reads the
+  /// publication-time row precompute, so the decision is O(1) — no per-hint
+  /// scan on the serving path.
   int ChooseHint(int query, uint64_t serving_index) const;
+
+  /// Batched ChooseHint: decides queries[i] at serving index first_seq + i,
+  /// writing the chosen hint to out[i]. Decision-for-decision identical to
+  /// the scalar calls (each index keeps its own gate/pick stream), but
+  /// amortizes the row resolution setup and the snapshot-wide gate checks
+  /// (exhausted budget, empty overlay) across the batch — the free-running
+  /// serving loops and the bench use it to shave per-serving overhead.
+  /// Requires out.size() >= queries.size(). Lock-free and const.
+  void ChooseHints(std::span<const int> queries, uint64_t first_seq,
+                   std::span<int> out) const;
 
   /// Builds the observation record for a served latency: classifies the
   /// serving as exploratory and computes its regret against this
@@ -195,17 +161,35 @@ class ServingSnapshot {
   ServingSnapshot() = default;
 
   /// The full per-row tables, shared across every snapshot published since
-  /// the last base rebuild. Never mutated after construction.
+  /// the last base rebuild. Never mutated after construction. Laid out as
+  /// struct-of-arrays — one contiguous array per field — so the serving
+  /// hot path touches only the cache lines of the fields it reads (the
+  /// non-exploring fast path needs just verified_best) instead of striding
+  /// over interleaved row structs. The last three arrays are the
+  /// publication-time model-scan precompute (ScanHintRow per row): the
+  /// predicted-best unobserved hint, its prediction, and the row's
+  /// unobserved count, making the serve-time model and fallback steps O(1).
+  /// Precompute invariant: whenever the snapshot's have_predictions_ is
+  /// true, every row (base and delta) was scanned against exactly the
+  /// predictions_ the snapshot carries — predictions only change on a
+  /// successful refit or a checkpoint restore, and both invalidate the base.
   struct BaseTables {
     std::vector<int> verified_best;
     std::vector<double> verified_latency;
     std::vector<CellState> states;  // row-major n*k
+    std::vector<int> best_unobserved;
+    std::vector<double> best_unobserved_pred;
+    std::vector<int> unobserved_count;
   };
-  /// One resolved row: either the overlay's copy or the base's.
+  /// One resolved row: either the overlay's copy or the base's, with the
+  /// publication-time scan precompute alongside.
   struct RowView {
     int verified_best;
     double verified_latency;
     const CellState* states;  // num_hints_ entries
+    int best_unobserved;
+    double best_unobserved_pred;
+    int unobserved_count;
   };
   /// Resolves `query` against the delta overlay, falling back to the base.
   RowView Row(int query) const;
@@ -221,6 +205,9 @@ class ServingSnapshot {
   std::vector<int> delta_verified_best_;
   std::vector<double> delta_verified_latency_;
   std::vector<CellState> delta_states_;  // delta_queries_.size() * num_hints_
+  std::vector<int> delta_best_unobserved_;
+  std::vector<double> delta_best_unobserved_pred_;
+  std::vector<int> delta_unobserved_count_;
   /// Shared with the engine and other snapshots: predictions only change
   /// on a successful refit, so publication shares the pointer instead of
   /// copying n*k doubles per epoch.
@@ -337,6 +324,14 @@ class ExplorationEngine {
   /// assign indices themselves instead and must not mix with this.
   uint64_t AcquireServingIndex() {
     return next_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Hands out `count` consecutive serving indices in one fetch_add
+  /// (returns the first; the caller owns [first, first + count)). The
+  /// batched serving loops pair this with ServingSnapshot::ChooseHints so
+  /// a batch pays one atomic RMW instead of one per serving. The same
+  /// report-exactly-once contract applies to every index in the range.
+  uint64_t AcquireServingIndices(uint64_t count) {
+    return next_seq_.fetch_add(count, std::memory_order_relaxed);
   }
   /// Queues one observation. Wait-free unless the queue is a full lap
   /// ahead of the drain (then spins for back-pressure). Thread-safe.

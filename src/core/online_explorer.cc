@@ -25,53 +25,39 @@ int OnlineExplorationOptimizer::ChooseHint(int query) {
   LIMEQO_CHECK(query >= 0 && query < matrix.num_queries());
   ++servings_;
   const int verified = verified_.ChooseHint(query);
-  if (options_.epsilon <= 0.0 || budget_exhausted()) return verified;
-  if (!gate_rng_.Bernoulli(options_.epsilon)) return verified;
-  // Per-serving risk gate: this query's baseline must be small relative to
-  // the remaining budget, or a single bad probe could blow it.
-  if (matrix.IsComplete(query, verified)) {
-    if (matrix.observed(query, verified) >
-        options_.max_baseline_budget_fraction * remaining_regret_budget()) {
-      return verified;
-    }
-  }
-  // The engine refits when stale (or when the matrix grew since the last
-  // refresh) — warm-started from the previous factors.
-  if (!engine_->RefreshPredictions()) return verified;
-  const linalg::Matrix& predictions = engine_->predictions();
-
-  // Predicted-best unobserved hint for the row and its improvement ratio
-  // against the serving baseline (Eq. 6 applied online).
-  const double baseline = matrix.IsComplete(query, verified)
-                              ? matrix.observed(query, verified)
-                              : std::numeric_limits<double>::infinity();
-  int best_j = -1;
-  double best_pred = std::numeric_limits<double>::infinity();
-  for (int j = 0; j < matrix.num_hints(); ++j) {
-    if (!matrix.IsUnobserved(query, j)) continue;
-    if (predictions(query, j) < best_pred) {
-      best_pred = predictions(query, j);
-      best_j = j;
-    }
-  }
-  if (best_j >= 0 && std::isfinite(baseline)) {
-    const double ratio = (baseline - best_pred) / std::max(best_pred, 1e-9);
-    if (ratio >= options_.min_predicted_ratio) return best_j;
-  }
-  if (!options_.random_fallback) return verified;
-  // Lines 8-9 of Algorithm 1, online: no promising model candidate, so
-  // bootstrap with a random unobserved hint (regret stays budget-bounded).
-  int unobserved = 0;
-  for (int j = 0; j < matrix.num_hints(); ++j) {
-    if (matrix.IsUnobserved(query, j)) ++unobserved;
-  }
-  if (unobserved == 0) return verified;
-  int pick = static_cast<int>(pick_rng_.NextUint64Below(unobserved));
-  for (int j = 0; j < matrix.num_hints(); ++j) {
-    if (!matrix.IsUnobserved(query, j)) continue;
-    if (pick-- == 0) return j;
-  }
-  return verified;
+  DecisionInputs in;
+  in.verified_best = verified;
+  in.verified_latency = matrix.IsComplete(query, verified)
+                            ? matrix.observed(query, verified)
+                            : std::numeric_limits<double>::infinity();
+  in.states = matrix.row_states(query);
+  in.num_hints = matrix.num_hints();
+  // The live ledger: this adapter is both planes in one thread, so the
+  // risk gate sees regret the instant it is charged (the budget can be
+  // overshot by at most one serving, not one epoch).
+  in.regret_spent = engine_->regret_spent();
+  return DecideServingHint(
+      options_, in,
+      // Stateful forked streams (not per-index ones): the synchronous
+      // adapter serves from one thread, so sequential draws already make
+      // the gate sequence a pure function of (seed, serving index).
+      [this] { return gate_rng_.Bernoulli(options_.epsilon); },
+      // The scan is lazy — the kernel only invokes it after both gates
+      // pass — so the engine refits (warm-started) only for servings that
+      // can actually explore, preserving the refit cadence. A failed
+      // refresh scans without predictions: the kernel then falls through
+      // to the random-fallback bootstrap exactly like the snapshot path,
+      // instead of the pre-kernel bailout that silently served the
+      // verified plan and could never bootstrap a cold model.
+      [&, this] {
+        const double* preds =
+            engine_->RefreshPredictions()
+                ? engine_->predictions().data() +
+                      static_cast<size_t>(query) * in.num_hints
+                : nullptr;
+        return ScanHintRow(in.states, preds, in.num_hints);
+      },
+      [this](uint64_t n) { return pick_rng_.NextUint64Below(n); });
 }
 
 void OnlineExplorationOptimizer::ReportLatency(int query, int hint,
@@ -81,14 +67,13 @@ void OnlineExplorationOptimizer::ReportLatency(int query, int hint,
   LIMEQO_CHECK(hint >= 0 && hint < matrix.num_hints());
   LIMEQO_CHECK(latency >= 0.0);
   const int verified = verified_.ChooseHint(query);
-  const bool exploratory =
-      hint != verified && !matrix.IsComplete(query, hint);
-  double regret_delta = 0.0;
-  if (exploratory && matrix.IsComplete(query, verified)) {
-    const double baseline = matrix.observed(query, verified);
-    if (latency > baseline) regret_delta = latency - baseline;
-  }
-  engine_->ObserveServing(query, hint, latency, exploratory, regret_delta);
+  const double baseline = matrix.IsComplete(query, verified)
+                              ? matrix.observed(query, verified)
+                              : std::numeric_limits<double>::infinity();
+  const ServingClassification c = ClassifyServing(
+      verified, baseline, matrix.IsComplete(query, hint), hint, latency);
+  engine_->ObserveServing(query, hint, latency, c.exploratory,
+                          c.regret_delta);
 }
 
 }  // namespace limeqo::core

@@ -36,15 +36,23 @@ namespace limeqo::core {
 /// ChooseHint reads the live train-plane matrix (no snapshot staleness),
 /// each ReportLatency applies its observation immediately, and the regret
 /// check is live — so the budget can be overshot by at most one serving.
-/// The adapter's verified-best rule is the same OnlineOptimizer the
-/// engine's snapshot builder delegates to, so the adapter and the delta
-/// snapshot path (full or incremental publication alike) can never
-/// disagree about which plan is verified-best for a given matrix state —
-/// tests/engine_delta_test.cc pins this equivalence.
+/// The decision itself is DecideServingHint (decision_kernel.h), the same
+/// kernel the snapshot path runs: this adapter supplies the live-matrix
+/// row, the live ledger, and its stateful forked gate/pick streams, so the
+/// epsilon/risk/ratio/fallback rule literally cannot drift from the
+/// concurrent path again (it did twice while the two copies were
+/// hand-maintained — see the kernel header). The adapter's verified-best
+/// rule is the same OnlineOptimizer the engine's snapshot builder
+/// delegates to, so the adapter and the delta snapshot path (full or
+/// incremental publication alike) can never disagree about which plan is
+/// verified-best for a given matrix state — tests/engine_delta_test.cc
+/// pins this equivalence.
 /// The gate and fallback-pick streams are forked sequentially from
 /// options.seed exactly as before the refactor, keeping the gate sequence
 /// a pure function of (seed, serving index). Model refreshes go through
-/// the engine and are therefore warm-started.
+/// the engine and are therefore warm-started — and they are *lazy*: the
+/// kernel requests the row scan only after the epsilon and risk gates
+/// pass, so refit work is only ever spent on servings that can explore.
 ///
 /// Protocol per arriving query:
 ///   int hint = opt.ChooseHint(query);

@@ -49,6 +49,13 @@ class WorkloadMatrix {
   void Clear(int query, int hint);
 
   CellState state(int query, int hint) const;
+  /// Contiguous state slice of one row (num_hints entries). Hot serving
+  /// paths (the decision kernel's row scan) read this instead of paying a
+  /// bounds check per cell.
+  const CellState* row_states(int query) const {
+    return &states_[static_cast<size_t>(query) *
+                    static_cast<size_t>(num_hints())];
+  }
   bool IsComplete(int query, int hint) const {
     return state(query, hint) == CellState::kComplete;
   }

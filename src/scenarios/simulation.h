@@ -109,7 +109,9 @@ struct RunConfig {
   /// Timing decides which snapshot each serving sees, so the bitwise
   /// trace contract does not apply; the driver instead checks
   /// *statistical* invariants: a hard snapshot-staleness bound
-  /// (2 * queue capacity + serve_threads + publish_every), gate
+  /// (2 * queue capacity + serve_threads * decision batch +
+  /// publish_every — serving threads claim indices and decide them in
+  /// batches of 16 via ServingSnapshot::ChooseHints), gate
   /// correctness (no exploration ever decided on an exhausted published
   /// ledger), regret bounded by the budget plus an explicit in-flight
   /// slack term, the binomial epsilon cap, and eventual
@@ -261,7 +263,9 @@ struct SimulationResult {
 ///    only on the epoch's snapshot and its serving index, and
 ///    observations are drained in serving order;
 ///  * free-running statistics (free_running mode): snapshot staleness is
-///    hard-bounded by 2 * queue capacity + serve_threads + publish_every,
+///    hard-bounded by 2 * queue capacity + serve_threads * decision batch
+///    + publish_every (threads decide batches of 16 indices per snapshot
+///    probe),
 ///    no exploration is ever decided on a published ledger at/over budget,
 ///    total regret stays within budget plus the largest in-flight window
 ///    any decision could not see, the drained ledger reproduces the

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Serving-bench perf smoke: fail when a watched metric regresses.
+
+Compares a freshly generated BENCH_serving.json against the checked-in
+baseline and exits non-zero when any watched metric is more than
+--max-ratio times slower than the baseline value. Used by CI (the
+"Serving perf smoke" step) to catch order-of-magnitude decision-path
+regressions — an accidental per-serving allocation, a re-introduced
+per-hint scan, a lock on the snapshot read path — without being flaky
+about scheduler noise on shared runners: a 2x guard band is far above
+run-to-run jitter but far below the cost of any of those mistakes.
+
+Watched metrics:
+  * choose_hint_scalar_ns @ 1 thread — the pure decision cost of
+    ServingSnapshot::ChooseHint (the sub-100ns acceptance metric).
+  * serving_ns_per_op @ 1 thread — end-to-end serving including backend
+    execution and observation reporting.
+
+Usage:
+  check_bench_regression.py BASELINE.json CURRENT.json [--max-ratio 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+WATCHED = [
+    ("choose_hint_scalar_ns", 1),
+    ("serving_ns_per_op", 1),
+]
+
+
+def load_metrics(path):
+    """Returns {(name, threads): ns_per_op} for every benchmark entry."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    metrics = {}
+    for entry in doc.get("benchmarks", []):
+        metrics[(entry["name"], entry["threads"])] = entry["ns_per_op"]
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="checked-in BENCH_serving.json")
+    parser.add_argument("current", help="freshly generated BENCH_serving.json")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="fail when current/baseline exceeds this (default: 2.0)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_metrics(args.baseline)
+    current = load_metrics(args.current)
+
+    failures = []
+    for name, threads in WATCHED:
+        key = (name, threads)
+        if key not in baseline:
+            print(f"SKIP  {name}@{threads}t: not in baseline")
+            continue
+        if key not in current:
+            failures.append(f"{name}@{threads}t missing from current run")
+            continue
+        ratio = current[key] / baseline[key]
+        verdict = "FAIL" if ratio > args.max_ratio else "ok"
+        print(
+            f"{verdict:>4}  {name}@{threads}t: "
+            f"{baseline[key]:.1f} -> {current[key]:.1f} ns/op "
+            f"({ratio:.2f}x, limit {args.max_ratio:.2f}x)"
+        )
+        if ratio > args.max_ratio:
+            failures.append(
+                f"{name}@{threads}t regressed {ratio:.2f}x "
+                f"({baseline[key]:.1f} -> {current[key]:.1f} ns/op)"
+            )
+
+    if failures:
+        print("\nperf smoke FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
