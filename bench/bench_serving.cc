@@ -25,11 +25,13 @@
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/als.h"
 #include "core/engine.h"
 #include "core/explorer.h"
 #include "core/policy.h"
 #include "core/serialization.h"
+#include "core/shard_router.h"
 #include "scenarios/scenario.h"
 #include "scenarios/synthetic_backend.h"
 
@@ -165,6 +167,75 @@ double MeasureServing(const scenarios::ScenarioSpec& spec, int threads,
   if (staleness_out != nullptr) {
     *staleness_out = served_total > 0 ? stale_total / served_total : 0.0;
   }
+  return elapsed / kServingsPerConfig * 1e9;
+}
+
+/// Sharded tier throughput: one serving thread runs the free-running
+/// routed protocol (claim a global batch, route each index to its shard,
+/// probe that shard's snapshot, decide, report under a shard-local index)
+/// against `shards` engines whose train threads refit with
+/// `refit_threads` linalg threads. At shards == 1 this measures the pure
+/// router tax over the bare MeasureServing loop — the <1.3x guard in
+/// tools/check_bench_regression.py.
+double MeasureShardedServing(const scenarios::ScenarioSpec& spec, int shards,
+                             int refit_threads) {
+  WarmServingWorld seed_world(spec);
+  core::OnlineExplorationOptions online;
+  online.epsilon = 0.1;
+  online.min_predicted_ratio = 0.05;
+  online.regret_budget_seconds = 1e9;
+  online.seed = 31;
+  core::ShardedTierOptions options;
+  options.num_shards = shards;
+  options.online = online;
+  std::vector<std::unique_ptr<core::CompleterPredictor>> predictors;
+  std::vector<core::Predictor*> predictor_ptrs;
+  for (int i = 0; i < shards; ++i) {
+    predictors.push_back(std::make_unique<core::CompleterPredictor>(
+        std::make_unique<core::AlsCompleter>(
+            WarmServingWorld::MakeAlsOptions())));
+    predictor_ptrs.push_back(predictors.back().get());
+  }
+  core::ShardedServingTier tier(seed_world.engine().matrix(), predictor_ptrs,
+                                options);
+  tier.RefreshAll(/*force=*/true);
+  tier.PublishAll();
+
+  scenarios::SyntheticBackend& backend = seed_world.backend;
+  const int n = backend.num_queries();
+  SetNumThreads(refit_threads);
+  tier.StartTraining();
+  const double t0 = WallSeconds();
+  {
+    std::vector<std::shared_ptr<const core::ServingSnapshot>> snaps(shards);
+    std::vector<uint64_t> versions(shards, ~uint64_t{0});
+    constexpr uint64_t kBatch = 16;
+    while (true) {
+      const uint64_t first = tier.AcquireServingIndices(kBatch);
+      if (first >= static_cast<uint64_t>(kServingsPerConfig)) break;
+      const uint64_t cnt = std::min<uint64_t>(
+          kBatch, static_cast<uint64_t>(kServingsPerConfig) - first);
+      for (uint64_t i = 0; i < cnt; ++i) {
+        const uint64_t seq = first + i;
+        const int q = static_cast<int>(seq % n);
+        const int shard = tier.ShardOfRow(q);
+        core::ExplorationEngine& eng = tier.shard_engine(shard);
+        if (snaps[shard] == nullptr ||
+            eng.snapshot_version() != versions[shard]) {
+          snaps[shard] = eng.snapshot();
+          versions[shard] = snaps[shard]->version();
+        }
+        const int local = tier.LocalRowOf(q);
+        const int hint = snaps[shard]->ChooseHint(local, seq);
+        const double latency = backend.ServeLatency(q, hint, seq);
+        eng.Report(snaps[shard]->MakeObservation(eng.AcquireServingIndex(),
+                                                 local, hint, latency));
+      }
+    }
+  }
+  const double elapsed = WallSeconds() - t0;
+  tier.StopTraining();
+  SetNumThreads(1);
   return elapsed / kServingsPerConfig * 1e9;
 }
 
@@ -405,6 +476,26 @@ int Main(int argc, char** argv) {
     std::printf("    %d thread(s): %.1f ns/serving (%.2fM servings/s), "
                 "mean snapshot staleness %.1f servings\n",
                 threads, ns, 1e3 / ns, staleness);
+  }
+
+  // Sharded tier sweep: shard count x train-refit linalg threads, one
+  // serving thread running the routed free-running protocol. The s1r1
+  // point is the router tax over the bare 1-thread loop above (guarded
+  // <1.3x by tools/check_bench_regression.py); the "threads" slot of the
+  // record carries the shard count.
+  std::printf("\n  sharded tier (1 serving thread, routed protocol):\n");
+  for (int shards : {1, 2, 4}) {
+    for (int refit_threads : {1, 4}) {
+      const double ns = MeasureShardedServing(spec, shards, refit_threads);
+      char name[64];
+      std::snprintf(name, sizeof(name), "sharded_serving_s%dr%d_ns_per_op",
+                    shards, refit_threads);
+      reporter.Report(name, ns, kServingsPerConfig, shards);
+      std::printf(
+          "    %d shard(s), %d refit thread(s): %.1f ns/serving "
+          "(%.2fM servings/s)\n",
+          shards, refit_threads, ns, 1e3 / ns);
+    }
   }
 
   // Pure decision cost: the kernel alone, over a pinned published

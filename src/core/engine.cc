@@ -176,6 +176,8 @@ ExplorationEngine::ExplorationEngine(WorkloadMatrix matrix,
     : options_(options),
       matrix_(std::move(matrix)),
       predictor_(predictor),
+      row_regret_(static_cast<size_t>(matrix_.num_queries()), 0.0),
+      row_explorations_(static_cast<size_t>(matrix_.num_queries()), 0),
       slots_(RoundUpPow2(options.queue_capacity)) {
   queue_mask_ = slots_.size() - 1;
   LIMEQO_CHECK(options.online.refresh_every > 0);
@@ -343,11 +345,13 @@ void ExplorationEngine::ApplyObservation(const ServingObservation& obs) {
   if (obs.exploratory) {
     explorations_.store(explorations_.load(std::memory_order_relaxed) + 1,
                         std::memory_order_relaxed);
+    row_explorations_[obs.query] += 1;
   }
   if (obs.regret_delta > 0.0) {
     regret_spent_.store(
         regret_spent_.load(std::memory_order_relaxed) + obs.regret_delta,
         std::memory_order_relaxed);
+    row_regret_[obs.query] += obs.regret_delta;
   }
 }
 
@@ -552,6 +556,11 @@ void ExplorationEngine::RestoreFromCheckpoint(EngineCheckpoint c) {
   updates_since_refresh_ = c.updates_since_refresh;
   regret_spent_.store(c.regret_spent, std::memory_order_relaxed);
   explorations_.store(c.explorations, std::memory_order_relaxed);
+  // The checkpoint carries only the engine-total ledgers; the per-row
+  // split is a tier-level concern (the tier manifest stores it and
+  // replays it via RestoreRowLedgerSlice after this returns).
+  row_regret_.assign(static_cast<size_t>(matrix_.num_queries()), 0.0);
+  row_explorations_.assign(static_cast<size_t>(matrix_.num_queries()), 0);
   // Rewind the serving plane to the checkpointed sequence: both counters
   // restart at the durable prefix, and the ring's turn stamps are rebuilt
   // so the slot for sequence s expects exactly s again (a slot whose
@@ -631,8 +640,15 @@ void ExplorationEngine::TrainLoop() {
     // capacity-sized batch instead of thrashing the serving threads with
     // publication work. Either way the publication lag behind the drain
     // front stays below queue_capacity() + publish_every, which (with the
-    // queue's back-pressure) gives free-running serving a hard staleness
-    // bound of 2 * queue_capacity() + serving threads + publish_every.
+    // queue's back-pressure and serving threads claiming indices in
+    // batches) gives free-running serving a hard staleness bound of
+    // 2 * queue_capacity() + threads * batch + publish_every, where batch
+    // is the per-thread claim size (16 in the driver's free-running
+    // loops): a thread may decide a whole claimed batch against the
+    // snapshot it probed at the batch start, and the other threads'
+    // claimed-but-unreported batches sit between that snapshot and the
+    // newest index (tests/engine_test.cc pins the bound at the
+    // publication-boundary wrap case).
     const size_t drained = Drain(slots_.size());
     if (drained > 0) has_complete = true;
     const uint64_t seen = drained_seq_.load(std::memory_order_relaxed);
@@ -693,6 +709,8 @@ void ExplorationEngine::Clear(int query, int hint) {
 
 int ExplorationEngine::AppendQueries(int count) {
   const int first = matrix_.AppendQueries(count);
+  row_regret_.resize(static_cast<size_t>(matrix_.num_queries()), 0.0);
+  row_explorations_.resize(static_cast<size_t>(matrix_.num_queries()), 0);
   InvalidateSnapshotBase();
   ++updates_since_refresh_;
   return first;
@@ -711,9 +729,85 @@ void ExplorationEngine::ObserveServing(int query, int hint, double latency,
 
 void ExplorationEngine::ResetMatrix(WorkloadMatrix matrix) {
   matrix_ = std::move(matrix);
+  row_regret_.assign(static_cast<size_t>(matrix_.num_queries()), 0.0);
+  row_explorations_.assign(static_cast<size_t>(matrix_.num_queries()), 0);
   InvalidateSnapshotBase();
   InvalidateModel();
   Publish();
+}
+
+MigratedRow ExplorationEngine::ExtractRow(int query) const {
+  LIMEQO_CHECK(!training_);
+  LIMEQO_CHECK(query >= 0 && query < matrix_.num_queries());
+  const int k = matrix_.num_hints();
+  MigratedRow row;
+  row.states.resize(static_cast<size_t>(k));
+  row.values.resize(static_cast<size_t>(k));
+  row.timeouts.resize(static_cast<size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    row.states[j] = matrix_.state(query, j);
+    row.values[j] = matrix_.values()(query, j);
+    row.timeouts[j] = matrix_.timeouts()(query, j);
+  }
+  row.regret_spent = row_regret_[query];
+  row.explorations = row_explorations_[query];
+  return row;
+}
+
+void ExplorationEngine::RemoveRow(int query) {
+  LIMEQO_CHECK(!training_);
+  LIMEQO_CHECK(query >= 0 && query < matrix_.num_queries());
+  regret_spent_.store(
+      regret_spent_.load(std::memory_order_relaxed) - row_regret_[query],
+      std::memory_order_relaxed);
+  explorations_.store(
+      explorations_.load(std::memory_order_relaxed) -
+          row_explorations_[query],
+      std::memory_order_relaxed);
+  row_regret_.erase(row_regret_.begin() + query);
+  row_explorations_.erase(row_explorations_.begin() + query);
+  matrix_.RemoveQuery(query);
+  InvalidateSnapshotBase();
+  InvalidateModel();
+  Publish();
+}
+
+int ExplorationEngine::AdoptRow(const MigratedRow& row) {
+  LIMEQO_CHECK(!training_);
+  LIMEQO_CHECK(static_cast<int>(row.states.size()) == matrix_.num_hints());
+  const int local = matrix_.AppendQueries(1);
+  for (int j = 0; j < matrix_.num_hints(); ++j) {
+    switch (row.states[j]) {
+      case CellState::kComplete:
+        matrix_.Observe(local, j, row.values[j]);
+        break;
+      case CellState::kCensored:
+        matrix_.ObserveCensored(local, j, row.timeouts[j]);
+        break;
+      case CellState::kUnobserved:
+        break;
+    }
+  }
+  row_regret_.push_back(row.regret_spent);
+  row_explorations_.push_back(row.explorations);
+  regret_spent_.store(
+      regret_spent_.load(std::memory_order_relaxed) + row.regret_spent,
+      std::memory_order_relaxed);
+  explorations_.store(
+      explorations_.load(std::memory_order_relaxed) + row.explorations,
+      std::memory_order_relaxed);
+  InvalidateSnapshotBase();
+  InvalidateModel();
+  Publish();
+  return local;
+}
+
+void ExplorationEngine::RestoreRowLedgerSlice(int query, double regret,
+                                              int explorations) {
+  LIMEQO_CHECK(!training_);
+  LIMEQO_CHECK(query >= 0 && query < matrix_.num_queries());
+  row_regret_[query] = regret;
+  row_explorations_[query] = explorations;
 }
 
 void ExplorationEngine::InvalidateModel() {

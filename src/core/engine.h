@@ -219,6 +219,29 @@ class ServingSnapshot {
   uint64_t pick_seed_ = 0;
 };
 
+/// One query row packaged for migration between engines (shard
+/// rebalancing, see src/core/shard_router.h): the row's cell payload —
+/// per-hint observation states, latencies, and censoring thresholds,
+/// copied bitwise from the source matrix — plus the row's slice of the
+/// regret and exploration ledgers. Produced by
+/// ExplorationEngine::ExtractRow, consumed by ExplorationEngine::AdoptRow
+/// on the destination engine; replaying the payload there reconstructs
+/// the row cell-for-cell, so a migrated row is indistinguishable from one
+/// that was always observed on the destination.
+struct MigratedRow {
+  /// Per-hint observation states (num_hints entries).
+  std::vector<CellState> states;
+  /// Per-hint observed values: exact latency for complete cells, the
+  /// censoring threshold for censored cells, 0 for unobserved cells.
+  std::vector<double> values;
+  /// Per-hint censoring thresholds (non-zero only for censored cells).
+  std::vector<double> timeouts;
+  /// Regret charged by exploratory servings of this row, in seconds.
+  double regret_spent = 0.0;
+  /// Exploratory servings of this row.
+  int explorations = 0;
+};
+
 /// Construction options for the engine.
 struct EngineOptions {
   /// Serving-plane behaviour (epsilon gate, regret budget, refresh
@@ -461,6 +484,29 @@ class ExplorationEngine {
   /// Replaces the matrix wholesale (resume-from-disk) and invalidates the
   /// model state.
   void ResetMatrix(WorkloadMatrix matrix);
+
+  // --- Row migration (shard rebalancing, train plane) ----------------------
+  /// Packages row `query` for migration: the cell payload copied bitwise
+  /// from the live matrix plus the row's ledger slice. Train-plane method;
+  /// call at an op boundary (queue drained) so the payload is consistent
+  /// with the ledgers.
+  MigratedRow ExtractRow(int query) const;
+  /// Removes row `query` from the matrix and subtracts its ledger slice
+  /// from the engine totals; rows above it shift down by one. Invalidates
+  /// the model (factor rows no longer line up with the shrunk matrix) and
+  /// publishes a fresh snapshot. Train-plane method at an op boundary: no
+  /// in-flight serving may still target the old row indices, because every
+  /// row above the removed one is renumbered.
+  void RemoveRow(int query);
+  /// Appends the migrated row to this engine's matrix, replays its cell
+  /// payload bitwise, adds its ledger slice to the engine totals,
+  /// invalidates the model, and publishes. Returns the new local row
+  /// index (always the last row). Same op-boundary contract as RemoveRow.
+  int AdoptRow(const MigratedRow& row);
+  /// Overwrites one row's ledger slice without touching the engine totals:
+  /// the tier restore path, where EngineCheckpoint carries only the engine
+  /// totals and the tier manifest carries the per-row split.
+  void RestoreRowLedgerSlice(int query, double regret, int explorations);
   /// Drops predictions, warm-start factors, and any state the predictor
   /// retains: after a data shift nothing fitted on the old data may leak
   /// into the new fit (the warm-start no-leak contract).
@@ -492,6 +538,13 @@ class ExplorationEngine {
   int explorations() const {
     return explorations_.load(std::memory_order_relaxed);
   }
+  /// Regret charged by exploratory servings of `query` alone (the
+  /// per-row split of regret_spent; travels with the row on migration).
+  /// Train-plane view: updated at drain time, in serving order.
+  double row_regret(int query) const { return row_regret_[query]; }
+  /// Exploratory servings of `query` alone (the per-row split of
+  /// explorations). Train-plane view.
+  int row_explorations(int query) const { return row_explorations_[query]; }
   /// True once the regret budget is exhausted (exploration freezes at the
   /// next publication).
   bool budget_exhausted() const {
@@ -557,6 +610,13 @@ class ExplorationEngine {
   std::atomic<double> regret_spent_{0.0};
   std::atomic<int> explorations_{0};
   std::atomic<uint64_t> checkpoints_written_{0};
+
+  // Per-row ledger split (train plane only, updated in drain order): the
+  // regret / exploration slice each row contributed, so a migrating row
+  // can carry its charges to the destination shard. Always sized to the
+  // matrix rows.
+  std::vector<double> row_regret_;
+  std::vector<int> row_explorations_;
 
   // Snapshot publication: the pointer is guarded by snapshot_mu_ (held
   // only for the copy/swap); the version counter is the lock-free probe.

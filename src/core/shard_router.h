@@ -1,0 +1,279 @@
+#ifndef LIMEQO_CORE_SHARD_ROUTER_H_
+#define LIMEQO_CORE_SHARD_ROUTER_H_
+
+/// \file
+/// The sharded serving tier: N ExplorationEngine shards over a
+/// deterministic partition of the query rows, behind a routing layer whose
+/// merged serving trace stays a pure function of (seed, serving index).
+///
+/// Partition function: global row q lives on shard
+/// MixSeed(partition_seed, q) % num_shards — stable (a row's shard never
+/// depends on arrival order), seed-pure (two tiers with the same
+/// partition_seed agree on every placement), and uniform in expectation.
+/// Within a shard, rows are ordered by adoption: construction adopts rows
+/// in ascending global order, so at num_shards == 1 the local order is the
+/// identity and the tier degenerates to a bare engine, decision for
+/// decision (tests/shard_router_test.cc pins this bitwise over the full
+/// scenario grid).
+///
+/// Trace-merge determinism: every serving decision is
+/// shard_snapshot->ChooseHint(local_row, global_index) — the *global*
+/// serving index drives the gate/pick streams (all shards share the fleet
+/// seed, so the fleet consumes exactly one gate draw per global index,
+/// like a single engine would), while the observation queue of each shard
+/// uses *local* contiguous sequence numbers (the Vyukov queue requires a
+/// contiguous prefix to drain). ServeSchedule assigns local sequence
+/// numbers by walking the global schedule in order, so the assignment — and
+/// with it the merged trace — is independent of serving thread count.
+///
+/// Aggregate invariants (derivations in docs/ARCHITECTURE.md):
+///  * regret: the fleet budget B splits into slices B * m_i / n by row
+///    count; Sum_i spent_i <= Sum_i (B_i + allowance_i) = B + Sum_i
+///    allowance_i, so the fleet overshoot is slack-bounded by the sum of
+///    the per-shard allowances.
+///  * staleness: each shard obeys the single-engine local bound L =
+///    2 * capacity + threads * batch + publish_every; a shard holding m_i
+///    of the n rows receives m_i global servings per window of n, so a
+///    local-sequence gap of L spans at most (L / m_i + 2) windows in
+///    schedule order. Free-running serving threads report claimed batches
+///    out of schedule order by at most the in-flight window, widening the
+///    gap by 2 * threads * batch, for a tier-wide global-index bound of
+///    ((L + 2 * threads * batch) / m_i + 2) * n on shard-i servings.
+///  * checkpoint/restore: each shard reuses the PR 6 EngineCheckpoint path
+///    verbatim; a tier manifest (same CRC'd header convention) records the
+///    row->shard assignment, the per-shard local row order, and the
+///    per-row ledger slices, so RestoreFromDirectory reassembles the fleet
+///    at an op boundary.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/predictor.h"
+#include "core/workload_matrix.h"
+
+namespace limeqo::core {
+
+/// Construction options for ShardedServingTier.
+struct ShardedTierOptions {
+  /// Number of engine shards (>= 1).
+  int num_shards = 1;
+  /// Seed of the row->shard partition function. Independent of the serving
+  /// seed: re-seeding serving randomness must not reshuffle data placement.
+  uint64_t partition_seed = 0x53484152u;  // "SHAR"
+  /// Fleet-wide serving options. The regret budget is the *fleet* budget;
+  /// each shard is configured with its row-count-proportional slice (at
+  /// one shard the slice is the whole budget, exactly). The seed is shared
+  /// by every shard — decisions are keyed by global serving index, so
+  /// shards can never consume each other's gate draws.
+  OnlineExplorationOptions online;
+  /// Per-shard engine template (queue capacity, delta publication,
+  /// warm start). The `online` member inside is ignored — the split fleet
+  /// options above are installed instead.
+  EngineOptions engine;
+  /// RebalanceHotShards migrates rows away from any shard holding more
+  /// than rebalance_factor * (n / num_shards) rows (and at least two more
+  /// than the smallest shard).
+  double rebalance_factor = 1.5;
+};
+
+/// N ExplorationEngine shards behind a deterministic router. Train-plane
+/// methods (ServeSchedule, AppendQueries, MigrateRow, checkpoints) must be
+/// called from one thread at a time with no background train threads
+/// running, except where noted; serving-plane reads (shard_engine(i)
+/// snapshots, AcquireServingIndices, routing lookups) are safe from any
+/// number of threads.
+class ShardedServingTier {
+ public:
+  /// Builds the tier over a copy of `matrix`: rows are partitioned by the
+  /// seed-pure hash and replayed bitwise into per-shard matrices.
+  /// `predictors[i]` (not owned, may be empty => no predictors) supplies
+  /// shard i's completion model; pass per-shard instances of the same
+  /// predictor configuration so refits stay independent.
+  ShardedServingTier(const WorkloadMatrix& matrix,
+                     std::vector<Predictor*> predictors,
+                     const ShardedTierOptions& options);
+
+  /// Not copyable: the tier owns engines with atomics and queues.
+  ShardedServingTier(const ShardedServingTier&) = delete;
+  /// Not assignable (see the copy constructor).
+  ShardedServingTier& operator=(const ShardedServingTier&) = delete;
+
+  /// Number of engine shards.
+  int num_shards() const { return static_cast<int>(engines_.size()); }
+  /// Global query rows across all shards.
+  int num_queries() const { return static_cast<int>(shard_of_row_.size()); }
+  /// Hint columns (shared by every shard).
+  int num_hints() const { return num_hints_; }
+
+  /// The partition function: the shard global row q lives on. Pure.
+  static int PartitionShard(uint64_t partition_seed, int row, int num_shards);
+
+  /// Shard currently holding global row `row` (post-migration placement
+  /// may differ from PartitionShard).
+  int ShardOfRow(int row) const { return shard_of_row_[row]; }
+  /// Local row index of global row `row` within its shard's matrix.
+  int LocalRowOf(int row) const { return local_of_row_[row]; }
+  /// Global row index of shard `shard`'s local row `local`.
+  int GlobalRowOf(int shard, int local) const {
+    return shard_rows_[shard][local];
+  }
+  /// Rows currently on `shard`.
+  int ShardRowCount(int shard) const {
+    return static_cast<int>(shard_rows_[shard].size());
+  }
+
+  /// Shard i's engine. Serving threads use this for snapshots and
+  /// Report; train-plane use follows the engine's own threading contract.
+  ExplorationEngine& shard_engine(int shard) { return *engines_[shard]; }
+  const ExplorationEngine& shard_engine(int shard) const {
+    return *engines_[shard];
+  }
+
+  /// The regret-budget slice shard i is configured with.
+  double shard_budget(int shard) const {
+    return engines_[shard]->online_options().regret_budget_seconds;
+  }
+  /// Fleet-wide regret ledger: the sum of the shard ledgers.
+  double regret_spent() const;
+  /// Fleet-wide exploratory servings.
+  int explorations() const;
+  /// True when every shard's budget slice is exhausted (fleet freeze).
+  bool budget_exhausted() const;
+
+  // --- Train-plane lifecycle ---------------------------------------------
+  /// RefreshPredictions on every shard.
+  void RefreshAll(bool force = false);
+  /// Publish on every shard.
+  void PublishAll();
+  /// Drain on every shard.
+  void DrainAll();
+  /// SyncEpoch (drain + refresh + publish) on every shard.
+  void SyncEpochAll();
+  /// Starts every shard's background train thread (free-running mode).
+  void StartTraining();
+  /// Stops every shard's train thread, drains, publishes, and re-syncs
+  /// the deterministic-schedule counters to the drained fronts (so
+  /// ServeSchedule may continue after a free-running phase).
+  void StopTraining();
+
+  // --- Deterministic schedule serving (train plane) ------------------------
+  /// Serves the global round-robin schedule [begin, end) — serving s maps
+  /// to global query s % num_queries() — as one epoch across all shards,
+  /// then runs the epoch barrier on every shard. Decisions are made on the
+  /// per-shard snapshots current at entry; local sequence numbers are
+  /// preassigned by walking the schedule in global order, so the merged
+  /// trace is bitwise identical at every `threads` count. `resolve` and
+  /// `record` follow the ExplorationEngine::ServeEpochResolved contract
+  /// (thread-safe, pure per serving index; `record` sees each global index
+  /// exactly once).
+  void ServeSchedule(
+      uint64_t begin, uint64_t end, int threads,
+      const std::function<ServedOutcome(int query, int chosen_hint,
+                                        uint64_t seq)>& resolve,
+      const std::function<void(uint64_t seq, int query, int hint,
+                               double latency)>& record = nullptr);
+
+  /// Global servings scheduled so far via ServeSchedule (the sum of the
+  /// per-shard schedule counters; after StopTraining, the sum of the
+  /// drained fronts).
+  uint64_t scheduled_servings() const;
+
+  // --- Free-running serving (any thread) -----------------------------------
+  /// Hands out `count` consecutive *global* serving indices (the tier-wide
+  /// analogue of ExplorationEngine::AcquireServingIndices). A free-running
+  /// serving thread claims a global batch, routes each index's query with
+  /// ShardOfRow/LocalRowOf, acquires a *local* index from that shard's
+  /// engine, and reports there. Global indices never enter any shard's
+  /// queue, so indices claimed past the end of traffic are simply never
+  /// reported — no hole, no stall.
+  uint64_t AcquireServingIndices(uint64_t count) {
+    return next_global_seq_.fetch_add(count, std::memory_order_relaxed);
+  }
+  /// Global indices claimed so far (monotonic; includes overshoot claims).
+  uint64_t claimed_servings() const {
+    return next_global_seq_.load(std::memory_order_relaxed);
+  }
+
+  // --- Growth and rebalancing (train plane, op boundary) -------------------
+  /// Appends `count` new global query rows, each placed by the partition
+  /// function, and re-splits the fleet regret budget over the new row
+  /// counts. Returns the first new global row index. Op-boundary method:
+  /// all train threads stopped, no in-flight servings.
+  int AppendQueries(int count);
+  /// Moves one global row to `to_shard`: the row's observations, censoring
+  /// state, and ledger slice travel bitwise (ExplorationEngine::ExtractRow
+  /// / AdoptRow), source-shard rows above it renumber down, and the budget
+  /// split is recomputed. Serving planes are never paused — other shards'
+  /// snapshots are untouched and the two involved shards publish fresh
+  /// snapshots — but this is an op-boundary method: all train threads
+  /// stopped, and no in-flight serving may target the moving row.
+  void MigrateRow(int row, int to_shard);
+  /// Deterministic rebalance pass: while some shard holds more than
+  /// rebalance_factor * (n / num_shards) rows (hot, e.g. after
+  /// AppendQueries hashed a burst onto it) and at least two more than the
+  /// coldest shard, migrate that shard's highest-global-index row to the
+  /// coldest shard (ties broken toward the lowest shard index — the pass
+  /// is a pure function of the current assignment). Returns the number of
+  /// rows migrated. Same op-boundary contract as MigrateRow.
+  int RebalanceHotShards();
+
+  // --- Views ---------------------------------------------------------------
+  /// Reassembles the global workload matrix from the shard matrices
+  /// (global row q read from its shard's local row). Train-plane view.
+  WorkloadMatrix MergedMatrix() const;
+
+  // --- Checkpoint / restore (train plane, op boundary) ---------------------
+  /// Writes one EngineCheckpoint per shard (`shard-<i>.ckpt`, the PR 6
+  /// crash-atomic path) plus a `tier.manifest` recording the assignment,
+  /// per-shard local row order, fleet budget, and per-row ledger slices
+  /// into directory `dir` (which must exist). Every file is written
+  /// crash-atomically; the manifest is written last, so a manifest that
+  /// parses refers to shard files that were durable before it.
+  Status SaveCheckpoints(const std::string& dir) const;
+
+  /// Reassembles a fleet from SaveCheckpoints output. The manifest is
+  /// authoritative for tier state: `options.num_shards`, the fleet regret
+  /// budget, and the partition seed are overridden by its values (the
+  /// remaining options must match the saving tier's, the same contract as
+  /// ExplorationEngine::RestoreFromCheckpoint); `predictors` must be empty
+  /// or match the manifest's shard count. Each shard engine warm-restarts through
+  /// ExplorationEngine::RestoreFromCheckpoint, then its per-row ledger
+  /// slices are restored from the manifest and the budget split is
+  /// re-applied — so a tier restored at an op boundary replays the
+  /// remaining schedule bitwise-identically to one that never stopped.
+  static StatusOr<std::unique_ptr<ShardedServingTier>> RestoreFromDirectory(
+      const std::string& dir, std::vector<Predictor*> predictors,
+      const ShardedTierOptions& options);
+
+ private:
+  struct RestoreTag {};
+  ShardedServingTier(RestoreTag, const ShardedTierOptions& options);
+
+  /// Installs the row-count-proportional budget slice into every shard
+  /// (ConfigureServing; takes effect at each shard's next Publish).
+  void ApplyBudgetSplit();
+  /// Registers global row `row` on `shard` (appending to the local order)
+  /// and returns its local index.
+  int AttachRow(int row, int shard);
+
+  ShardedTierOptions options_;
+  int num_hints_ = 0;
+  std::vector<Predictor*> predictors_;
+  std::vector<std::unique_ptr<ExplorationEngine>> engines_;
+  std::vector<int> shard_of_row_;              // global row -> shard
+  std::vector<int> local_of_row_;              // global row -> local row
+  std::vector<std::vector<int>> shard_rows_;   // shard -> global rows
+  std::vector<uint64_t> next_local_seq_;       // ServeSchedule counters
+  std::atomic<uint64_t> next_global_seq_{0};   // free-running claims
+  bool training_ = false;
+};
+
+}  // namespace limeqo::core
+
+#endif  // LIMEQO_CORE_SHARD_ROUTER_H_

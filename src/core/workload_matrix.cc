@@ -146,4 +146,29 @@ int WorkloadMatrix::AppendQueries(int count) {
   return first;
 }
 
+void WorkloadMatrix::RemoveQuery(int query) {
+  LIMEQO_CHECK(query >= 0 && query < num_queries());
+  const int n = num_queries();
+  const int k = num_hints();
+  linalg::Matrix values(n - 1, k);
+  linalg::Matrix mask(n - 1, k);
+  linalg::Matrix timeouts(n - 1, k);
+  std::vector<CellState> states(static_cast<size_t>(n - 1) * k,
+                                CellState::kUnobserved);
+  for (int i = 0, dst = 0; i < n; ++i) {
+    if (i == query) continue;
+    for (int j = 0; j < k; ++j) {
+      values(dst, j) = values_(i, j);
+      mask(dst, j) = mask_(i, j);
+      timeouts(dst, j) = timeouts_(i, j);
+      states[static_cast<size_t>(dst) * k + j] = states_[CellIndex(i, j)];
+    }
+    ++dst;
+  }
+  values_ = std::move(values);
+  mask_ = std::move(mask);
+  timeouts_ = std::move(timeouts);
+  states_ = std::move(states);
+}
+
 }  // namespace limeqo::core

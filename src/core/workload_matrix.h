@@ -99,6 +99,12 @@ class WorkloadMatrix {
   /// Sec. 5.3). Returns the index of the first new row.
   int AppendQueries(int count);
 
+  /// Removes one query row; rows above it shift down by one. Used by shard
+  /// rebalancing, where a row migrates to another shard's matrix: the cell
+  /// payload travels bitwise (values, mask, timeouts, states), so removal
+  /// here plus replay there reconstructs the row exactly.
+  void RemoveQuery(int query);
+
  private:
   linalg::Matrix values_;
   linalg::Matrix mask_;

@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <span>
 #include <sstream>
 #include <thread>
@@ -15,6 +16,7 @@
 #include "core/explorer.h"
 #include "core/nuclear_norm.h"
 #include "core/online.h"
+#include "core/shard_router.h"
 #include "core/online_explorer.h"
 #include "core/policy.h"
 #include "core/svt.h"
@@ -571,8 +573,410 @@ SimulationResult SimulationDriver::Run(const RunConfig& config) {
     // decision could not yet see in the free-running mode.
     double regret_allowance = 0.0;
     const char* allowance_kind = "one serving";
+    // Sharded runs serve from the tier's per-shard matrices; the merged
+    // reassembly replaces explorer.matrix() for the final checks.
+    std::optional<core::WorkloadMatrix> sharded_final;
 
-    if (config.serve_threads <= 0) {
+    if (config.shards >= 1) {
+      // -- Sharded serving tier: the whole online phase runs across
+      // config.shards engines behind the deterministic router
+      // (src/core/shard_router.h). Rows partition by the seed-pure hash;
+      // the fleet regret budget splits into row-count-proportional
+      // slices; decisions stay keyed by *global* serving index, so the
+      // fleet consumes exactly one epsilon-gate draw per serving like a
+      // single engine would.
+      LIMEQO_CHECK(config.serve_threads >= 1);
+      LIMEQO_CHECK(config.arm == PredictorArm::kCompleter);
+      std::vector<std::unique_ptr<core::Predictor>> shard_predictors;
+      std::vector<core::Predictor*> shard_predictor_ptrs;
+      shard_predictors.reserve(config.shards);
+      for (int i = 0; i < config.shards; ++i) {
+        // Per-shard instances of the same predictor configuration (same
+        // derived seed): refits are per-shard-matrix pure functions, and
+        // at one shard the single predictor matches the unsharded path.
+        shard_predictors.push_back(MakePredictor(
+            config, backend.get(), MixSeed(spec_.seed, 0x4F4Eu)));
+        shard_predictor_ptrs.push_back(shard_predictors.back().get());
+      }
+      core::ShardedTierOptions tier_options;
+      tier_options.num_shards = config.shards;
+      tier_options.online = online;
+      tier_options.engine.delta_publication = !config.full_snapshot_rebuild;
+      if (config.free_running) tier_options.engine.queue_capacity = 64;
+      core::ShardedServingTier tier(explorer.matrix(), shard_predictor_ptrs,
+                                    tier_options);
+      tier.RefreshAll(/*force=*/true);
+      tier.PublishAll();
+
+      const int total = spec_.online_servings;
+      const int threads = config.serve_threads;
+      const int n = spec_.num_queries;
+      const int shards = tier.num_shards();
+
+      if (config.free_running) {
+        // -- Free-running sharded plane: every shard runs its own train
+        // thread; serving threads claim *global* index batches, route
+        // each serving to its shard, and report under shard-local
+        // sequence numbers. The invariants below are the single-engine
+        // statistical set applied per shard, plus the fleet-wide
+        // compositions.
+        struct ShardFreeRecord {
+          int query = 0;
+          int hint = 0;
+          double latency = 0.0;
+          bool exploratory = false;
+          double regret_delta = 0.0;
+          int shard = 0;
+          uint64_t local_seq = 0;
+          uint64_t snapshot_seq = 0;  // shard-local published_seq
+          int serve_failures = 0;
+          bool degraded = false;
+          double backoff_seconds = 0.0;
+        };
+        std::vector<ShardFreeRecord> records(total);
+
+        tier.StartTraining();
+        std::vector<std::thread> servers;
+        servers.reserve(threads);
+        for (int t = 0; t < threads; ++t) {
+          servers.emplace_back([&] {
+            std::vector<std::shared_ptr<const core::ServingSnapshot>> snaps(
+                shards);
+            std::vector<uint64_t> versions(shards, ~uint64_t{0});
+            constexpr uint64_t kDecisionBatch = 16;
+            for (;;) {
+              const uint64_t first =
+                  tier.AcquireServingIndices(kDecisionBatch);
+              if (first >= static_cast<uint64_t>(total)) break;
+              const uint64_t cnt = std::min<uint64_t>(
+                  kDecisionBatch, static_cast<uint64_t>(total) - first);
+              for (uint64_t i = 0; i < cnt; ++i) {
+                const uint64_t seq = first + i;
+                const int q = static_cast<int>(seq % n);
+                const int shard = tier.ShardOfRow(q);
+                const int local_row = tier.LocalRowOf(q);
+                core::ExplorationEngine& eng = tier.shard_engine(shard);
+                if (snaps[shard] == nullptr ||
+                    eng.snapshot_version() != versions[shard]) {
+                  snaps[shard] = eng.snapshot();
+                  versions[shard] = snaps[shard]->version();
+                }
+                const int chosen = snaps[shard]->ChooseHint(local_row, seq);
+                const ResolvedServing served = ResolveServingFaults(
+                    *backend, config.faults, config.max_retries,
+                    config.retry_backoff_seconds, q, chosen, seq);
+                const double latency =
+                    backend->ServeLatency(q, served.hint, seq);
+                const uint64_t local_seq = eng.AcquireServingIndex();
+                core::ServingObservation obs = snaps[shard]->MakeObservation(
+                    local_seq, local_row, served.hint, latency);
+                if (served.degraded) {
+                  obs.exploratory = false;
+                  obs.regret_delta = 0.0;
+                }
+                records[seq] = {q,
+                                served.hint,
+                                latency,
+                                obs.exploratory,
+                                obs.regret_delta,
+                                shard,
+                                local_seq,
+                                snaps[shard]->published_seq(),
+                                served.failures,
+                                served.degraded,
+                                served.backoff_seconds};
+                eng.Report(obs);
+              }
+            }
+          });
+        }
+        for (std::thread& t : servers) t.join();
+        tier.StopTraining();
+
+        result.servings = total;
+        result.explorations = tier.explorations();
+        result.regret_spent = tier.regret_spent();
+        // Capture the merged reassembly before the freeze probe below adds
+        // diagnostic traffic (the bare modes record final_latency at the
+        // same point).
+        sharded_final = tier.MergedMatrix();
+        result.final_latency = sharded_final->CurrentWorkloadLatency();
+
+        // Fault accounting in global sequence order (deterministic sums
+        // over a timing-dependent run).
+        for (int s = 0; s < total; ++s) {
+          result.fault_serve_failures += records[s].serve_failures;
+          if (records[s].degraded) ++result.fault_serve_fallbacks;
+          result.fault_backoff_seconds += records[s].backoff_seconds;
+        }
+
+        // ---- No serving lost or double-counted: each shard's local
+        // sequence numbers must be exactly 0..count-1 for the servings
+        // routed to it, and each shard must have drained exactly what was
+        // routed.
+        std::vector<uint64_t> routed(shards, 0);
+        for (int s = 0; s < total; ++s) ++routed[records[s].shard];
+        std::vector<std::vector<int>> local_to_global(shards);
+        for (int i = 0; i < shards; ++i) {
+          local_to_global[i].assign(static_cast<size_t>(routed[i]), -1);
+        }
+        bool seq_ok = true;
+        for (int s = 0; s < total; ++s) {
+          const ShardFreeRecord& r = records[s];
+          if (r.local_seq >= local_to_global[r.shard].size() ||
+              local_to_global[r.shard][r.local_seq] != -1) {
+            std::ostringstream os;
+            os << "serving " << s << " drained at shard " << r.shard
+               << " local seq " << r.local_seq
+               << " (out of range or double-counted)";
+            Violate(&result, "shard-seq-accounting", os.str());
+            seq_ok = false;
+            continue;
+          }
+          local_to_global[r.shard][r.local_seq] = s;
+        }
+        for (int i = 0; i < shards; ++i) {
+          if (tier.shard_engine(i).drained_servings() != routed[i]) {
+            std::ostringstream os;
+            os << "shard " << i << " drained "
+               << tier.shard_engine(i).drained_servings() << " servings, "
+               << routed[i] << " were routed to it";
+            Violate(&result, "shard-seq-accounting", os.str());
+            seq_ok = false;
+          }
+        }
+
+        if (seq_ok) {
+          // ---- Per-shard replay in local order: ledger consistency,
+          // slice-gated exploration, the local staleness bound — plus the
+          // fleet compositions (summed in-flight slack, the composed
+          // global-index staleness bound).
+          double summed_inflight = 0.0;
+          std::vector<uint64_t> global_staleness;
+          global_staleness.reserve(static_cast<size_t>(total));
+          for (int i = 0; i < shards; ++i) {
+            const std::vector<int>& order = local_to_global[i];
+            const uint64_t count = routed[i];
+            std::vector<double> prefix(static_cast<size_t>(count) + 1, 0.0);
+            for (uint64_t l = 0; l < count; ++l) {
+              prefix[l + 1] = prefix[l] + records[order[l]].regret_delta;
+            }
+            const double shard_spent = tier.shard_engine(i).regret_spent();
+            if (std::abs(prefix[count] - shard_spent) > 1e-9) {
+              std::ostringstream os;
+              os << "shard " << i << " drained ledger " << shard_spent
+                 << "s != replayed per-serving deltas " << prefix[count]
+                 << "s";
+              Violate(&result, "free-ledger-consistency", os.str());
+            }
+            const double slice = tier.shard_budget(i);
+            const uint64_t local_bound =
+                2 * tier.shard_engine(i).queue_capacity() +
+                static_cast<uint64_t>(threads) * 16 +
+                static_cast<uint64_t>(online.publish_every);
+            const uint64_t rows_here =
+                static_cast<uint64_t>(tier.ShardRowCount(i));
+            // Shard i holds rows_here of the n round-robin queries, so a
+            // local-sequence gap of d spans at most (d / rows_here + 2)
+            // windows of n global indices *in schedule order*. Free-running
+            // threads report claimed batches out of schedule order by at
+            // most the in-flight window (threads * 16 claimed-but-
+            // unreported globals at either end of the gap), which widens
+            // the rank gap by 2 * threads * 16.
+            const uint64_t skew = 2 * static_cast<uint64_t>(threads) * 16;
+            const uint64_t global_bound =
+                rows_here > 0 ? ((local_bound + skew) / rows_here + 2) *
+                                    static_cast<uint64_t>(n)
+                              : 0;
+            double max_inflight = 0.0;
+            for (uint64_t l = 0; l < count; ++l) {
+              const ShardFreeRecord& r = records[order[l]];
+              const uint64_t p = r.snapshot_seq;
+              if (p > l) {
+                std::ostringstream os;
+                os << "shard " << i << " local serving " << l
+                   << " decided on snapshot seq " << p
+                   << " ahead of itself";
+                Violate(&result, "free-gate", os.str());
+                continue;
+              }
+              if (r.exploratory) {
+                if (prefix[p] >= slice) {
+                  std::ostringstream os;
+                  os << "shard " << i << " serving " << order[l]
+                     << " (query " << r.query << ", hint " << r.hint << ", "
+                     << r.latency
+                     << "s) explored on a snapshot whose ledger ("
+                     << prefix[p] << "s) already exhausted the slice ("
+                     << slice << "s)";
+                  Violate(&result, "free-gate", os.str());
+                }
+                max_inflight = std::max(max_inflight, prefix[l + 1] - prefix[p]);
+              }
+              const uint64_t local_stale = l - p;
+              if (local_stale > local_bound) {
+                std::ostringstream os;
+                os << "shard " << i << " local staleness " << local_stale
+                   << " exceeds the per-shard bound " << local_bound;
+                Violate(&result, "free-staleness", os.str());
+              }
+              const uint64_t deciding_global = static_cast<uint64_t>(
+                  p < count ? order[p] : order[l]);
+              const uint64_t s = static_cast<uint64_t>(order[l]);
+              const uint64_t gstale =
+                  s > deciding_global ? s - deciding_global : 0;
+              global_staleness.push_back(gstale);
+              if (gstale > global_bound) {
+                std::ostringstream os;
+                os << "serving " << s << " global staleness " << gstale
+                   << " exceeds the composed tier bound " << global_bound
+                   << " (shard " << i << ", " << rows_here << "/" << n
+                   << " rows)";
+                Violate(&result, "free-staleness", os.str());
+              }
+            }
+            summed_inflight += max_inflight;
+          }
+          regret_allowance = summed_inflight;
+          allowance_kind = "summed per-shard in-flight windows";
+          result.regret_slack = std::max(
+              0.0, result.regret_spent - online.regret_budget_seconds);
+          std::sort(global_staleness.begin(), global_staleness.end());
+          if (!global_staleness.empty()) {
+            result.staleness_p50 = static_cast<double>(
+                global_staleness[global_staleness.size() / 2]);
+            result.staleness_p95 = static_cast<double>(
+                global_staleness[(95 * (global_staleness.size() - 1)) / 100]);
+            result.staleness_max =
+                static_cast<double>(global_staleness.back());
+          }
+        }
+
+        // ---- Fleet freeze: once every slice's exhausted ledger is
+        // published, no shard may explore again. Probed with the
+        // deterministic schedule (StopTraining re-synced the counters).
+        if (tier.budget_exhausted()) {
+          std::vector<int> frozen(shards);
+          for (int i = 0; i < shards; ++i) {
+            frozen[i] = tier.shard_engine(i).explorations();
+          }
+          const uint64_t probe = tier.claimed_servings();
+          tier.ServeSchedule(
+              probe, probe + 50, 1,
+              [&](int q, int chosen, uint64_t seq) {
+                core::ServedOutcome out;
+                out.hint = chosen;
+                out.latency = backend->ServeLatency(q, chosen, seq);
+                return out;
+              });
+          for (int i = 0; i < shards; ++i) {
+            if (tier.shard_engine(i).explorations() != frozen[i]) {
+              std::ostringstream os;
+              os << "shard " << i << ": "
+                 << tier.shard_engine(i).explorations() - frozen[i]
+                 << " explorations after budget exhaustion";
+              Violate(&result, "online-budget-freeze", os.str());
+            }
+          }
+        }
+      } else {
+        // -- Epoch-synchronized sharded plane: ServeSchedule preassigns
+        // shard-local sequence numbers in global order, so the merged
+        // trace keeps the bitwise thread-count-determinism contract (and
+        // at one shard equals the unsharded trace bitwise).
+        result.serving_trace.resize(total);
+        std::vector<int> serve_failures(total, 0);
+        std::vector<uint8_t> serve_degraded(total, 0);
+        std::vector<double> serve_backoff(total, 0.0);
+        std::vector<double> shard_epoch_regret(shards, 0.0);
+        std::vector<double> regret_before(shards, 0.0);
+        auto run_epochs = [&](int first, int last) {
+          for (int epoch = first; epoch < last;
+               epoch += online.publish_every) {
+            const int end = std::min(last, epoch + online.publish_every);
+            for (int i = 0; i < shards; ++i) {
+              regret_before[i] = tier.shard_engine(i).regret_spent();
+            }
+            tier.ServeSchedule(
+                epoch, end, threads,
+                [&](int q, int chosen, uint64_t seq) {
+                  const ResolvedServing served = ResolveServingFaults(
+                      *backend, config.faults, config.max_retries,
+                      config.retry_backoff_seconds, q, chosen, seq);
+                  if (seq < static_cast<uint64_t>(total)) {
+                    serve_failures[seq] = served.failures;
+                    serve_degraded[seq] = served.degraded ? 1 : 0;
+                    serve_backoff[seq] = served.backoff_seconds;
+                  }
+                  core::ServedOutcome out;
+                  out.hint = served.hint;
+                  out.degraded = served.degraded;
+                  out.latency = backend->ServeLatency(q, served.hint, seq);
+                  return out;
+                },
+                [&](uint64_t seq, int q, int hint, double latency) {
+                  if (seq < static_cast<uint64_t>(total)) {
+                    result.serving_trace[seq] =
+                        ServingRecord{q, hint, latency};
+                  }
+                });
+            for (int i = 0; i < shards; ++i) {
+              shard_epoch_regret[i] = std::max(
+                  shard_epoch_regret[i],
+                  tier.shard_engine(i).regret_spent() - regret_before[i]);
+            }
+          }
+        };
+        run_epochs(0, total);
+        for (int s = 0; s < total; ++s) {
+          result.fault_serve_failures += serve_failures[s];
+          if (serve_degraded[s]) ++result.fault_serve_fallbacks;
+          result.fault_backoff_seconds += serve_backoff[s];
+        }
+        // Each shard's slice can be overshot by one epoch of its own
+        // exploratory regret, so the fleet allowance is the sum.
+        regret_allowance = 0.0;
+        for (int i = 0; i < shards; ++i) {
+          regret_allowance += shard_epoch_regret[i];
+        }
+        allowance_kind = "one epoch per shard";
+
+        result.servings = total;
+        result.explorations = tier.explorations();
+        result.regret_spent = tier.regret_spent();
+        // Capture the merged reassembly before the freeze probe below adds
+        // diagnostic traffic (the bare modes record final_latency at the
+        // same point).
+        sharded_final = tier.MergedMatrix();
+        result.final_latency = sharded_final->CurrentWorkloadLatency();
+
+        // Per-shard freeze: any shard whose slice is exhausted must stay
+        // frozen through further epochs (the other shards may keep
+        // exploring their own slices).
+        std::vector<uint8_t> exhausted(shards, 0);
+        std::vector<int> frozen(shards, 0);
+        bool any_exhausted = false;
+        for (int i = 0; i < shards; ++i) {
+          exhausted[i] = tier.shard_engine(i).budget_exhausted() ? 1 : 0;
+          frozen[i] = tier.shard_engine(i).explorations();
+          any_exhausted |= exhausted[i] != 0;
+        }
+        if (any_exhausted) {
+          run_epochs(total, total + 50);
+          for (int i = 0; i < shards; ++i) {
+            if (!exhausted[i]) continue;
+            if (tier.shard_engine(i).explorations() != frozen[i]) {
+              std::ostringstream os;
+              os << "shard " << i << ": "
+                 << tier.shard_engine(i).explorations() - frozen[i]
+                 << " explorations after slice exhaustion";
+              Violate(&result, "online-budget-freeze", os.str());
+            }
+          }
+        }
+      }
+
+    } else if (config.serve_threads <= 0) {
       // -- Synchronous path: one thread acting as both planes. ----------
       core::OnlineExplorationOptimizer optimizer(&engine, online);
       double max_served = 0.0;
@@ -948,11 +1352,20 @@ SimulationResult SimulationDriver::Run(const RunConfig& config) {
               "explorations with epsilon = 0");
     }
 
-    CheckMatrixConsistency(explorer.matrix(), &result);
-    CheckNoRegression(explorer.matrix(), explorer.BestHints(), "online",
-                      &result);
-    CheckNoRegression(explorer.matrix(), OnlineServedHints(explorer.matrix()),
-                      "online-serving", &result);
+    if (sharded_final) {
+      // Sharded runs serve from the tier's per-shard matrices; the merged
+      // reassembly is the ground truth the fleet actually observed.
+      CheckMatrixConsistency(*sharded_final, &result);
+      CheckNoRegression(*sharded_final, OnlineServedHints(*sharded_final),
+                        "online-serving", &result);
+    } else {
+      CheckMatrixConsistency(explorer.matrix(), &result);
+      CheckNoRegression(explorer.matrix(), explorer.BestHints(), "online",
+                        &result);
+      CheckNoRegression(explorer.matrix(),
+                        OnlineServedHints(explorer.matrix()),
+                        "online-serving", &result);
+    }
   } else {
     result.final_latency = explorer.matrix().CurrentWorkloadLatency();
   }

@@ -144,6 +144,22 @@ struct RunConfig {
   /// never slept, and never charged to the offline clock or the regret
   /// ledger — the no-double-charge invariant for transient faults.
   double retry_backoff_seconds = 0.05;
+  /// Shard the online serving phase across this many ExplorationEngines
+  /// behind a ShardedServingTier (src/core/shard_router.h). 0 (default)
+  /// serves from the single offline engine (the legacy paths above);
+  /// >= 1 routes every serving through the tier's deterministic
+  /// row->shard partition, with the fleet regret budget split into
+  /// row-count-proportional per-shard slices. Requires serve_threads >= 1
+  /// and arm == kCompleter (per-shard matrices need a per-shard
+  /// completion model). In the epoch-synchronized mode the merged trace
+  /// keeps the bitwise thread-count-determinism contract, and at
+  /// shards == 1 it is bitwise identical to the unsharded trace
+  /// (tests/shard_router_test.cc); in the free-running mode the
+  /// statistical invariants are checked per shard (local staleness
+  /// bounds, slice-gated exploration, per-shard freeze) plus fleet-wide
+  /// (summed ledger vs fleet budget with summed slack, a composed
+  /// global-index staleness bound, the binomial epsilon cap).
+  int shards = 0;
 };
 
 /// One serving of the concurrent serving plane, recorded at its global

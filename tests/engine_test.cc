@@ -364,6 +364,65 @@ TEST(EngineTest, QueueWrapStressManyLapsUnderConcurrentProducers) {
   }
 }
 
+TEST(EngineTest, StalenessBoundHoldsWhenABatchSpansAPublicationMidLap) {
+  // Regression pin for the free-running staleness bound
+  //   2 * queue_capacity + threads * batch + publish_every
+  // in the worst legal interleaving: a serving thread's claimed batch
+  // spans a publication boundary mid-lap. Single-threaded emulation of
+  // the adversarial schedule — every step below is something the real
+  // planes can do:
+  //   1. P-1 servings drain inside the first publish window (the cadence
+  //      hasn't fired, so the published snapshot still says seq 0);
+  //   2. producers fill a full lap of the queue on that stale snapshot;
+  //   3. the train thread drains the lap but is descheduled between its
+  //      Drain and its Publish;
+  //   4. producers fill a second lap (Report admits up to drain front +
+  //      capacity - 1);
+  //   5. a thread claims one more batch of 16 and *decides* all of them
+  //      before its first Report would block.
+  // The decisions in step 5 are the farthest any serving can run ahead of
+  // the snapshot that decides it.
+  EngineOptions options;
+  options.queue_capacity = 64;
+  ExplorationEngine engine(MakeMatrix(8, 3, 0.0, 31), nullptr, options);
+  const uint64_t kCapacity = engine.queue_capacity();
+  const uint64_t kPublishEvery = 8;  // emulated cadence
+  const uint64_t kBatch = 16;        // the driver's free-running claim size
+  std::shared_ptr<const ServingSnapshot> snap = engine.snapshot();
+  ASSERT_EQ(snap->published_seq(), 0u);
+
+  uint64_t max_staleness = 0;
+  const auto decide_and_report = [&](uint64_t count) {
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint64_t seq = engine.AcquireServingIndex();
+      const int q = static_cast<int>(seq % 8);
+      const int hint = snap->ChooseHint(q, seq);
+      max_staleness = std::max(max_staleness, seq - snap->published_seq());
+      engine.Report(snap->MakeObservation(seq, q, hint, 1.0));
+    }
+  };
+
+  decide_and_report(kPublishEvery - 1);         // seqs 0..6
+  ASSERT_EQ(engine.Drain(), kPublishEvery - 1);  // front = 7, no publish yet
+  decide_and_report(kCapacity);                  // seqs 7..70 fill a lap
+  ASSERT_EQ(engine.Drain(), kCapacity);          // front = 71, publish missed
+  decide_and_report(kCapacity);                  // seqs 71..134: second lap
+  for (uint64_t i = 0; i < kBatch; ++i) {        // claimed batch 135..150,
+    const uint64_t seq = engine.AcquireServingIndex();  // decisions only
+    const int q = static_cast<int>(seq % 8);
+    snap->ChooseHint(q, seq);
+    max_staleness = std::max(max_staleness, seq - snap->published_seq());
+  }
+
+  const uint64_t bound = 2 * kCapacity + 1 * kBatch + kPublishEvery;
+  EXPECT_LE(max_staleness, bound)
+      << "worst-case interleaving exceeds the documented bound";
+  // The scenario must actually reach the wrap regime (beyond two full
+  // laps) or the pin is vacuous.
+  EXPECT_GE(max_staleness, 2 * kCapacity);
+  EXPECT_EQ(engine.Drain(), kCapacity);  // the second lap drains cleanly
+}
+
 // ---------------------------------------------------------------------------
 // Concurrent serving: the TSan hammer. Serving threads run the real
 // protocol (version probe, snapshot reuse, ChooseHint, Report) against the

@@ -16,8 +16,17 @@ Watched metrics:
   * serving_ns_per_op @ 1 thread — end-to-end serving including backend
     execution and observation reporting.
 
+Also checks one *within-run* ratio (current vs current, so scheduler
+noise largely cancels): the 1-shard sharded tier
+(sharded_serving_s1r1_ns_per_op) must stay under --max-router-tax times
+the bare 1-thread serving loop. At one shard the router degenerates to
+two array lookups and a local==global index identity, so a blown ratio
+means the routing layer grew a real per-serving cost (an allocation, a
+lock, a per-shard scan) rather than the machine being slow today.
+
 Usage:
   check_bench_regression.py BASELINE.json CURRENT.json [--max-ratio 2.0]
+                            [--max-router-tax 1.3]
 """
 
 import argparse
@@ -50,6 +59,13 @@ def main():
         default=2.0,
         help="fail when current/baseline exceeds this (default: 2.0)",
     )
+    parser.add_argument(
+        "--max-router-tax",
+        type=float,
+        default=1.3,
+        help="fail when the 1-shard tier costs more than this times the "
+        "bare 1-thread serving loop within the current run (default: 1.3)",
+    )
     args = parser.parse_args()
 
     baseline = load_metrics(args.baseline)
@@ -75,6 +91,29 @@ def main():
             failures.append(
                 f"{name}@{threads}t regressed {ratio:.2f}x "
                 f"({baseline[key]:.1f} -> {current[key]:.1f} ns/op)"
+            )
+
+    # Within-run router-tax guard: 1-shard sharded tier vs bare serving.
+    bare = current.get(("serving_ns_per_op", 1))
+    routed = current.get(("sharded_serving_s1r1_ns_per_op", 1))
+    if bare is None or routed is None:
+        failures.append(
+            "router-tax inputs missing from current run "
+            f"(bare={bare}, sharded_s1r1={routed})"
+        )
+    else:
+        tax = routed / bare
+        verdict = "FAIL" if tax > args.max_router_tax else "ok"
+        print(
+            f"{verdict:>4}  router tax (sharded s1r1 / bare @1t): "
+            f"{bare:.1f} -> {routed:.1f} ns/op "
+            f"({tax:.2f}x, limit {args.max_router_tax:.2f}x)"
+        )
+        if tax > args.max_router_tax:
+            failures.append(
+                f"1-shard router tax {tax:.2f}x exceeds "
+                f"{args.max_router_tax:.2f}x "
+                f"({bare:.1f} -> {routed:.1f} ns/op)"
             )
 
     if failures:

@@ -17,8 +17,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -27,6 +29,7 @@
 #include "core/engine.h"
 #include "core/explorer.h"
 #include "core/serialization.h"
+#include "core/shard_router.h"
 #include "core/simdb_backend.h"
 #include "scenarios/faulty_backend.h"
 #include "workloads/workloads.h"
@@ -49,6 +52,12 @@ struct Args {
   /// Serving threads for the serving phase (deterministic schedule: the
   /// merged trace is identical at any thread count).
   int serve_threads = 1;
+  /// Shard the serving phase across N engines behind the deterministic
+  /// router (0 = bare engine). At 1 shard the tier serves the bare
+  /// engine's trace bitwise; with --checkpoint-dir each epoch writes
+  /// per-shard checkpoints plus a tier manifest, and --restore=DIR
+  /// reassembles the fleet from them.
+  int shards = 0;
   /// Directory for crash-consistent engine checkpoints: one is written
   /// after exploration and after every serving epoch (atomic temp + fsync
   /// + rename, so a kill at any instant leaves a loadable file).
@@ -78,9 +87,17 @@ void Usage() {
       "                  [--save=PATH]  save the matrix afterwards\n"
       "                  [--serve=N]    online servings after exploring\n"
       "                  [--serve-threads=T]  serving threads (default 1)\n"
+      "                  [--shards=N]   shard serving across N engines behind\n"
+      "                                 the deterministic router (default 0 =\n"
+      "                                 bare engine)\n"
       "                  [--checkpoint-dir=DIR]  write crash-consistent\n"
       "                                 engine checkpoints to DIR/engine.ckpt\n"
+      "                                 (with --shards: DIR/shard-<i>.ckpt per\n"
+      "                                 shard plus DIR/tier.manifest)\n"
       "                  [--restore=PATH]  warm-restart from a checkpoint\n"
+      "                                 (with --shards: PATH is the checkpoint\n"
+      "                                 directory; the tier manifest is\n"
+      "                                 authoritative for the shard count)\n"
       "                                 (falls back to cold start if unusable)\n"
       "                  [--faults=W]   serving fault world: none|flaky|\n"
       "                                 spiky|storms|chaos\n"
@@ -114,6 +131,8 @@ bool Parse(int argc, char** argv, Args* args) {
       args->serve = std::atoi(v);
     } else if (const char* v = value("--serve-threads=")) {
       args->serve_threads = std::atoi(v);
+    } else if (const char* v = value("--shards=")) {
+      args->shards = std::atoi(v);
     } else if (const char* v = value("--checkpoint-dir=")) {
       args->checkpoint_dir = v;
     } else if (const char* v = value("--restore=")) {
@@ -195,11 +214,24 @@ int Run(const Args& args) {
     }
     fault_spec = *world;
   }
+  if (!args.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(args.checkpoint_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create checkpoint dir %s: %s\n",
+                   args.checkpoint_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
   const std::string checkpoint_path =
-      args.checkpoint_dir.empty() ? std::string()
-                                  : args.checkpoint_dir + "/engine.ckpt";
+      args.checkpoint_dir.empty() || args.shards >= 1
+          ? std::string()
+          : args.checkpoint_dir + "/engine.ckpt";
 
-  if (!args.restore.empty()) {
+  // A sharded --restore names the checkpoint *directory* and reassembles
+  // the fleet in the serving phase below; the bare path restores the
+  // single engine checkpoint here.
+  if (!args.restore.empty() && args.shards <= 0) {
     StatusOr<core::EngineCheckpoint> ckpt =
         core::LoadEngineCheckpointFromFile(args.restore);
     if (!ckpt.ok()) {
@@ -268,7 +300,131 @@ int Run(const Args& args) {
       explorer.overhead_seconds());
 
   // ---- Online serving phase (the engine's concurrent serving plane) ----
-  if (args.serve > 0) {
+  if (args.serve > 0 && args.shards >= 1) {
+    // Sharded serving tier: N engines behind the deterministic router.
+    // Decisions stay keyed by global serving index, so at --shards=1 the
+    // tier serves the bare engine's trace bitwise.
+    const int threads = std::max(1, args.serve_threads);
+    core::AlsOptions als;
+    als.convergence_tol = 1e-3;
+    core::OnlineExplorationOptions online;
+    online.epsilon = 0.1;
+    online.min_predicted_ratio = 0.05;
+    online.regret_budget_seconds = 0.02 * db->DefaultTotal();
+    online.seed = args.seed;
+    core::ShardedTierOptions tier_options;
+    tier_options.num_shards = args.shards;
+    tier_options.online = online;
+
+    std::vector<std::unique_ptr<core::Predictor>> predictors;
+    std::vector<core::Predictor*> predictor_ptrs;
+    auto make_predictors = [&](int count) {
+      predictors.clear();
+      predictor_ptrs.clear();
+      for (int i = 0; i < count; ++i) {
+        predictors.push_back(std::make_unique<core::CompleterPredictor>(
+            std::make_unique<core::AlsCompleter>(als)));
+        predictor_ptrs.push_back(predictors.back().get());
+      }
+    };
+
+    std::unique_ptr<core::ShardedServingTier> tier;
+    if (!args.restore.empty()) {
+      // The tier manifest is authoritative for the shard count and the
+      // row->shard assignment; --shards only shapes a cold start.
+      make_predictors(args.shards);
+      StatusOr<std::unique_ptr<core::ShardedServingTier>> restored =
+          core::ShardedServingTier::RestoreFromDirectory(
+              args.restore, predictor_ptrs, tier_options);
+      if (restored.ok()) {
+        tier = std::move(*restored);
+        std::printf(
+            "fleet restart from %s: %d shards, %d rows, serving seq %llu, "
+            "regret spent %.2f s\n",
+            args.restore.c_str(), tier->num_shards(), tier->num_queries(),
+            static_cast<unsigned long long>(tier->scheduled_servings()),
+            tier->regret_spent());
+      } else {
+        std::fprintf(stderr,
+                     "tier checkpoints unusable (%s); starting cold\n",
+                     restored.status().ToString().c_str());
+      }
+    }
+    if (tier == nullptr) {
+      make_predictors(args.shards);
+      tier = std::make_unique<core::ShardedServingTier>(
+          explorer.matrix(), predictor_ptrs, tier_options);
+    }
+    tier->RefreshAll(/*force=*/true);
+    tier->PublishAll();
+
+    const double before_serving = explorer.WorkloadLatency();
+    const auto t0 = std::chrono::steady_clock::now();
+    const int epoch_len = online.refresh_every;
+    const uint64_t base = tier->scheduled_servings();
+    std::atomic<long> serve_failures{0};
+    std::atomic<long> serve_fallbacks{0};
+    const auto resolve = [&](int q, int chosen,
+                             uint64_t seq) -> core::ServedOutcome {
+      core::ServedOutcome out;
+      out.hint = chosen;
+      for (int attempt = 0;; ++attempt) {
+        if (!scenarios::FaultyBackend::AttemptFails(fault_spec, q, out.hint,
+                                                    seq, attempt)) {
+          break;
+        }
+        serve_failures.fetch_add(1, std::memory_order_relaxed);
+        if (attempt >= args.max_retries) {
+          out.hint = 0;
+          out.degraded = true;
+          serve_fallbacks.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+      out.latency = db->TrueLatency(q, out.hint);
+      return out;
+    };
+    for (uint64_t epoch = base; epoch < base + args.serve;
+         epoch += epoch_len) {
+      const uint64_t end =
+          std::min<uint64_t>(base + args.serve, epoch + epoch_len);
+      tier->ServeSchedule(epoch, end, threads, resolve);
+      if (!args.checkpoint_dir.empty()) {
+        // Epoch boundaries are fleet-wide op boundaries: every shard's
+        // checkpoint and the tier manifest agree, so RestoreFromDirectory
+        // reassembles a fleet that continues bitwise
+        // (tests/shard_router_test.cc).
+        Status st = tier->SaveCheckpoints(args.checkpoint_dir);
+        if (!st.ok()) {
+          std::fprintf(stderr, "tier checkpoint failed: %s\n",
+                       st.ToString().c_str());
+          return 2;
+        }
+      }
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    // Fold the merged reassembly back into the explorer so the final
+    // latency report and --save reflect what the fleet observed.
+    explorer.LoadMatrix(tier->MergedMatrix());
+    std::printf(
+        "served %d queries across %d shard(s) on %d thread(s) in %.3f s "
+        "(%.0f servings/s)\n"
+        "  workload latency %.0f s -> %.0f s, explorations: %d, regret "
+        "spent: %.2f / %.2f s\n",
+        args.serve, tier->num_shards(), threads, wall,
+        args.serve / std::max(wall, 1e-9), before_serving,
+        explorer.WorkloadLatency(), tier->explorations(),
+        tier->regret_spent(), online.regret_budget_seconds);
+    if (fault_spec.any()) {
+      std::printf(
+          "  fault world '%s': %ld failed serving attempts, %ld degraded "
+          "to the default hint\n",
+          fault_spec.name.c_str(), serve_failures.load(),
+          serve_fallbacks.load());
+    }
+  } else if (args.serve > 0) {
     const int threads = std::max(1, args.serve_threads);
     core::AlsOptions als;
     als.convergence_tol = 1e-3;  // warm-started refreshes stop early
