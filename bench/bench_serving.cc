@@ -173,12 +173,18 @@ double MeasureServing(const scenarios::ScenarioSpec& spec, int threads,
 /// Sharded tier throughput: one serving thread runs the free-running
 /// routed protocol (claim a global batch, route each index to its shard,
 /// probe that shard's snapshot, decide, report under a shard-local index)
-/// against `shards` engines whose train threads refit with
-/// `refit_threads` linalg threads. At shards == 1 this measures the pure
-/// router tax over the bare MeasureServing loop — the <1.3x guard in
-/// tools/check_bench_regression.py.
+/// against `shards` engines whose train plane refits with `refit_threads`
+/// linalg threads. With `shared_train` the fleet trains through one
+/// TrainExecutor (2 workers sharing the linalg budget) instead of a
+/// thread per shard. At shards == 1 this measures the pure router tax
+/// over the bare MeasureServing loop — the <1.3x guard in
+/// tools/check_bench_regression.py; shared_train_s4 vs sharded s4r4 is
+/// the executor's win over the oversubscribed thread-per-shard plane.
+/// *refit_ns_out receives the fleet-mean wall time per completed refit,
+/// *refits_out the fleet refit count.
 double MeasureShardedServing(const scenarios::ScenarioSpec& spec, int shards,
-                             int refit_threads) {
+                             int refit_threads, bool shared_train,
+                             double* refit_ns_out, long* refits_out) {
   WarmServingWorld seed_world(spec);
   core::OnlineExplorationOptions online;
   online.epsilon = 0.1;
@@ -188,6 +194,9 @@ double MeasureShardedServing(const scenarios::ScenarioSpec& spec, int shards,
   core::ShardedTierOptions options;
   options.num_shards = shards;
   options.online = online;
+  options.shared_train_plane = shared_train;
+  options.executor.workers = 2;
+  options.executor.linalg_threads = refit_threads;
   std::vector<std::unique_ptr<core::CompleterPredictor>> predictors;
   std::vector<core::Predictor*> predictor_ptrs;
   for (int i = 0; i < shards; ++i) {
@@ -236,6 +245,19 @@ double MeasureShardedServing(const scenarios::ScenarioSpec& spec, int shards,
   const double elapsed = WallSeconds() - t0;
   tier.StopTraining();
   SetNumThreads(1);
+  uint64_t refits = 0;
+  uint64_t refit_nanos = 0;
+  for (int i = 0; i < shards; ++i) {
+    refits += tier.shard_engine(i).refits_completed();
+    refit_nanos += tier.shard_engine(i).refit_nanos();
+  }
+  if (refit_ns_out != nullptr) {
+    *refit_ns_out =
+        refits > 0 ? static_cast<double>(refit_nanos) /
+                         static_cast<double>(refits)
+                   : 0.0;
+  }
+  if (refits_out != nullptr) *refits_out = static_cast<long>(refits);
   return elapsed / kServingsPerConfig * 1e9;
 }
 
@@ -486,16 +508,47 @@ int Main(int argc, char** argv) {
   std::printf("\n  sharded tier (1 serving thread, routed protocol):\n");
   for (int shards : {1, 2, 4}) {
     for (int refit_threads : {1, 4}) {
-      const double ns = MeasureShardedServing(spec, shards, refit_threads);
+      double refit_ns = 0.0;
+      long refits = 0;
+      const double ns =
+          MeasureShardedServing(spec, shards, refit_threads,
+                                /*shared_train=*/false, &refit_ns, &refits);
       char name[64];
       std::snprintf(name, sizeof(name), "sharded_serving_s%dr%d_ns_per_op",
                     shards, refit_threads);
       reporter.Report(name, ns, kServingsPerConfig, shards);
+      std::snprintf(name, sizeof(name), "sharded_serving_s%dr%d_refit_ns",
+                    shards, refit_threads);
+      reporter.Report(name, refit_ns, refits, shards);
       std::printf(
           "    %d shard(s), %d refit thread(s): %.1f ns/serving "
-          "(%.2fM servings/s)\n",
-          shards, refit_threads, ns, 1e3 / ns);
+          "(%.2fM servings/s), %ld refits @ %.2f ms\n",
+          shards, refit_threads, ns, 1e3 / ns, refits, refit_ns / 1e6);
     }
+  }
+
+  // Shared train plane: same routed serving loop, but the whole fleet
+  // trains through one TrainExecutor (2 workers, 4 linalg threads split
+  // between them) instead of one free-running thread per shard. The s4
+  // point against sharded_serving_s4r4 above is the headline: on a small
+  // box the executor keeps the serving thread's core instead of
+  // time-slicing it against 4 train threads x 4-way refit fan-out.
+  std::printf("\n  shared train plane (one executor, 2 workers):\n");
+  for (int shards : {2, 4}) {
+    double refit_ns = 0.0;
+    long refits = 0;
+    const double ns =
+        MeasureShardedServing(spec, shards, /*refit_threads=*/4,
+                              /*shared_train=*/true, &refit_ns, &refits);
+    char name[64];
+    std::snprintf(name, sizeof(name), "shared_train_s%d_ns_per_op", shards);
+    reporter.Report(name, ns, kServingsPerConfig, shards);
+    std::snprintf(name, sizeof(name), "shared_train_s%d_refit_ns", shards);
+    reporter.Report(name, refit_ns, refits, shards);
+    std::printf(
+        "    %d shard(s), shared executor: %.1f ns/serving "
+        "(%.2fM servings/s), %ld refits @ %.2f ms\n",
+        shards, ns, 1e3 / ns, refits, refit_ns / 1e6);
   }
 
   // Pure decision cost: the kernel alone, over a pinned published

@@ -11,6 +11,9 @@ namespace {
 // calls run inline to avoid deadlocking a finite pool.
 thread_local bool t_in_parallel_region = false;
 
+// Per-thread chunk cap installed by ScopedParallelBudget (0 = uncapped).
+thread_local int t_parallel_budget = 0;
+
 int DefaultNumThreads() {
   if (const char* env = std::getenv("LIMEQO_THREADS")) {
     const int n = std::atoi(env);
@@ -68,17 +71,20 @@ void ThreadPool::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       task_ready_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutting down
-      task = std::move(queue_.back());
+      task = queue_.back();
       queue_.pop_back();
     }
     t_in_parallel_region = true;
-    task.fn(task.begin, task.end);
+    (*task.fn)(task.begin, task.end);
     t_in_parallel_region = false;
+    bool call_complete = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      --pending_;
+      call_complete = --*task.pending == 0;
     }
-    task_done_.notify_all();
+    // Wake waiters only when some call's last chunk finished; each waiter
+    // re-checks its own counter, so a wakeup for another call is harmless.
+    if (call_complete) task_done_.notify_all();
   }
 }
 
@@ -88,7 +94,11 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   if (begin >= end) return;
   const size_t len = end - begin;
   grain = std::max<size_t>(grain, 1);
-  size_t chunks = std::min<size_t>(num_threads_, (len + grain - 1) / grain);
+  size_t max_chunks = static_cast<size_t>(num_threads_);
+  if (t_parallel_budget > 0) {
+    max_chunks = std::min(max_chunks, static_cast<size_t>(t_parallel_budget));
+  }
+  size_t chunks = std::min<size_t>(max_chunks, (len + grain - 1) / grain);
   if (chunks <= 1 || workers_.empty() || t_in_parallel_region) {
     fn(begin, end);
     return;
@@ -104,11 +114,15 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
     bounds.emplace_back(at, at + size_c);
     at += size_c;
   }
+  // Per-call completion state lives on this frame: the workers borrow
+  // pointers into it, which is safe because this call blocks below until
+  // its own counter drains. Concurrent ParallelFor calls therefore wait
+  // only for their own chunks, never for a stranger's.
+  int pending = static_cast<int>(chunks - 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t c = 1; c < chunks; ++c) {
-      queue_.push_back(Task{fn, bounds[c].first, bounds[c].second});
-      ++pending_;
+      queue_.push_back(Task{&fn, bounds[c].first, bounds[c].second, &pending});
     }
   }
   task_ready_.notify_all();
@@ -117,7 +131,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   fn(bounds[0].first, bounds[0].second);
   t_in_parallel_region = false;
   std::unique_lock<std::mutex> lock(mu_);
-  task_done_.wait(lock, [this] { return pending_ == 0; });
+  task_done_.wait(lock, [&pending] { return pending == 0; });
 }
 
 int NumThreads() { return ThreadPool::Global().num_threads(); }
@@ -129,6 +143,15 @@ void SetNumThreads(int num_threads) {
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t, size_t)>& fn, size_t grain) {
   ThreadPool::Global().ParallelFor(begin, end, fn, grain);
+}
+
+ScopedParallelBudget::ScopedParallelBudget(int max_threads)
+    : previous_(t_parallel_budget) {
+  t_parallel_budget = std::max(max_threads, 1);
+}
+
+ScopedParallelBudget::~ScopedParallelBudget() {
+  t_parallel_budget = previous_;
 }
 
 }  // namespace limeqo

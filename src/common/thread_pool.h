@@ -21,6 +21,16 @@ namespace limeqo {
 /// partition deterministically (fixed chunks combined in index order) and
 /// never use atomics; see the per-row residual reduction in
 /// SvtCompleter::Complete (src/core/svt.cc) for the pattern.
+///
+/// Concurrency contract: ParallelFor may be submitted from any number of
+/// threads concurrently (the shared cross-shard train plane does exactly
+/// this — several refit jobs fanning out over the one global pool). Each
+/// call tracks the completion of *its own* chunks, so concurrent callers
+/// never wait on each other's work; chunks from different calls interleave
+/// freely on the workers. SetNumThreads is the exception: it tears the
+/// workers down and must not race any in-flight ParallelFor (pin the pool
+/// size before concurrent submission starts — the tests and the executor
+/// both do).
 class ThreadPool {
  public:
   /// The process-wide pool. Sized on first use from LIMEQO_THREADS if set,
@@ -38,23 +48,33 @@ class ThreadPool {
   int num_threads() const { return num_threads_; }
 
   /// Resizes the pool. Used by tests to pin the thread count; not safe to
-  /// call concurrently with ParallelFor.
+  /// call concurrently with ParallelFor (it joins and restarts the
+  /// workers). To bound the fan-out of one caller without touching the
+  /// pool, use ScopedParallelBudget instead.
   void SetNumThreads(int num_threads);
 
   /// Invokes fn(chunk_begin, chunk_end) over a partition of [begin, end)
   /// into at most num_threads() contiguous chunks and blocks until all
   /// chunks complete. `grain` is the minimum chunk size: small ranges run
   /// on fewer threads (or inline) so dispatch overhead never dominates.
-  /// Nested calls from inside a worker run inline on the caller.
+  /// Nested calls from inside a worker run inline on the caller. Safe to
+  /// call from multiple threads concurrently; each call waits only for its
+  /// own chunks.
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t, size_t)>& fn,
                    size_t grain = 1);
 
  private:
   struct Task {
-    std::function<void(size_t, size_t)> fn;
+    /// Borrowed from the submitting call's frame; valid because the
+    /// submitter blocks until its per-call counter reaches zero.
+    const std::function<void(size_t, size_t)>* fn = nullptr;
     size_t begin = 0;
     size_t end = 0;
+    /// The submitting call's outstanding-chunk counter (guarded by mu_).
+    /// Per-call tracking is what makes concurrent submission safe: a
+    /// caller's wait predicate reads only its own counter.
+    int* pending = nullptr;
   };
 
   void WorkerLoop();
@@ -68,7 +88,6 @@ class ThreadPool {
   std::condition_variable task_ready_;
   std::condition_variable task_done_;
   std::vector<Task> queue_;
-  int pending_ = 0;  // submitted but not yet finished tasks
   bool shutting_down_ = false;
 };
 
@@ -76,13 +95,36 @@ class ThreadPool {
 int NumThreads();
 
 /// Pins the global pool to `num_threads` (>= 1). Tests use this to compare
-/// single- and multi-threaded results.
+/// single- and multi-threaded results. Follows ThreadPool::SetNumThreads's
+/// contract: never call concurrently with in-flight ParallelFor work.
 void SetNumThreads(int num_threads);
 
 /// ParallelFor on the global pool.
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t, size_t)>& fn,
                  size_t grain = 1);
+
+/// RAII cap on the fan-out of ParallelFor calls made *by this thread* while
+/// the scope is alive: each call splits into at most `max_threads` chunks
+/// regardless of the pool size. The shared train executor wraps every refit
+/// job in one of these so a fleet of N shards fans out to the executor's
+/// global linalg budget instead of N * LIMEQO_THREADS. Purely a chunk-count
+/// clamp — the determinism contract already makes results bitwise identical
+/// for any chunk count, so a budgeted refit equals an unbudgeted one bit
+/// for bit. Scopes nest (the inner cap wins until it exits); the cap is
+/// thread-local and does not propagate to pool workers, which is correct
+/// because nested ParallelFor on a worker runs inline anyway.
+class ScopedParallelBudget {
+ public:
+  explicit ScopedParallelBudget(int max_threads);
+  ~ScopedParallelBudget();
+
+  ScopedParallelBudget(const ScopedParallelBudget&) = delete;
+  ScopedParallelBudget& operator=(const ScopedParallelBudget&) = delete;
+
+ private:
+  int previous_;
+};
 
 }  // namespace limeqo
 

@@ -322,7 +322,12 @@ StatusOr<linalg::Matrix> AlsCompleter::CompleteInternal(
   // keeps the scatter order-independent, and they are rebuilt after the
   // validation split is carved out of the mask below.
   const bool clamp = options_.censored_mode == CensoredMode::kCensored;
-  linalg::Matrix w_hat;
+  // The fill, factor-update, and Gram/Cholesky buffers come from the
+  // installed arena (the shared train plane pools one per executor worker
+  // across all shards) or the private fallback. Every buffer is fully
+  // overwritten before it is read, so the two paths are bitwise identical.
+  CompletionArena& arena = arena_ != nullptr ? *arena_ : fallback_arena_;
+  linalg::Matrix& w_hat = arena.w_hat;
   std::vector<std::pair<size_t, double>> observed_cells;   // flat index, value
   std::vector<std::pair<size_t, double>> censored_cells;   // flat index, bound
   auto rebuild_fill_lists = [&]() {
@@ -355,9 +360,9 @@ StatusOr<linalg::Matrix> AlsCompleter::CompleteInternal(
   linalg::Matrix best_h = h_;
   // Factor updates write into persistent buffers that swap with q_ / h_;
   // the Gram/Cholesky workspaces are shared across all iterations.
-  linalg::RidgeWorkspace ws;
-  linalg::Matrix q_next;
-  linalg::Matrix h_next;
+  linalg::RidgeWorkspace& ws = arena.ridge;
+  linalg::Matrix& q_next = arena.q_next;
+  linalg::Matrix& h_next = arena.h_next;
   double best_val_rmse = std::numeric_limits<double>::infinity();
   auto validation_rmse = [&]() {
     double se = 0.0;
@@ -471,7 +476,10 @@ StatusOr<linalg::Matrix> AlsCompleter::CompleteInternal(
     hi_ratio += kEnvelopeMargin;
   }
   fill();
-  linalg::Matrix result = std::move(w_hat);  // last fill; w_hat is dead now
+  // The result must outlive this call (the engine shares it into
+  // snapshots), so the final fill's storage leaves the arena by move; the
+  // factor-update and Gram/Cholesky buffers stay pooled.
+  linalg::Matrix result = std::move(w_hat);
   if (log_space) {
     for (size_t i = 0; i < n; ++i) {
       for (size_t j = 0; j < k; ++j) {

@@ -109,6 +109,13 @@ class AlsCompleter : public Completer {
 
   std::string name() const override { return "ALS"; }
 
+  /// Borrows `arena` for the fill / factor-update / Gram-Cholesky buffers
+  /// of subsequent completions (nullptr reverts to private buffers). See
+  /// Completer::SetArena for the ownership contract; results are bitwise
+  /// identical either way because every buffer is fully overwritten before
+  /// use.
+  void SetArena(CompletionArena* arena) override { arena_ = arena; }
+
   const AlsOptions& options() const { return options_; }
 
   /// The factor matrices from the most recent Complete() call (n x r and
@@ -130,6 +137,10 @@ class AlsCompleter : public Completer {
   linalg::Matrix q_;
   linalg::Matrix h_;
   int last_iterations_ = 0;
+  /// Borrowed scratch (SetArena); fallback_arena_ serves when none is set,
+  /// so the no-allocation-after-first-call property holds either way.
+  CompletionArena* arena_ = nullptr;
+  CompletionArena fallback_arena_;
 };
 
 }  // namespace limeqo::core

@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "core/workload_matrix.h"
 #include "linalg/matrix.h"
+#include "linalg/solve.h"
 
 namespace limeqo::core {
 
@@ -27,6 +28,27 @@ struct CompletionFactors {
     query_factors = linalg::Matrix();
     hint_factors = linalg::Matrix();
   }
+};
+
+/// Reusable scratch buffers for one completion job: the fill buffer, the
+/// per-sweep factor-update outputs, and the Gram/Cholesky workspaces of the
+/// ridge solves. Every buffer is fully overwritten before it is read, so an
+/// arena-backed completion is bitwise identical to one using private
+/// buffers — the arena only removes the per-call allocations. Ownership
+/// model: a completer holds at most a *borrowed* arena (SetArena) and the
+/// borrower serializes use — the shared train executor keeps one arena per
+/// worker thread and installs it into whichever shard's completer that
+/// worker is currently refitting, so a fleet of N shards warms one set of
+/// buffers per worker instead of N private copies.
+struct CompletionArena {
+  /// Dense fill buffer W-hat (n x k); re-sized by the first fill of a job.
+  linalg::Matrix w_hat;
+  /// Query-factor update output (n x r), swapped with the live factors.
+  linalg::Matrix q_next;
+  /// Hint-factor update output (k x r), swapped with the live factors.
+  linalg::Matrix h_next;
+  /// Gram/Cholesky scratch shared by every ridge solve of the job.
+  linalg::RidgeWorkspace ridge;
 };
 
 /// A matrix-completion algorithm: estimates the full workload matrix W-hat
@@ -63,6 +85,14 @@ class Completer {
     if (factors != nullptr) factors->clear();
     return Complete(w);
   }
+
+  /// Installs (or, with nullptr, removes) a borrowed scratch arena for
+  /// subsequent Complete/CompleteFrom calls. The caller owns the arena and
+  /// must keep it alive and unshared while any completion that uses it
+  /// runs. Arena-backed results are bitwise identical to arena-less ones;
+  /// the base implementation ignores the arena (solvers with no reusable
+  /// scratch).
+  virtual void SetArena(CompletionArena* arena) { (void)arena; }
 
   /// Display name for reports, e.g. "ALS".
   virtual std::string name() const = 0;

@@ -178,6 +178,7 @@ ExplorationEngine::ExplorationEngine(WorkloadMatrix matrix,
       predictor_(predictor),
       row_regret_(static_cast<size_t>(matrix_.num_queries()), 0.0),
       row_explorations_(static_cast<size_t>(matrix_.num_queries()), 0),
+      row_servings_(static_cast<size_t>(matrix_.num_queries()), 0),
       slots_(RoundUpPow2(options.queue_capacity)) {
   queue_mask_ = slots_.size() - 1;
   LIMEQO_CHECK(options.online.refresh_every > 0);
@@ -342,6 +343,9 @@ void ExplorationEngine::ApplyObservation(const ServingObservation& obs) {
   matrix_.Observe(obs.query, obs.hint, obs.latency);
   MarkRowDirty(obs.query);
   ++updates_since_refresh_;
+  // Serving traffic per row, counted on the drain path (train plane), is
+  // the load signal RebalanceHotShards weighs rows by.
+  row_servings_[obs.query] += 1;
   if (obs.exploratory) {
     explorations_.store(explorations_.load(std::memory_order_relaxed) + 1,
                         std::memory_order_relaxed);
@@ -357,9 +361,16 @@ void ExplorationEngine::ApplyObservation(const ServingObservation& obs) {
 
 bool ExplorationEngine::TryRefit() {
   if (predictor_ == nullptr) return false;
+  const auto refit_start = std::chrono::steady_clock::now();
   StatusOr<linalg::Matrix> prediction = predictor_->PredictFrom(
       matrix_, options_.warm_start ? &factors_ : nullptr);
+  refit_nanos_.fetch_add(
+      static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - refit_start)
+                                .count()),
+      std::memory_order_relaxed);
   if (!prediction.ok()) return false;
+  refits_completed_.fetch_add(1, std::memory_order_relaxed);
   predictions_ = std::make_shared<const linalg::Matrix>(
       std::move(prediction).value());
   updates_since_refresh_ = 0;
@@ -513,13 +524,7 @@ void ExplorationEngine::StopTraining() {
   stop_training_.store(true, std::memory_order_relaxed);
   train_thread_.join();
   training_ = false;
-  // Flush whatever the loop had not picked up and leave a current snapshot.
-  SyncEpoch();
-  // A clean shutdown leaves a checkpoint at the final drain front, so a
-  // restart resumes from exactly where serving stopped.
-  if (options_.checkpoint_every > 0 && !options_.checkpoint_path.empty()) {
-    (void)SaveCheckpoint();
-  }
+  FinishTrainSteps();
 }
 
 EngineCheckpoint ExplorationEngine::MakeCheckpoint() const {
@@ -561,6 +566,7 @@ void ExplorationEngine::RestoreFromCheckpoint(EngineCheckpoint c) {
   // replays it via RestoreRowLedgerSlice after this returns).
   row_regret_.assign(static_cast<size_t>(matrix_.num_queries()), 0.0);
   row_explorations_.assign(static_cast<size_t>(matrix_.num_queries()), 0);
+  row_servings_.assign(static_cast<size_t>(matrix_.num_queries()), 0);
   // Rewind the serving plane to the checkpointed sequence: both counters
   // restart at the durable prefix, and the ring's turn stamps are rebuilt
   // so the slot for sequence s expects exactly s again (a slot whose
@@ -599,92 +605,116 @@ Status ExplorationEngine::SaveCheckpoint() {
   return st;
 }
 
-void ExplorationEngine::TrainLoop() {
+void ExplorationEngine::BeginTrainSteps() {
+  step_ = TrainStepState{};
+  step_.published_seen = drained_seq_.load(std::memory_order_relaxed);
+  step_.checkpointed_seen = drained_seq_.load(std::memory_order_relaxed);
+  // NumComplete is an O(n*k) scan — evaluate it once, then remember: every
+  // drained observation is itself a complete observation, so the flag only
+  // ever flips to true.
+  step_.has_complete = matrix_.NumComplete() > 0;
+}
+
+bool ExplorationEngine::TrainStep() {
+  // Drain batches are capped at one queue lap: under light load the step
+  // publishes every publish_every drained observations (fresh snapshots),
+  // and under saturation it amortizes one publication per capacity-sized
+  // batch instead of thrashing the serving threads with publication work.
+  // Either way the publication lag behind the drain front stays below
+  // queue_capacity() + publish_every, which (with the queue's
+  // back-pressure and serving threads claiming indices in batches) gives
+  // free-running serving a hard staleness bound of
+  // 2 * queue_capacity() + threads * batch + publish_every, where batch
+  // is the per-thread claim size (16 in the driver's free-running loops):
+  // a thread may decide a whole claimed batch against the snapshot it
+  // probed at the batch start, and the other threads'
+  // claimed-but-unreported batches sit between that snapshot and the
+  // newest index (tests/engine_test.cc pins the bound at the
+  // publication-boundary wrap case).
+  const size_t drained = Drain(slots_.size());
+  if (drained > 0) step_.has_complete = true;
+  const uint64_t seen = drained_seq_.load(std::memory_order_relaxed);
+  // The refit_after_seq mark: the next refit may not start before the
+  // drain front passes it — everything in flight when the previous refit
+  // finished must land first. Under light load the mark is always behind
+  // the front (refits run on the refresh_every cadence); under saturation
+  // it amortizes one refit per queue-capacity's worth of servings, so a
+  // slow model can never starve the drain-and-publish path — on a loaded
+  // box the serving plane keeps its throughput and the model refreshes as
+  // fast as it can keep up, which is the Bao-style advisor-loop behaviour.
+  const bool due =
+      predictor_ != nullptr && seen >= step_.refit_after_seq &&
+      (updates_since_refresh_ >= options_.online.refresh_every ||
+       (predictions_ == nullptr && step_.has_complete));
+  bool refreshed = false;
   // A failing refit (no predictor, no usable observations, a plan-less
   // backend) must not retrigger until new observations arrive: without
   // the attempt marker the loop degenerates into a refit-and-publish
   // storm that pins a core and forces every serving thread through the
   // snapshot handoff on every serving.
-  uint64_t drained_at_last_attempt = ~uint64_t{0};
-  uint64_t published_seen = drained_seq_.load(std::memory_order_relaxed);
-  // The next refit may not start before the drain front passes this mark:
-  // everything in flight when the previous refit finished must land first.
-  // Under light load the mark is always behind the front (refits run on
-  // the refresh_every cadence); under saturation it amortizes one refit
-  // per queue-capacity's worth of servings, so a slow model can never
-  // starve the drain-and-publish path — on a loaded box the serving plane
-  // keeps its throughput and the model refreshes as fast as it can keep
-  // up, which is the Bao-style advisor-loop behaviour.
-  uint64_t refit_after_seq = 0;
-  const auto publish_cadence =
-      static_cast<uint64_t>(options_.online.publish_every);
+  if (due && seen != step_.drained_at_last_attempt) {
+    step_.drained_at_last_attempt = seen;
+    refreshed = TryRefit();
+    // Only a *completed* refit defers the next one behind the in-flight
+    // backlog; a failed attempt may retry as soon as new observations
+    // drain (drained_at_last_attempt already prevents failure storms).
+    if (refreshed) {
+      step_.refit_after_seq = next_seq_.load(std::memory_order_relaxed);
+    }
+  }
+  // Publication is cadence-granular (publish_every drained observations
+  // or a successful refit), not per-drain: even a delta snapshot is an
+  // allocation plus a version bump that pushes every serving thread
+  // through the pointer handoff, so publishing after every single
+  // observation would defeat the cached-snapshot fast path. Between
+  // refits these publications are deltas — O(changed rows), not O(n*k).
+  bool published = false;
+  if (refreshed ||
+      seen - step_.published_seen >=
+          static_cast<uint64_t>(options_.online.publish_every)) {
+    Publish();
+    step_.published_seen = seen;
+    published = true;
+  }
   // Checkpoints ride the same drain-front cadence as publications. The
-  // write happens on this thread (serialize + fsync + rename) while the
-  // serving plane keeps running against the current snapshot; the only
-  // coupling is back-pressure — producers more than a queue lap ahead wait
-  // for the next drain — which the free-running staleness bound already
-  // accounts for.
+  // write happens on the stepping thread (serialize + fsync + rename)
+  // while the serving plane keeps running against the current snapshot;
+  // the only coupling is back-pressure — producers more than a queue lap
+  // ahead wait for the next drain — which the free-running staleness
+  // bound already accounts for.
+  bool checkpointed = false;
   const auto checkpoint_cadence =
       static_cast<uint64_t>(options_.checkpoint_every);
-  const bool checkpoints_enabled =
-      checkpoint_cadence > 0 && !options_.checkpoint_path.empty();
-  uint64_t checkpointed_seen = drained_seq_.load(std::memory_order_relaxed);
-  // NumComplete is an O(n*k) scan — evaluate it once, then remember: every
-  // drained observation is itself a complete observation, so the flag only
-  // ever flips to true.
-  bool has_complete = matrix_.NumComplete() > 0;
+  if (checkpoint_cadence > 0 && !options_.checkpoint_path.empty() &&
+      seen - step_.checkpointed_seen >= checkpoint_cadence) {
+    // A failed write (disk gone, path unwritable) is not fatal to the
+    // loop: serving continues and checkpoints_written() stops advancing,
+    // which is the observable signal operators alert on.
+    (void)SaveCheckpoint();
+    step_.checkpointed_seen = seen;
+    checkpointed = true;
+  }
+  return drained > 0 || refreshed || published || checkpointed;
+}
+
+void ExplorationEngine::FinishTrainSteps() {
+  // Flush whatever the steps had not picked up and leave a current
+  // snapshot.
+  SyncEpoch();
+  // A clean shutdown leaves a checkpoint at the final drain front, so a
+  // restart resumes from exactly where serving stopped.
+  if (options_.checkpoint_every > 0 && !options_.checkpoint_path.empty()) {
+    (void)SaveCheckpoint();
+  }
+}
+
+void ExplorationEngine::TrainLoop() {
+  BeginTrainSteps();
   while (!stop_training_.load(std::memory_order_relaxed)) {
-    // Drain batches are capped at one queue lap: under light load the loop
-    // publishes every publish_every drained observations (fresh
-    // snapshots), and under saturation it amortizes one publication per
-    // capacity-sized batch instead of thrashing the serving threads with
-    // publication work. Either way the publication lag behind the drain
-    // front stays below queue_capacity() + publish_every, which (with the
-    // queue's back-pressure and serving threads claiming indices in
-    // batches) gives free-running serving a hard staleness bound of
-    // 2 * queue_capacity() + threads * batch + publish_every, where batch
-    // is the per-thread claim size (16 in the driver's free-running
-    // loops): a thread may decide a whole claimed batch against the
-    // snapshot it probed at the batch start, and the other threads'
-    // claimed-but-unreported batches sit between that snapshot and the
-    // newest index (tests/engine_test.cc pins the bound at the
-    // publication-boundary wrap case).
-    const size_t drained = Drain(slots_.size());
-    if (drained > 0) has_complete = true;
-    const uint64_t seen = drained_seq_.load(std::memory_order_relaxed);
-    const bool due =
-        predictor_ != nullptr && seen >= refit_after_seq &&
-        (updates_since_refresh_ >= options_.online.refresh_every ||
-         (predictions_ == nullptr && has_complete));
-    bool refreshed = false;
-    if (due && seen != drained_at_last_attempt) {
-      drained_at_last_attempt = seen;
-      refreshed = TryRefit();
-      // Only a *completed* refit defers the next one behind the in-flight
-      // backlog; a failed attempt may retry as soon as new observations
-      // drain (drained_at_last_attempt already prevents failure storms).
-      if (refreshed) {
-        refit_after_seq = next_seq_.load(std::memory_order_relaxed);
-      }
-    }
-    // Publication is cadence-granular (publish_every drained observations
-    // or a successful refit), not per-drain: even a delta snapshot is an
-    // allocation plus a version bump that pushes every serving thread
-    // through the pointer handoff, so publishing after every single
-    // observation would defeat the cached-snapshot fast path. Between
-    // refits these publications are deltas — O(changed rows), not O(n*k).
-    if (refreshed || seen - published_seen >= publish_cadence) {
-      Publish();
-      published_seen = seen;
-    } else if (drained == 0) {
+    // An idle step (nothing drained, nothing refreshed or published)
+    // sleeps so an unloaded engine costs no CPU.
+    if (!TrainStep()) {
       std::this_thread::sleep_for(std::chrono::microseconds(50));
-    }
-    if (checkpoints_enabled && seen - checkpointed_seen >= checkpoint_cadence) {
-      // A failed write (disk gone, path unwritable) is not fatal to the
-      // loop: serving continues and checkpoints_written() stops advancing,
-      // which is the observable signal operators alert on.
-      (void)SaveCheckpoint();
-      checkpointed_seen = seen;
     }
   }
 }
@@ -711,6 +741,7 @@ int ExplorationEngine::AppendQueries(int count) {
   const int first = matrix_.AppendQueries(count);
   row_regret_.resize(static_cast<size_t>(matrix_.num_queries()), 0.0);
   row_explorations_.resize(static_cast<size_t>(matrix_.num_queries()), 0);
+  row_servings_.resize(static_cast<size_t>(matrix_.num_queries()), 0);
   InvalidateSnapshotBase();
   ++updates_since_refresh_;
   return first;
@@ -731,6 +762,7 @@ void ExplorationEngine::ResetMatrix(WorkloadMatrix matrix) {
   matrix_ = std::move(matrix);
   row_regret_.assign(static_cast<size_t>(matrix_.num_queries()), 0.0);
   row_explorations_.assign(static_cast<size_t>(matrix_.num_queries()), 0);
+  row_servings_.assign(static_cast<size_t>(matrix_.num_queries()), 0);
   InvalidateSnapshotBase();
   InvalidateModel();
   Publish();
@@ -751,6 +783,7 @@ MigratedRow ExplorationEngine::ExtractRow(int query) const {
   }
   row.regret_spent = row_regret_[query];
   row.explorations = row_explorations_[query];
+  row.servings = row_servings_[query];
   return row;
 }
 
@@ -766,6 +799,7 @@ void ExplorationEngine::RemoveRow(int query) {
       std::memory_order_relaxed);
   row_regret_.erase(row_regret_.begin() + query);
   row_explorations_.erase(row_explorations_.begin() + query);
+  row_servings_.erase(row_servings_.begin() + query);
   matrix_.RemoveQuery(query);
   InvalidateSnapshotBase();
   InvalidateModel();
@@ -790,6 +824,7 @@ int ExplorationEngine::AdoptRow(const MigratedRow& row) {
   }
   row_regret_.push_back(row.regret_spent);
   row_explorations_.push_back(row.explorations);
+  row_servings_.push_back(row.servings);
   regret_spent_.store(
       regret_spent_.load(std::memory_order_relaxed) + row.regret_spent,
       std::memory_order_relaxed);
@@ -803,11 +838,13 @@ int ExplorationEngine::AdoptRow(const MigratedRow& row) {
 }
 
 void ExplorationEngine::RestoreRowLedgerSlice(int query, double regret,
-                                              int explorations) {
+                                              int explorations,
+                                              uint64_t servings) {
   LIMEQO_CHECK(!training_);
   LIMEQO_CHECK(query >= 0 && query < matrix_.num_queries());
   row_regret_[query] = regret;
   row_explorations_[query] = explorations;
+  row_servings_[query] = servings;
 }
 
 void ExplorationEngine::InvalidateModel() {

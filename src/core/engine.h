@@ -240,6 +240,10 @@ struct MigratedRow {
   double regret_spent = 0.0;
   /// Exploratory servings of this row.
   int explorations = 0;
+  /// Servings of this row applied on the train plane (the traffic weight
+  /// used by load-aware rebalancing; travels with the row like the ledger
+  /// slice).
+  uint64_t servings = 0;
 };
 
 /// Construction options for the engine.
@@ -437,6 +441,38 @@ class ExplorationEngine {
   /// checkpointing is configured, writes a final checkpoint).
   void StopTraining();
 
+  // --- Executor-drivable train stepping (train plane) ----------------------
+  /// The free-running train loop, decomposed so an external scheduler (the
+  /// shared cross-shard TrainExecutor) can drive many engines' train
+  /// planes from one thread pool: BeginTrainSteps initializes the stepping
+  /// state, then each TrainStep call runs exactly one iteration of the
+  /// loop body — drain (capped at one queue lap), refit when due, publish
+  /// on cadence, checkpoint on cadence — with no sleeping. The in-house
+  /// StartTraining thread is literally BeginTrainSteps + TrainStep in a
+  /// loop, so the two drivers execute identical per-step behaviour.
+  /// Train-plane method: steps for one engine must be serialized, though
+  /// consecutive steps may run on different threads (the scheduler's
+  /// claim/release handoff provides the ordering).
+  void BeginTrainSteps();
+  /// One train-loop iteration (see BeginTrainSteps). Returns true when the
+  /// step made progress — drained observations, refitted, published, or
+  /// wrote a checkpoint — and false when the engine was idle, so a
+  /// scheduler can park idle engines instead of spinning on them.
+  bool TrainStep();
+  /// The shutdown tail of the train plane: drains everything left,
+  /// refreshes, publishes a final snapshot, and (when configured) writes a
+  /// final checkpoint — exactly what StopTraining does after joining its
+  /// thread. External drivers call this once per engine when tearing the
+  /// shared train plane down.
+  void FinishTrainSteps();
+  /// Installs a borrowed completion-scratch arena into the predictor (per
+  /// Predictor::SetCompletionArena; no-op without a predictor). The shared
+  /// train executor points this at the claiming worker's arena before each
+  /// step so refit scratch is pooled per worker, not per shard.
+  void SetCompletionArena(CompletionArena* arena) {
+    if (predictor_ != nullptr) predictor_->SetCompletionArena(arena);
+  }
+
   // --- Crash-consistent checkpoints (train plane) --------------------------
   /// Captures the train-plane state as of the current drain front: the
   /// workload matrix, warm-start factors, published predictions, the
@@ -503,10 +539,12 @@ class ExplorationEngine {
   /// invalidates the model, and publishes. Returns the new local row
   /// index (always the last row). Same op-boundary contract as RemoveRow.
   int AdoptRow(const MigratedRow& row);
-  /// Overwrites one row's ledger slice without touching the engine totals:
-  /// the tier restore path, where EngineCheckpoint carries only the engine
-  /// totals and the tier manifest carries the per-row split.
-  void RestoreRowLedgerSlice(int query, double regret, int explorations);
+  /// Overwrites one row's ledger slice — regret, explorations, and the
+  /// serving-traffic weight — without touching the engine totals: the tier
+  /// restore path, where EngineCheckpoint carries only the engine totals
+  /// and the tier manifest carries the per-row split.
+  void RestoreRowLedgerSlice(int query, double regret, int explorations,
+                             uint64_t servings = 0);
   /// Drops predictions, warm-start factors, and any state the predictor
   /// retains: after a data shift nothing fitted on the old data may leak
   /// into the new fit (the warm-start no-leak contract).
@@ -560,6 +598,37 @@ class ExplorationEngine {
   uint64_t drained_servings() const {
     return drained_seq_.load(std::memory_order_relaxed);
   }
+  /// Serving indices handed out so far (the claim front). With
+  /// drained_servings this gives the queue backlog a scheduler prioritizes
+  /// on; readable from any thread.
+  uint64_t claimed_servings() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+  /// Claimed-but-not-yet-drained servings (the scheduler's backlog
+  /// signal). Monotonicity is not guaranteed across the two relaxed loads,
+  /// so treat the value as a heuristic, which is all a priority needs.
+  uint64_t queue_backlog() const {
+    const uint64_t claimed = claimed_servings();
+    const uint64_t drained = drained_servings();
+    return claimed > drained ? claimed - drained : 0;
+  }
+  /// Rows changed since the snapshot base was built and not yet folded
+  /// into a publication (the scheduler's dirty-work signal). Train-plane
+  /// view: read it only when no train step for this engine is in flight.
+  size_t pending_dirty_rows() const { return dirty_rows_.size(); }
+  /// Train-plane servings applied to `query` so far (the per-row traffic
+  /// weight; travels with the row on migration). Train-plane view.
+  uint64_t row_servings(int query) const { return row_servings_[query]; }
+  /// Successful refits completed so far (TryRefit with a usable fit).
+  uint64_t refits_completed() const {
+    return refits_completed_.load(std::memory_order_relaxed);
+  }
+  /// Wall-clock nanoseconds spent inside refit attempts (successful or
+  /// not). refit_nanos() / refits_completed() is the per-refit latency the
+  /// serving bench reports per shard.
+  uint64_t refit_nanos() const {
+    return refit_nanos_.load(std::memory_order_relaxed);
+  }
   /// Checkpoints successfully written by SaveCheckpoint (including the
   /// train loop's cadence-driven writes and StopTraining's final one).
   uint64_t checkpoints_written() const {
@@ -610,13 +679,17 @@ class ExplorationEngine {
   std::atomic<double> regret_spent_{0.0};
   std::atomic<int> explorations_{0};
   std::atomic<uint64_t> checkpoints_written_{0};
+  std::atomic<uint64_t> refits_completed_{0};
+  std::atomic<uint64_t> refit_nanos_{0};
 
   // Per-row ledger split (train plane only, updated in drain order): the
   // regret / exploration slice each row contributed, so a migrating row
-  // can carry its charges to the destination shard. Always sized to the
-  // matrix rows.
+  // can carry its charges to the destination shard. row_servings_ is the
+  // per-row traffic weight load-aware rebalancing scores on. Always sized
+  // to the matrix rows.
   std::vector<double> row_regret_;
   std::vector<int> row_explorations_;
+  std::vector<uint64_t> row_servings_;
 
   // Snapshot publication: the pointer is guarded by snapshot_mu_ (held
   // only for the copy/swap); the version counter is the lock-free probe.
@@ -629,6 +702,24 @@ class ExplorationEngine {
   size_t queue_mask_ = 0;
   std::atomic<uint64_t> next_seq_{0};
   std::atomic<uint64_t> drained_seq_{0};  // == head; train plane advances
+
+  // Train stepping state (BeginTrainSteps / TrainStep): the cadence marks
+  // and refit gates the free-running loop used to keep in locals, hoisted
+  // so an external scheduler can drive one iteration at a time.
+  struct TrainStepState {
+    /// Drain front at the last refit attempt; blocks failure storms.
+    uint64_t drained_at_last_attempt = ~uint64_t{0};
+    /// Drain front at the last publication (publish_every cadence mark).
+    uint64_t published_seen = 0;
+    /// The next refit may not start before the drain front passes this.
+    uint64_t refit_after_seq = 0;
+    /// Drain front at the last checkpoint (checkpoint_every cadence mark).
+    uint64_t checkpointed_seen = 0;
+    /// Whether any complete observation exists (evaluated once, then
+    /// remembered: every drained observation is complete).
+    bool has_complete = false;
+  };
+  TrainStepState step_;
 
   // Background train plane.
   std::thread train_thread_;

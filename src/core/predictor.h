@@ -36,6 +36,14 @@ class Predictor {
   /// is a no-op (stateless models).
   virtual void Reset() {}
 
+  /// Borrows a scratch arena for subsequent fits (nullptr removes it), per
+  /// the Completer::SetArena contract: the caller owns the arena, keeps it
+  /// alive and unshared while a fit runs, and results are bitwise identical
+  /// with or without it. The shared train executor installs its per-worker
+  /// arena through this before driving a shard's refit. The base
+  /// implementation ignores it (models with no poolable scratch).
+  virtual void SetCompletionArena(CompletionArena* arena) { (void)arena; }
+
   virtual std::string name() const = 0;
 };
 
@@ -57,6 +65,10 @@ class CompleterPredictor : public Predictor {
   }
 
   std::string name() const override { return completer_->name(); }
+
+  void SetCompletionArena(CompletionArena* arena) override {
+    completer_->SetArena(arena);
+  }
 
  private:
   std::unique_ptr<Completer> completer_;

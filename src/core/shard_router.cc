@@ -17,7 +17,10 @@ namespace limeqo::core {
 namespace {
 
 constexpr char kManifestMagic[] = "limeqo-tier-manifest";
-constexpr char kManifestVersion[] = "v1";
+// v2 added the per-row servings count to the row-ledger lines (the traffic
+// weight RebalanceHotShards migrates by survives restarts with the rest of
+// the ledger).
+constexpr char kManifestVersion[] = "v2";
 
 std::string TierCrcHex(uint32_t crc) {
   char buf[16];
@@ -93,11 +96,18 @@ ShardedServingTier::ShardedServingTier(const WorkloadMatrix& matrix,
   }
   ApplyBudgetSplit();
   PublishAll();
+  if (options_.shared_train_plane) {
+    executor_ = std::make_unique<TrainExecutor>(options_.executor);
+  }
 }
 
 ShardedServingTier::ShardedServingTier(RestoreTag,
                                        const ShardedTierOptions& options)
-    : options_(options) {}
+    : options_(options) {
+  if (options_.shared_train_plane) {
+    executor_ = std::make_unique<TrainExecutor>(options_.executor);
+  }
+}
 
 int ShardedServingTier::AttachRow(int row, int shard) {
   const int local = static_cast<int>(shard_rows_[shard].size());
@@ -153,18 +163,36 @@ void ShardedServingTier::DrainAll() {
 }
 
 void ShardedServingTier::SyncEpochAll() {
+  if (executor_ != nullptr) {
+    std::vector<ExplorationEngine*> fleet;
+    fleet.reserve(engines_.size());
+    for (auto& e : engines_) fleet.push_back(e.get());
+    executor_->SyncEpochAll(fleet);
+    return;
+  }
   for (auto& e : engines_) e->SyncEpoch();
 }
 
 void ShardedServingTier::StartTraining() {
   LIMEQO_CHECK(!training_);
   training_ = true;
+  if (executor_ != nullptr) {
+    std::vector<ExplorationEngine*> fleet;
+    fleet.reserve(engines_.size());
+    for (auto& e : engines_) fleet.push_back(e.get());
+    executor_->Start(std::move(fleet));
+    return;
+  }
   for (auto& e : engines_) e->StartTraining();
 }
 
 void ShardedServingTier::StopTraining() {
   LIMEQO_CHECK(training_);
-  for (auto& e : engines_) e->StopTraining();
+  if (executor_ != nullptr) {
+    executor_->Stop();
+  } else {
+    for (auto& e : engines_) e->StopTraining();
+  }
   training_ = false;
   // Everything reported is now drained, so the deterministic-schedule
   // counters resume exactly where free-running serving stopped.
@@ -306,25 +334,54 @@ int ShardedServingTier::RebalanceHotShards() {
   if (shards <= 1) return 0;
   int migrated = 0;
   for (;;) {
+    // A shard's load is its traffic-weighted row count: each row weighs
+    // 1 + servings, so placement follows where traffic concentrates, not
+    // just where rows landed. With no traffic every weight is 1 and the
+    // pass reduces bitwise to the original row-count rule.
+    std::vector<uint64_t> load(static_cast<size_t>(shards), 0);
+    uint64_t fleet_load = 0;
+    for (int i = 0; i < shards; ++i) {
+      const int count = static_cast<int>(shard_rows_[i].size());
+      for (int l = 0; l < count; ++l) {
+        load[i] += 1 + engines_[i]->row_servings(l);
+      }
+      fleet_load += load[i];
+    }
     int hot = 0;
     int cold = 0;
     for (int i = 1; i < shards; ++i) {
-      if (shard_rows_[i].size() > shard_rows_[hot].size()) hot = i;
-      if (shard_rows_[i].size() < shard_rows_[cold].size()) cold = i;
+      if (load[i] > load[hot]) hot = i;
+      if (load[i] < load[cold]) cold = i;
     }
     const double ideal =
-        static_cast<double>(num_queries()) / static_cast<double>(shards);
-    if (static_cast<double>(shard_rows_[hot].size()) <=
+        static_cast<double>(fleet_load) / static_cast<double>(shards);
+    if (static_cast<double>(load[hot]) <=
         options_.rebalance_factor * ideal) {
       break;
     }
-    if (shard_rows_[hot].size() < shard_rows_[cold].size() + 2) break;
-    // The hot shard's highest-global row moves: a pure function of the
-    // assignment, so two tiers that took the same migration history make
-    // the same next move.
-    const int row =
-        *std::max_element(shard_rows_[hot].begin(), shard_rows_[hot].end());
-    MigrateRow(row, cold);
+    const uint64_t gap = load[hot] - load[cold];
+    if (gap < 2) break;
+    // The heaviest hot row whose weight still shrinks the spread moves
+    // (w <= gap - 1 keeps the destination strictly below the source's old
+    // load, so the load spread strictly decreases and the pass
+    // terminates); ties break toward the highest global index. A pure
+    // function of the assignment and ledgers, so two tiers that took the
+    // same migration history make the same next move.
+    int best_row = -1;
+    uint64_t best_weight = 0;
+    const int hot_count = static_cast<int>(shard_rows_[hot].size());
+    for (int l = 0; l < hot_count; ++l) {
+      const uint64_t weight = 1 + engines_[hot]->row_servings(l);
+      if (weight > gap - 1) continue;
+      const int row = shard_rows_[hot][static_cast<size_t>(l)];
+      if (weight > best_weight ||
+          (weight == best_weight && row > best_row)) {
+        best_weight = weight;
+        best_row = row;
+      }
+    }
+    if (best_row < 0) break;
+    MigrateRow(best_row, cold);
     ++migrated;
   }
   return migrated;
@@ -360,7 +417,8 @@ Status ShardedServingTier::SaveCheckpoints(const std::string& dir) const {
     const ExplorationEngine& e = *engines_[shard_of_row_[row]];
     const int local = local_of_row_[row];
     payload << "row " << row << ' ' << e.row_regret(local) << ' '
-            << e.row_explorations(local) << '\n';
+            << e.row_explorations(local) << ' ' << e.row_servings(local)
+            << '\n';
   }
   const std::string body = payload.str();
   std::ostringstream os;
@@ -457,17 +515,21 @@ ShardedServingTier::RestoreFromDirectory(const std::string& dir,
   }
   std::vector<double> row_regret(static_cast<size_t>(rows), 0.0);
   std::vector<int> row_explorations(static_cast<size_t>(rows), 0);
+  std::vector<uint64_t> row_servings(static_cast<size_t>(rows), 0);
   for (int r = 0; r < rows; ++r) {
     int row = -1;
     double regret = 0.0;
     int explorations = 0;
-    if (!(ls >> word >> row >> regret >> explorations) || word != "row" ||
-        row != r || !std::isfinite(regret) || explorations < 0) {
+    uint64_t servings = 0;
+    if (!(ls >> word >> row >> regret >> explorations >> servings) ||
+        word != "row" || row != r || !std::isfinite(regret) ||
+        explorations < 0) {
       return Status::InvalidArgument(
           "tier manifest: malformed row-ledger section");
     }
     row_regret[r] = regret;
     row_explorations[r] = explorations;
+    row_servings[r] = servings;
   }
 
   tier->engines_.reserve(static_cast<size_t>(shards));
@@ -492,7 +554,8 @@ ShardedServingTier::RestoreFromDirectory(const std::string& dir,
     for (size_t l = 0; l < tier->shard_rows_[i].size(); ++l) {
       const int row = tier->shard_rows_[i][l];
       engine->RestoreRowLedgerSlice(static_cast<int>(l), row_regret[row],
-                                    row_explorations[row]);
+                                    row_explorations[row],
+                                    row_servings[row]);
     }
     tier->engines_.push_back(std::move(engine));
   }

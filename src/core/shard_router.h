@@ -55,6 +55,7 @@
 #include "common/status.h"
 #include "core/engine.h"
 #include "core/predictor.h"
+#include "core/train_executor.h"
 #include "core/workload_matrix.h"
 
 namespace limeqo::core {
@@ -76,10 +77,18 @@ struct ShardedTierOptions {
   /// warm start). The `online` member inside is ignored — the split fleet
   /// options above are installed instead.
   EngineOptions engine;
-  /// RebalanceHotShards migrates rows away from any shard holding more
-  /// than rebalance_factor * (n / num_shards) rows (and at least two more
-  /// than the smallest shard).
+  /// RebalanceHotShards migrates rows away from any shard whose serving
+  /// load (traffic-weighted row count) exceeds rebalance_factor * (fleet
+  /// load / num_shards), toward the least-loaded shard.
   double rebalance_factor = 1.5;
+  /// Routes the fleet's train plane through one shared TrainExecutor
+  /// (StartTraining spawns `executor.workers` threads total instead of one
+  /// per shard; SyncEpochAll becomes the executor's prioritized barrier).
+  /// Off by default: the thread-per-shard plane remains the baseline the
+  /// differential twin test compares against.
+  bool shared_train_plane = false;
+  /// Executor sizing when shared_train_plane is on.
+  TrainExecutorOptions executor;
 };
 
 /// N ExplorationEngine shards behind a deterministic router. Train-plane
@@ -153,12 +162,16 @@ class ShardedServingTier {
   void PublishAll();
   /// Drain on every shard.
   void DrainAll();
-  /// SyncEpoch (drain + refresh + publish) on every shard.
+  /// SyncEpoch (drain + refresh + publish) on every shard. Under
+  /// shared_train_plane this is the executor's prioritized parallel
+  /// barrier (hottest shard first, bitwise equal to the serial loop).
   void SyncEpochAll();
-  /// Starts every shard's background train thread (free-running mode).
+  /// Starts the fleet's train plane (free-running mode): one background
+  /// thread per shard, or the shared executor's worker pool when
+  /// shared_train_plane is on.
   void StartTraining();
-  /// Stops every shard's train thread, drains, publishes, and re-syncs
-  /// the deterministic-schedule counters to the drained fronts (so
+  /// Stops the train plane, drains, publishes, and re-syncs the
+  /// deterministic-schedule counters to the drained fronts (so
   /// ServeSchedule may continue after a free-running phase).
   void StopTraining();
 
@@ -214,13 +227,19 @@ class ShardedServingTier {
   /// snapshots — but this is an op-boundary method: all train threads
   /// stopped, and no in-flight serving may target the moving row.
   void MigrateRow(int row, int to_shard);
-  /// Deterministic rebalance pass: while some shard holds more than
-  /// rebalance_factor * (n / num_shards) rows (hot, e.g. after
-  /// AppendQueries hashed a burst onto it) and at least two more than the
-  /// coldest shard, migrate that shard's highest-global-index row to the
-  /// coldest shard (ties broken toward the lowest shard index — the pass
-  /// is a pure function of the current assignment). Returns the number of
-  /// rows migrated. Same op-boundary contract as MigrateRow.
+  /// Deterministic load-aware rebalance pass. Each row weighs
+  /// 1 + servings(row) — the serving traffic its shard's drain path has
+  /// counted for it — so a shard's load is its traffic-weighted row count
+  /// and with no traffic at all the pass degenerates bitwise to the old
+  /// row-count rule. While the most-loaded shard (lowest index on ties)
+  /// exceeds rebalance_factor * (fleet load / num_shards), migrate its
+  /// heaviest row whose weight w keeps the move strictly shrinking the
+  /// imbalance (w <= gap - 1 against the least-loaded shard; ties broken
+  /// toward the highest global index) to that least-loaded shard; stop
+  /// when no such row exists. Every move strictly decreases the load
+  /// spread, so the pass terminates, and it is a pure function of the
+  /// current assignment and ledgers. Returns the number of rows migrated.
+  /// Same op-boundary contract as MigrateRow.
   int RebalanceHotShards();
 
   // --- Views ---------------------------------------------------------------
@@ -272,6 +291,8 @@ class ShardedServingTier {
   std::vector<uint64_t> next_local_seq_;       // ServeSchedule counters
   std::atomic<uint64_t> next_global_seq_{0};   // free-running claims
   bool training_ = false;
+  /// The shared train plane (only when options_.shared_train_plane).
+  std::unique_ptr<TrainExecutor> executor_;
 };
 
 }  // namespace limeqo::core

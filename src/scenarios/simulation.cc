@@ -603,6 +603,7 @@ SimulationResult SimulationDriver::Run(const RunConfig& config) {
       tier_options.online = online;
       tier_options.engine.delta_publication = !config.full_snapshot_rebuild;
       if (config.free_running) tier_options.engine.queue_capacity = 64;
+      tier_options.shared_train_plane = config.shared_train_plane;
       core::ShardedServingTier tier(explorer.matrix(), shard_predictor_ptrs,
                                     tier_options);
       tier.RefreshAll(/*force=*/true);

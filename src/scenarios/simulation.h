@@ -160,6 +160,15 @@ struct RunConfig {
   /// (summed ledger vs fleet budget with summed slack, a composed
   /// global-index staleness bound, the binomial epsilon cap).
   int shards = 0;
+  /// Drive the sharded tier's train plane through the shared TrainExecutor
+  /// (src/core/train_executor.h) instead of one train thread per shard:
+  /// free-running mode runs the executor's worker pool, the
+  /// epoch-synchronized mode its prioritized SyncEpochAll barrier. Only
+  /// meaningful when shards >= 1. The merged trace and every invariant are
+  /// unchanged — the executor is bitwise-neutral on the epoch path and
+  /// timing-equivalent on the free-running path
+  /// (tests/train_executor_test.cc pins both).
+  bool shared_train_plane = false;
 };
 
 /// One serving of the concurrent serving plane, recorded at its global

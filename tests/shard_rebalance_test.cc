@@ -33,6 +33,7 @@ struct RowCapture {
   std::vector<double> timeouts;
   double regret = 0.0;
   int explorations = 0;
+  uint64_t servings = 0;
 };
 
 RowCapture CaptureRow(const core::ExplorationEngine& e, int local) {
@@ -45,6 +46,7 @@ RowCapture CaptureRow(const core::ExplorationEngine& e, int local) {
   }
   cap.regret = e.row_regret(local);
   cap.explorations = e.row_explorations(local);
+  cap.servings = e.row_servings(local);
   return cap;
 }
 
@@ -66,6 +68,12 @@ bool RowMatches(const core::ExplorationEngine& e, int local,
                  "ledger slice diverged: (%.17g, %d) vs (%.17g, %d)\n",
                  e.row_regret(local), e.row_explorations(local), cap.regret,
                  cap.explorations);
+    return false;
+  }
+  if (e.row_servings(local) != cap.servings) {
+    std::fprintf(stderr, "servings count diverged: %llu vs %llu\n",
+                 static_cast<unsigned long long>(e.row_servings(local)),
+                 static_cast<unsigned long long>(cap.servings));
     return false;
   }
   return true;

@@ -16,17 +16,25 @@ Watched metrics:
   * serving_ns_per_op @ 1 thread — end-to-end serving including backend
     execution and observation reporting.
 
-Also checks one *within-run* ratio (current vs current, so scheduler
-noise largely cancels): the 1-shard sharded tier
-(sharded_serving_s1r1_ns_per_op) must stay under --max-router-tax times
-the bare 1-thread serving loop. At one shard the router degenerates to
-two array lookups and a local==global index identity, so a blown ratio
-means the routing layer grew a real per-serving cost (an allocation, a
-lock, a per-shard scan) rather than the machine being slow today.
+Also checks two *within-run* ratios (current vs current, so scheduler
+noise largely cancels):
+  * router tax: the 1-shard sharded tier (sharded_serving_s1r1_ns_per_op)
+    must stay under --max-router-tax times the bare 1-thread serving
+    loop. At one shard the router degenerates to two array lookups and a
+    local==global index identity, so a blown ratio means the routing
+    layer grew a real per-serving cost (an allocation, a lock, a
+    per-shard scan) rather than the machine being slow today.
+  * fleet tax: the 4-shard / 4-refit-thread tier
+    (sharded_serving_s4r4_ns_per_op) must stay under --max-fleet-tax
+    times the 1-shard / 1-thread point. That is the train plane's
+    serving-path cost at full fan-out — the ratio the shared train
+    executor exists to keep bounded on a small box (4 train threads each
+    fanning refits over 4 linalg threads would otherwise time-slice the
+    serving core away).
 
 Usage:
   check_bench_regression.py BASELINE.json CURRENT.json [--max-ratio 2.0]
-                            [--max-router-tax 1.3]
+                            [--max-router-tax 1.3] [--max-fleet-tax 1.6]
 """
 
 import argparse
@@ -65,6 +73,14 @@ def main():
         default=1.3,
         help="fail when the 1-shard tier costs more than this times the "
         "bare 1-thread serving loop within the current run (default: 1.3)",
+    )
+    parser.add_argument(
+        "--max-fleet-tax",
+        type=float,
+        default=1.6,
+        help="fail when the 4-shard/4-refit-thread tier costs more than "
+        "this times the 1-shard/1-thread point within the current run "
+        "(default: 1.6)",
     )
     args = parser.parse_args()
 
@@ -114,6 +130,30 @@ def main():
                 f"1-shard router tax {tax:.2f}x exceeds "
                 f"{args.max_router_tax:.2f}x "
                 f"({bare:.1f} -> {routed:.1f} ns/op)"
+            )
+
+    # Within-run fleet-tax guard: full-fan-out tier vs 1-shard tier. The
+    # "threads" slot of sharded entries carries the shard count.
+    s1r1 = current.get(("sharded_serving_s1r1_ns_per_op", 1))
+    s4r4 = current.get(("sharded_serving_s4r4_ns_per_op", 4))
+    if s1r1 is None or s4r4 is None:
+        failures.append(
+            "fleet-tax inputs missing from current run "
+            f"(s1r1={s1r1}, s4r4={s4r4})"
+        )
+    else:
+        tax = s4r4 / s1r1
+        verdict = "FAIL" if tax > args.max_fleet_tax else "ok"
+        print(
+            f"{verdict:>4}  fleet tax (sharded s4r4 / s1r1): "
+            f"{s1r1:.1f} -> {s4r4:.1f} ns/op "
+            f"({tax:.2f}x, limit {args.max_fleet_tax:.2f}x)"
+        )
+        if tax > args.max_fleet_tax:
+            failures.append(
+                f"4-shard fleet tax {tax:.2f}x exceeds "
+                f"{args.max_fleet_tax:.2f}x "
+                f"({s1r1:.1f} -> {s4r4:.1f} ns/op)"
             )
 
     if failures:

@@ -58,6 +58,11 @@ struct Args {
   /// per-shard checkpoints plus a tier manifest, and --restore=DIR
   /// reassembles the fleet from them.
   int shards = 0;
+  /// Drive the sharded tier's epoch barriers through the shared
+  /// TrainExecutor (one prioritized worker pool for the whole fleet)
+  /// instead of the serial per-shard loop. Requires --shards >= 1; the
+  /// merged trace is bitwise unchanged.
+  bool shared_train = false;
   /// Directory for crash-consistent engine checkpoints: one is written
   /// after exploration and after every serving epoch (atomic temp + fsync
   /// + rename, so a kill at any instant leaves a loadable file).
@@ -87,6 +92,8 @@ void Usage() {
       "                  [--save=PATH]  save the matrix afterwards\n"
       "                  [--serve=N]    online servings after exploring\n"
       "                  [--serve-threads=T]  serving threads (default 1)\n"
+      "                  [--shared-train]  one shared train-plane executor\n"
+      "                                 for the fleet (requires --shards)\n"
       "                  [--shards=N]   shard serving across N engines behind\n"
       "                                 the deterministic router (default 0 =\n"
       "                                 bare engine)\n"
@@ -141,6 +148,8 @@ bool Parse(int argc, char** argv, Args* args) {
       args->faults = v;
     } else if (const char* v = value("--max-retries=")) {
       args->max_retries = std::atoi(v);
+    } else if (arg == "--shared-train") {
+      args->shared_train = true;
     } else if (arg == "--list") {
       args->list = true;
     } else {
@@ -315,6 +324,8 @@ int Run(const Args& args) {
     core::ShardedTierOptions tier_options;
     tier_options.num_shards = args.shards;
     tier_options.online = online;
+    tier_options.shared_train_plane = args.shared_train;
+    tier_options.executor.workers = std::max(1, args.serve_threads);
 
     std::vector<std::unique_ptr<core::Predictor>> predictors;
     std::vector<core::Predictor*> predictor_ptrs;
