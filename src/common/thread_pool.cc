@@ -46,7 +46,7 @@ void ThreadPool::SetNumThreads(int num_threads) {
 
 void ThreadPool::StartWorkers(int count) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = false;
   }
   for (int i = 0; i < count; ++i) {
@@ -56,10 +56,10 @@ void ThreadPool::StartWorkers(int count) {
 
 void ThreadPool::StopWorkers() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (std::thread& w : workers_) w.join();
   workers_.clear();
 }
@@ -68,8 +68,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) task_ready_.Wait(mu_);
       if (queue_.empty()) return;  // shutting down
       task = queue_.back();
       queue_.pop_back();
@@ -79,12 +79,12 @@ void ThreadPool::WorkerLoop() {
     t_in_parallel_region = false;
     bool call_complete = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       call_complete = --*task.pending == 0;
     }
     // Wake waiters only when some call's last chunk finished; each waiter
     // re-checks its own counter, so a wakeup for another call is harmless.
-    if (call_complete) task_done_.notify_all();
+    if (call_complete) task_done_.NotifyAll();
   }
 }
 
@@ -120,18 +120,19 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   // only for their own chunks, never for a stranger's.
   int pending = static_cast<int>(chunks - 1);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (size_t c = 1; c < chunks; ++c) {
       queue_.push_back(Task{&fn, bounds[c].first, bounds[c].second, &pending});
     }
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   // Run the first chunk on the calling thread.
   t_in_parallel_region = true;
   fn(bounds[0].first, bounds[0].second);
   t_in_parallel_region = false;
-  std::unique_lock<std::mutex> lock(mu_);
-  task_done_.wait(lock, [&pending] { return pending == 0; });
+  // `pending` is written by the workers under mu_ and read here under mu_.
+  MutexLock lock(mu_);
+  while (pending != 0) task_done_.Wait(mu_);
 }
 
 int NumThreads() { return ThreadPool::Global().num_threads(); }

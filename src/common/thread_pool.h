@@ -1,12 +1,12 @@
 #ifndef LIMEQO_COMMON_THREAD_POOL_H_
 #define LIMEQO_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace limeqo {
 
@@ -71,7 +71,9 @@ class ThreadPool {
     const std::function<void(size_t, size_t)>* fn = nullptr;
     size_t begin = 0;
     size_t end = 0;
-    /// The submitting call's outstanding-chunk counter (guarded by mu_).
+    /// The submitting call's outstanding-chunk counter (guarded by mu_;
+    /// a borrowed pointer into a stack frame, so the capability analysis
+    /// cannot see the guard — the workers only dereference it under mu_).
     /// Per-call tracking is what makes concurrent submission safe: a
     /// caller's wait predicate reads only its own counter.
     int* pending = nullptr;
@@ -82,13 +84,15 @@ class ThreadPool {
   void StopWorkers();
 
   int num_threads_;
+  /// Touched only by the control plane (constructor, SetNumThreads,
+  /// destructor), which per the class contract never races ParallelFor.
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable task_done_;
-  std::vector<Task> queue_;
-  bool shutting_down_ = false;
+  Mutex mu_;
+  CondVar task_ready_;
+  CondVar task_done_;
+  std::vector<Task> queue_ GUARDED_BY(mu_);
+  bool shutting_down_ GUARDED_BY(mu_) = false;
 };
 
 /// Threads participating in Global() ParallelFor calls.

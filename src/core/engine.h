@@ -18,7 +18,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -26,6 +25,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/decision_kernel.h"
 #include "core/predictor.h"
 #include "core/serialization.h"
@@ -113,10 +113,10 @@ class ServingSnapshot {
   /// the epoch lands in the *next* snapshot, so the budget can be overshot
   /// by at most one epoch's exploratory regret (see docs/ARCHITECTURE.md,
   /// "Regret accounting under concurrency").
-  double regret_spent() const { return regret_spent_; }
+  double regret_spent() const { return frozen_regret_spent_; }
   /// True when the regret budget was exhausted at publication.
   bool budget_exhausted() const {
-    return regret_spent_ >= options_.regret_budget_seconds;
+    return frozen_regret_spent_ >= options_.regret_budget_seconds;
   }
   /// True when the snapshot carries model predictions.
   bool has_predictions() const { return have_predictions_; }
@@ -213,7 +213,7 @@ class ServingSnapshot {
   /// copying n*k doubles per epoch.
   std::shared_ptr<const linalg::Matrix> predictions_;
   bool have_predictions_ = false;
-  double regret_spent_ = 0.0;
+  double frozen_regret_spent_ = 0.0;
   OnlineExplorationOptions options_;
   uint64_t gate_seed_ = 0;
   uint64_t pick_seed_ = 0;
@@ -341,8 +341,8 @@ class ExplorationEngine {
   /// but libstdc++'s implementation is not ThreadSanitizer-instrumented,
   /// and a race-checkable serving plane is worth more than a lock-free
   /// once-per-epoch pointer copy.)
-  std::shared_ptr<const ServingSnapshot> snapshot() const {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
+  std::shared_ptr<const ServingSnapshot> snapshot() const EXCLUDES(snapshot_mu_) {
+    MutexLock lock(snapshot_mu_);
     return snapshot_;
   }
   /// Hands out the next global serving index (free-running mode). Every
@@ -426,8 +426,10 @@ class ExplorationEngine {
   /// pointer swap. The version stamped into the snapshot and the published
   /// counter come from a single fetch_add, so they can never drift apart.
   /// Readers holding the previous snapshot keep it alive through their
-  /// own shared_ptr; there is no reclamation to coordinate.
-  void Publish();
+  /// own shared_ptr; there is no reclamation to coordinate. The EXCLUDES
+  /// makes a re-entrant publication (calling Publish while already inside
+  /// the critical section) a compile error under the Clang lane.
+  void Publish() EXCLUDES(snapshot_mu_);
   /// The epoch boundary: Drain + RefreshPredictions + Publish. Returns the
   /// number of observations drained.
   size_t SyncEpoch();
@@ -692,9 +694,19 @@ class ExplorationEngine {
   std::vector<uint64_t> row_servings_;
 
   // Snapshot publication: the pointer is guarded by snapshot_mu_ (held
-  // only for the copy/swap); the version counter is the lock-free probe.
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const ServingSnapshot> snapshot_;
+  // only for the copy/swap, the publication-only critical section); the
+  // version counter is the lock-free probe. GUARDED_BY makes any lock-free
+  // touch of the pointer a compile error under the Clang thread-safety
+  // lane. The surrounding train-plane state (matrix_, predictions_, the
+  // dirty-row tracking, the step_ marks) is deliberately *not* guarded by
+  // any capability: it is single-writer by the class contract and read
+  // only on the train plane, so there is no lock whose discipline the
+  // analysis could check — the TSan jobs and the bitwise twin tests cover
+  // that contract instead. The observation queue and the ledgers are
+  // atomic publication protocols (explicit memory orders, enforced by
+  // tools/lint_determinism.py) rather than capabilities.
+  mutable Mutex snapshot_mu_;
+  std::shared_ptr<const ServingSnapshot> snapshot_ GUARDED_BY(snapshot_mu_);
   std::atomic<uint64_t> snapshot_version_{0};
 
   // Observation queue (power-of-two ring of Vyukov slots).

@@ -174,6 +174,7 @@ void ShardedServingTier::SyncEpochAll() {
 }
 
 void ShardedServingTier::StartTraining() {
+  MutexLock lock(train_mu_);
   LIMEQO_CHECK(!training_);
   training_ = true;
   if (executor_ != nullptr) {
@@ -187,6 +188,7 @@ void ShardedServingTier::StartTraining() {
 }
 
 void ShardedServingTier::StopTraining() {
+  MutexLock lock(train_mu_);
   LIMEQO_CHECK(training_);
   if (executor_ != nullptr) {
     executor_->Stop();
@@ -202,6 +204,7 @@ void ShardedServingTier::StopTraining() {
 }
 
 uint64_t ShardedServingTier::scheduled_servings() const {
+  MutexLock lock(train_mu_);
   uint64_t total = 0;
   for (const uint64_t s : next_local_seq_) total += s;
   return total;
@@ -213,7 +216,10 @@ void ShardedServingTier::ServeSchedule(
                                       uint64_t seq)>& resolve,
     const std::function<void(uint64_t seq, int query, int hint,
                              double latency)>& record) {
-  LIMEQO_CHECK(!training_);
+  {
+    MutexLock lock(train_mu_);
+    LIMEQO_CHECK(!training_);
+  }
   LIMEQO_CHECK(threads >= 1);
   if (end <= begin) {
     SyncEpochAll();
@@ -244,12 +250,15 @@ void ShardedServingTier::ServeSchedule(
     // number of its shard. The plan — not thread timing — decides which
     // queue slot each serving drains at, which is what keeps the merged
     // trace bitwise identical at every thread count.
-    for (size_t i = 0; i < len; ++i) {
-      const int q = static_cast<int>((chunk + static_cast<uint64_t>(i)) % n);
-      const int s = shard_of_row_[q];
-      shard_of[i] = s;
-      local_row[i] = local_of_row_[q];
-      local_seq[i] = next_local_seq_[s]++;
+    {
+      MutexLock lock(train_mu_);
+      for (size_t i = 0; i < len; ++i) {
+        const int q = static_cast<int>((chunk + static_cast<uint64_t>(i)) % n);
+        const int s = shard_of_row_[q];
+        shard_of[i] = s;
+        local_row[i] = local_of_row_[q];
+        local_seq[i] = next_local_seq_[s]++;
+      }
     }
     const auto serve_one = [&](uint64_t seq) {
       const size_t i = static_cast<size_t>(seq - chunk);
@@ -287,7 +296,10 @@ void ShardedServingTier::ServeSchedule(
 }
 
 int ShardedServingTier::AppendQueries(int count) {
-  LIMEQO_CHECK(!training_);
+  {
+    MutexLock lock(train_mu_);
+    LIMEQO_CHECK(!training_);
+  }
   LIMEQO_CHECK(count > 0);
   const int first = num_queries();
   for (int c = 0; c < count; ++c) {
@@ -304,7 +316,12 @@ int ShardedServingTier::AppendQueries(int count) {
 }
 
 void ShardedServingTier::MigrateRow(int row, int to_shard) {
+  MutexLock lock(train_mu_);
   LIMEQO_CHECK(!training_);
+  MigrateRowLocked(row, to_shard);
+}
+
+void ShardedServingTier::MigrateRowLocked(int row, int to_shard) {
   LIMEQO_CHECK(row >= 0 && row < num_queries());
   LIMEQO_CHECK(to_shard >= 0 && to_shard < num_shards());
   const int from = shard_of_row_[row];
@@ -329,6 +346,7 @@ void ShardedServingTier::MigrateRow(int row, int to_shard) {
 }
 
 int ShardedServingTier::RebalanceHotShards() {
+  MutexLock lock(train_mu_);
   LIMEQO_CHECK(!training_);
   const int shards = num_shards();
   if (shards <= 1) return 0;
@@ -381,7 +399,7 @@ int ShardedServingTier::RebalanceHotShards() {
       }
     }
     if (best_row < 0) break;
-    MigrateRow(best_row, cold);
+    MigrateRowLocked(best_row, cold);
     ++migrated;
   }
   return migrated;
@@ -397,7 +415,10 @@ WorkloadMatrix ShardedServingTier::MergedMatrix() const {
 }
 
 Status ShardedServingTier::SaveCheckpoints(const std::string& dir) const {
-  LIMEQO_CHECK(!training_);
+  {
+    MutexLock lock(train_mu_);
+    LIMEQO_CHECK(!training_);
+  }
   for (int i = 0; i < num_shards(); ++i) {
     Status st = SaveEngineCheckpointToFile(engines_[i]->MakeCheckpoint(),
                                            ShardCheckpointPath(dir, i));
@@ -483,7 +504,13 @@ ShardedServingTier::RestoreFromDirectory(const std::string& dir,
   tier->num_hints_ = hints;
   tier->predictors_ = std::move(predictors);
   tier->shard_rows_.resize(shards);
-  tier->next_local_seq_.assign(static_cast<size_t>(shards), 0);
+  {
+    // A static member is not a constructor: the analysis (rightly) wants
+    // the new tier's guarded counters touched under its own mutex, even
+    // though no other thread can see the tier yet.
+    MutexLock lock(tier->train_mu_);
+    tier->next_local_seq_.assign(static_cast<size_t>(shards), 0);
+  }
   tier->shard_of_row_.assign(static_cast<size_t>(rows), -1);
   tier->local_of_row_.assign(static_cast<size_t>(rows), -1);
   for (int i = 0; i < shards; ++i) {
@@ -550,7 +577,10 @@ ShardedServingTier::RestoreFromDirectory(const std::string& dir,
         WorkloadMatrix(0, hints),
         tier->predictors_.empty() ? nullptr : tier->predictors_[i], eo);
     engine->RestoreFromCheckpoint(std::move(ckpt).value());
-    tier->next_local_seq_[i] = engine->drained_servings();
+    {
+      MutexLock lock(tier->train_mu_);
+      tier->next_local_seq_[i] = engine->drained_servings();
+    }
     for (size_t l = 0; l < tier->shard_rows_[i].size(); ++l) {
       const int row = tier->shard_rows_[i][l];
       engine->RestoreRowLedgerSlice(static_cast<int>(l), row_regret[row],

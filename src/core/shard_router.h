@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/engine.h"
 #include "core/predictor.h"
 #include "core/train_executor.h"
@@ -169,11 +170,11 @@ class ShardedServingTier {
   /// Starts the fleet's train plane (free-running mode): one background
   /// thread per shard, or the shared executor's worker pool when
   /// shared_train_plane is on.
-  void StartTraining();
+  void StartTraining() EXCLUDES(train_mu_);
   /// Stops the train plane, drains, publishes, and re-syncs the
   /// deterministic-schedule counters to the drained fronts (so
   /// ServeSchedule may continue after a free-running phase).
-  void StopTraining();
+  void StopTraining() EXCLUDES(train_mu_);
 
   // --- Deterministic schedule serving (train plane) ------------------------
   /// Serves the global round-robin schedule [begin, end) — serving s maps
@@ -190,12 +191,13 @@ class ShardedServingTier {
       const std::function<ServedOutcome(int query, int chosen_hint,
                                         uint64_t seq)>& resolve,
       const std::function<void(uint64_t seq, int query, int hint,
-                               double latency)>& record = nullptr);
+                               double latency)>& record = nullptr)
+      EXCLUDES(train_mu_);
 
   /// Global servings scheduled so far via ServeSchedule (the sum of the
   /// per-shard schedule counters; after StopTraining, the sum of the
   /// drained fronts).
-  uint64_t scheduled_servings() const;
+  uint64_t scheduled_servings() const EXCLUDES(train_mu_);
 
   // --- Free-running serving (any thread) -----------------------------------
   /// Hands out `count` consecutive *global* serving indices (the tier-wide
@@ -218,7 +220,7 @@ class ShardedServingTier {
   /// function, and re-splits the fleet regret budget over the new row
   /// counts. Returns the first new global row index. Op-boundary method:
   /// all train threads stopped, no in-flight servings.
-  int AppendQueries(int count);
+  int AppendQueries(int count) EXCLUDES(train_mu_);
   /// Moves one global row to `to_shard`: the row's observations, censoring
   /// state, and ledger slice travel bitwise (ExplorationEngine::ExtractRow
   /// / AdoptRow), source-shard rows above it renumber down, and the budget
@@ -226,7 +228,7 @@ class ShardedServingTier {
   /// snapshots are untouched and the two involved shards publish fresh
   /// snapshots — but this is an op-boundary method: all train threads
   /// stopped, and no in-flight serving may target the moving row.
-  void MigrateRow(int row, int to_shard);
+  void MigrateRow(int row, int to_shard) EXCLUDES(train_mu_);
   /// Deterministic load-aware rebalance pass. Each row weighs
   /// 1 + servings(row) — the serving traffic its shard's drain path has
   /// counted for it — so a shard's load is its traffic-weighted row count
@@ -240,7 +242,7 @@ class ShardedServingTier {
   /// spread, so the pass terminates, and it is a pure function of the
   /// current assignment and ledgers. Returns the number of rows migrated.
   /// Same op-boundary contract as MigrateRow.
-  int RebalanceHotShards();
+  int RebalanceHotShards() EXCLUDES(train_mu_);
 
   // --- Views ---------------------------------------------------------------
   /// Reassembles the global workload matrix from the shard matrices
@@ -254,7 +256,7 @@ class ShardedServingTier {
   /// into directory `dir` (which must exist). Every file is written
   /// crash-atomically; the manifest is written last, so a manifest that
   /// parses refers to shard files that were durable before it.
-  Status SaveCheckpoints(const std::string& dir) const;
+  Status SaveCheckpoints(const std::string& dir) const EXCLUDES(train_mu_);
 
   /// Reassembles a fleet from SaveCheckpoints output. The manifest is
   /// authoritative for tier state: `options.num_shards`, the fleet regret
@@ -281,16 +283,33 @@ class ShardedServingTier {
   /// and returns its local index.
   int AttachRow(int row, int shard);
 
+  /// MigrateRow's body, for callers already holding train_mu_
+  /// (RebalanceHotShards runs its whole pass under one acquisition; the
+  /// EXCLUDES/REQUIRES pair makes re-acquiring the non-recursive mutex a
+  /// compile error instead of a deadlock).
+  void MigrateRowLocked(int row, int to_shard) REQUIRES(train_mu_);
+
   ShardedTierOptions options_;
   int num_hints_ = 0;
   std::vector<Predictor*> predictors_;
   std::vector<std::unique_ptr<ExplorationEngine>> engines_;
+  /// The routing tables below are deliberately *not* guarded: serving
+  /// threads read them lock-free, which is safe under the op-boundary
+  /// contract (growth / migration / restore run with all train threads
+  /// stopped and no in-flight servings targeting the moving rows). The
+  /// capability analysis checks the mutable train-plane bookkeeping that
+  /// *does* have a lock; the op-boundary contract stays on the TSan jobs.
   std::vector<int> shard_of_row_;              // global row -> shard
   std::vector<int> local_of_row_;              // global row -> local row
   std::vector<std::vector<int>> shard_rows_;   // shard -> global rows
-  std::vector<uint64_t> next_local_seq_;       // ServeSchedule counters
+  /// Serializes the train-plane control state: the schedule counters and
+  /// the training flag. `mutable` so const readers (scheduled_servings,
+  /// SaveCheckpoints' state check) can lock it.
+  mutable Mutex train_mu_;
+  /// ServeSchedule counters.
+  std::vector<uint64_t> next_local_seq_ GUARDED_BY(train_mu_);
   std::atomic<uint64_t> next_global_seq_{0};   // free-running claims
-  bool training_ = false;
+  bool training_ GUARDED_BY(train_mu_) = false;
   /// The shared train plane (only when options_.shared_train_plane).
   std::unique_ptr<TrainExecutor> executor_;
 };

@@ -25,18 +25,23 @@ int TrainExecutor::PerJobBudget(int workers) const {
 void TrainExecutor::Start(std::vector<ExplorationEngine*> engines) {
   LIMEQO_CHECK(!running_);
   LIMEQO_CHECK(!engines.empty());
-  slots_.clear();
+  std::vector<ShardSlot> slots;
+  slots.reserve(engines.size());
   for (ExplorationEngine* engine : engines) {
     LIMEQO_CHECK(engine != nullptr);
     ShardSlot slot;
     slot.engine = engine;
-    slots_.push_back(slot);
+    slots.push_back(slot);
     // Serially, before any worker exists: the stepping state is plain
     // train-plane state.
     engine->BeginTrainSteps();
   }
+  {
+    MutexLock lock(mu_);
+    slots_ = std::move(slots);
+  }
   const int workers =
-      std::max(1, std::min(options_.workers, static_cast<int>(slots_.size())));
+      std::max(1, std::min(options_.workers, static_cast<int>(engines.size())));
   arenas_ = std::vector<CompletionArena>(static_cast<size_t>(workers));
   stop_.store(false, std::memory_order_relaxed);
   running_ = true;
@@ -52,19 +57,27 @@ void TrainExecutor::Stop() {
   for (std::thread& t : workers_) t.join();
   workers_.clear();
   running_ = false;
-  // Serial finish with the full budget: no concurrent jobs remain, so each
-  // shard's final drain / refresh / publish / checkpoint may use the whole
-  // pool. arenas_[0] keeps the pooled buffers warm across the fleet.
-  for (ShardSlot& slot : slots_) {
-    slot.engine->SetCompletionArena(&arenas_[0]);
-    slot.engine->FinishTrainSteps();
-    slot.engine->SetCompletionArena(nullptr);
+  std::vector<ExplorationEngine*> engines;
+  {
+    MutexLock lock(mu_);
+    engines.reserve(slots_.size());
+    for (const ShardSlot& slot : slots_) engines.push_back(slot.engine);
+    slots_.clear();
   }
-  slots_.clear();
+  // Serial finish with the full budget: no concurrent jobs remain (the
+  // workers are joined), so each shard's final drain / refresh / publish /
+  // checkpoint may use the whole pool. arenas_[0] keeps the pooled buffers
+  // warm across the fleet.
+  for (ExplorationEngine* engine : engines) {
+    engine->SetCompletionArena(&arenas_[0]);
+    engine->FinishTrainSteps();
+    engine->SetCompletionArena(nullptr);
+  }
 }
 
-int TrainExecutor::ClaimHottest(uint64_t* pre_step_claimed) {
-  std::lock_guard<std::mutex> lock(mu_);
+ExplorationEngine* TrainExecutor::ClaimHottest(int* idx,
+                                               uint64_t* pre_step_claimed) {
+  MutexLock lock(mu_);
   int best = -1;
   uint64_t best_score = 0;
   for (size_t i = 0; i < slots_.size(); ++i) {
@@ -86,22 +99,29 @@ int TrainExecutor::ClaimHottest(uint64_t* pre_step_claimed) {
       *pre_step_claimed = claimed_now;
     }
   }
-  if (best >= 0) slots_[static_cast<size_t>(best)].claimed = true;
-  return best;
+  if (best < 0) return nullptr;
+  slots_[static_cast<size_t>(best)].claimed = true;
+  *idx = best;
+  // The engine pointer leaves the critical section with the claim, so the
+  // caller never re-reads slots_ without the lock.
+  return slots_[static_cast<size_t>(best)].engine;
 }
 
 void TrainExecutor::WorkerLoop(int worker) {
   CompletionArena& arena = arenas_[static_cast<size_t>(worker)];
   const int budget = PerJobBudget(static_cast<int>(arenas_.size()));
   while (!stop_.load(std::memory_order_relaxed)) {
+    int idx = -1;
     uint64_t pre_step_claimed = 0;
-    const int idx = ClaimHottest(&pre_step_claimed);
-    if (idx < 0) {
+    ExplorationEngine* engine = ClaimHottest(&idx, &pre_step_claimed);
+    if (engine == nullptr) {
+      // lint:allow(sleep): idle scheduler backoff on the train plane; the
+      // serving path never blocks on it, and no serving decision depends
+      // on when a worker rescans.
       std::this_thread::sleep_for(
           std::chrono::microseconds(options_.idle_sleep_us));
       continue;
     }
-    ExplorationEngine* engine = slots_[static_cast<size_t>(idx)].engine;
     engine->SetCompletionArena(&arena);
     bool progress;
     {
@@ -110,7 +130,7 @@ void TrainExecutor::WorkerLoop(int worker) {
     }
     engine->SetCompletionArena(nullptr);
     steps_executed_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ShardSlot& slot = slots_[static_cast<size_t>(idx)];
     slot.claimed = false;
     slot.parked_at = progress ? kNotParked : pre_step_claimed;

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/completer.h"
 #include "core/engine.h"
 
@@ -126,10 +126,12 @@ class TrainExecutor {
   };
 
   /// Claims the hottest runnable shard (strict max score, lowest index on
-  /// ties). Returns its slot index and writes the pre-claim
-  /// claimed_servings() into *pre_step_claimed, or returns -1 when nothing
-  /// is runnable.
-  int ClaimHottest(uint64_t* pre_step_claimed);
+  /// ties). Returns its engine — read under mu_, since slots_ must not be
+  /// touched again without the lock — and writes the slot index into *idx
+  /// and the pre-claim claimed_servings() into *pre_step_claimed. Returns
+  /// nullptr when nothing is runnable.
+  ExplorationEngine* ClaimHottest(int* idx, uint64_t* pre_step_claimed)
+      EXCLUDES(mu_);
 
   void WorkerLoop(int worker);
 
@@ -138,8 +140,8 @@ class TrainExecutor {
 
   TrainExecutorOptions options_;
 
-  std::mutex mu_;
-  std::vector<ShardSlot> slots_;
+  Mutex mu_;
+  std::vector<ShardSlot> slots_ GUARDED_BY(mu_);
 
   /// One refit-scratch arena per worker (pooled across all the shards that
   /// worker ever steps), plus arenas_[0] reused by Stop's serial finish.

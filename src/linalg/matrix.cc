@@ -326,16 +326,17 @@ void MultiplyTransposedInto(const Matrix& a, const Matrix& b, Matrix* out) {
   // eight independent dot-product chains in flight. Every output element
   // accumulates over c in ascending order in all of the tile/remainder
   // paths, so results do not depend on tiling or chunk boundaries.
-  auto dot_row = [](const double* __restrict a_row, const double* __restrict b_data,
-                    double* __restrict o_row, size_t n, size_t r) {
+  auto dot_row = [](const double* __restrict a_row,
+                    const double* __restrict b_base,
+                    double* __restrict o_row, size_t b_count, size_t width) {
     size_t j = 0;
-    for (; j + 4 <= n; j += 4) {
-      const double* b0 = b_data + j * r;
-      const double* b1 = b0 + r;
-      const double* b2 = b1 + r;
-      const double* b3 = b2 + r;
+    for (; j + 4 <= b_count; j += 4) {
+      const double* b0 = b_base + j * width;
+      const double* b1 = b0 + width;
+      const double* b2 = b1 + width;
+      const double* b3 = b2 + width;
       double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-      for (size_t c = 0; c < r; ++c) {
+      for (size_t c = 0; c < width; ++c) {
         const double av = a_row[c];
         s0 += av * b0[c];
         s1 += av * b1[c];
@@ -347,10 +348,10 @@ void MultiplyTransposedInto(const Matrix& a, const Matrix& b, Matrix* out) {
       o_row[j + 2] = s2;
       o_row[j + 3] = s3;
     }
-    for (; j < n; ++j) {
-      const double* b_row = b_data + j * r;
+    for (; j < b_count; ++j) {
+      const double* b_row = b_base + j * width;
       double acc = 0.0;
-      for (size_t c = 0; c < r; ++c) acc += a_row[c] * b_row[c];
+      for (size_t c = 0; c < width; ++c) acc += a_row[c] * b_row[c];
       o_row[j] = acc;
     }
   };

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint_determinism.py.
+
+One fixture per rule under tests/lint_fixtures/: the *_bad.cc fixtures must
+each trip their rule (with the expected violation count, so a regex that
+silently stops matching fails the suite), allow_ok.cc must pass because its
+suppressions carry justifications, allow_bad.cc must fail twice (bare allow
++ unsuppressed finding), and clean.cc must pass outright. A final case runs
+the linter over src/ exactly like CI does and requires a clean exit.
+"""
+
+import os
+import subprocess
+import sys
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINTER = os.path.join(REPO_ROOT, "tools", "lint_determinism.py")
+FIXTURES = os.path.join(REPO_ROOT, "tests", "lint_fixtures")
+
+
+def run_linter(*paths):
+    return subprocess.run(
+        [sys.executable, LINTER, *paths],
+        capture_output=True, text=True, cwd=REPO_ROOT)
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+class LintFixtureTest(unittest.TestCase):
+    def assert_flags(self, name, rule, expect_count):
+        result = run_linter(fixture(name))
+        self.assertEqual(result.returncode, 1,
+                         f"{name} should fail:\n{result.stdout}")
+        flagged = [line for line in result.stdout.splitlines()
+                   if f"[{rule}]" in line]
+        self.assertEqual(
+            len(flagged), expect_count,
+            f"{name}: expected {expect_count} [{rule}] findings, got "
+            f"{len(flagged)}:\n{result.stdout}")
+
+    def assert_clean(self, name):
+        result = run_linter(fixture(name))
+        self.assertEqual(result.returncode, 0,
+                         f"{name} should pass:\n{result.stdout}")
+        self.assertEqual(result.stdout, "")
+
+    def test_wall_clock_rule(self):
+        self.assert_flags("wall_clock_bad.cc", "wall_clock", 3)
+
+    def test_rand_rule(self):
+        self.assert_flags("rand_bad.cc", "rand", 3)
+
+    def test_unordered_rule(self):
+        self.assert_flags("unordered_bad.cc", "unordered", 2)
+
+    def test_memory_order_rule(self):
+        self.assert_flags("memory_order_bad.cc", "memory_order", 6)
+
+    def test_sleep_rule(self):
+        self.assert_flags("sleep_bad.cc", "sleep", 2)
+
+    def test_justified_allow_suppresses(self):
+        self.assert_clean("allow_ok.cc")
+
+    def test_bare_allow_is_a_violation_and_does_not_suppress(self):
+        result = run_linter(fixture("allow_bad.cc"))
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("[allow]", result.stdout)
+        self.assertIn("[sleep]", result.stdout)
+
+    def test_clean_idiom_passes(self):
+        self.assert_clean("clean.cc")
+
+    def test_missing_path_is_a_usage_error(self):
+        result = run_linter(fixture("no_such_file.cc"))
+        self.assertEqual(result.returncode, 2)
+
+    def test_source_tree_is_clean(self):
+        # The same invocation the static-analysis CI job runs.
+        result = run_linter("src/")
+        self.assertEqual(
+            result.returncode, 0,
+            f"src/ must stay lint-clean (or carry justified allows):\n"
+            f"{result.stdout}")
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,9 @@
+// Fixture: an allow without a justification is itself a violation (and
+// does not suppress the underlying finding).
+#include <chrono>
+#include <thread>
+
+void Backoff() {
+  // lint:allow(sleep)
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}

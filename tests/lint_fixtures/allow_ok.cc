@@ -1,0 +1,18 @@
+// Fixture: a justified lint:allow suppresses the rule on the next code
+// line (trailing-comment form and block-comment form both work).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+std::atomic<uint64_t> probes{0};
+
+void IdleBackoff() {
+  // lint:allow(sleep): idle-path backoff only; nothing trace-visible
+  // depends on when this thread wakes.
+  std::this_thread::sleep_for(std::chrono::microseconds(50));
+}
+
+uint64_t Probe() {
+  return probes.load();  // lint:allow(memory_order): monotonic stats probe
+}

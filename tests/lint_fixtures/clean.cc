@@ -1,0 +1,30 @@
+// Fixture: deterministic idiom passes every rule — ordered containers,
+// explicitly ordered atomics, steady_clock (monotonic, bench-style), and
+// banned spellings appearing only in comments or string literals.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+std::atomic<uint64_t> sequence{0};
+
+// rand() and std::chrono::system_clock in a comment are not code.
+const char* kDoc = "never call rand() or read system_clock here";
+
+double SumValues(const std::map<std::string, double>& scores) {
+  double total = 0.0;
+  for (const auto& entry : scores) total += entry.second;  // ordered: fine
+  return total;
+}
+
+uint64_t NextSequence() {
+  return sequence.fetch_add(1, std::memory_order_relaxed);
+}
+
+double MonotonicSeconds() {
+  // steady_clock is monotonic, not wall-clock; fine for benchmarks.
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

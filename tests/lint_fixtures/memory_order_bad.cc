@@ -1,0 +1,23 @@
+// Fixture: the memory_order rule must flag every defaulted-order atomic
+// operation, including the operator forms that hide a seq_cst op.
+#include <atomic>
+#include <cstdint>
+
+std::atomic<uint64_t> counter{0};
+std::atomic<bool> stop_flag{false};
+
+uint64_t BareLoad() { return counter.load(); }  // flagged
+
+void BareStore(uint64_t v) { counter.store(v); }  // flagged
+
+void BareFetchAdd() { counter.fetch_add(1); }  // flagged
+
+void OperatorIncrement() { ++counter; }  // flagged: seq_cst RMW in disguise
+
+void OperatorAssign() { stop_flag = true; }  // flagged: seq_cst store
+
+bool ImplicitRead() { return stop_flag; }  // flagged: seq_cst load
+
+uint64_t ExplicitLoad() {  // not flagged: the ordering is named
+  return counter.load(std::memory_order_acquire);
+}

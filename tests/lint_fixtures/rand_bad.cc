@@ -1,0 +1,12 @@
+// Fixture: the rand rule must flag libc rand and std::random_device.
+#include <cstdlib>
+#include <random>
+
+int LibcDraw() { return rand(); }  // flagged
+
+void Seed() { srand(42); }  // flagged
+
+unsigned DeviceDraw() {
+  std::random_device rd;  // flagged
+  return rd();
+}

@@ -1,0 +1,12 @@
+// Fixture: the sleep rule must flag blocking sleeps in library code.
+#include <chrono>
+#include <thread>
+
+void Backoff() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // flagged
+}
+
+void Until() {
+  std::this_thread::sleep_until(  // flagged
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(1));
+}

@@ -1,0 +1,24 @@
+// Fixture: the unordered rule must flag hash-order iteration but leave
+// point lookups alone.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double SumValues(const std::unordered_map<std::string, double>& scores) {
+  double total = 0.0;
+  const std::unordered_map<std::string, double>& table = scores;
+  for (const auto& entry : table) {  // flagged: range-for over hash order
+    total += entry.second;
+  }
+  return total;
+}
+
+int FirstElement(const std::unordered_set<int>& seen) {
+  std::unordered_set<int> copy = seen;
+  return *copy.begin();  // flagged: iterator walk over hash order
+}
+
+bool Lookup(const std::unordered_map<std::string, double>& scores,
+            const std::string& key) {
+  return scores.count(key) > 0;  // not flagged: point lookup is fine
+}

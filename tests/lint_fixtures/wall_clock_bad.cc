@@ -1,0 +1,16 @@
+// Fixture: the wall_clock rule must flag every wall-clock read.
+#include <chrono>
+#include <ctime>
+
+double WallSeconds() {
+  const auto now = std::chrono::system_clock::now();  // flagged
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+long HighRes() {
+  return std::chrono::high_resolution_clock::now()  // flagged
+      .time_since_epoch()
+      .count();
+}
+
+long CTime() { return static_cast<long>(std::time(nullptr)); }  // flagged

@@ -1,0 +1,446 @@
+#!/usr/bin/env python3
+"""Determinism linter for the limeqo tree.
+
+The serving trace is contractually a pure function of (snapshot, serving
+index): bitwise identical across thread counts, replayable from a
+checkpoint, and independent of wall-clock time. This linter machine-checks
+the source-level half of that contract — the constructs that would break it
+silently:
+
+  wall_clock   wall-clock reads (std::chrono::system_clock,
+               high_resolution_clock, gettimeofday, clock_gettime,
+               std::time) in trace-affecting TUs (src/core, src/scenarios).
+               Decisions keyed on wall time replay differently.
+  rand         rand()/srand()/std::random_device in trace-affecting TUs.
+               All randomness must flow from the seeded, counter-keyed
+               generators in common/rng.h.
+  unordered    iteration over a std::unordered_{map,set} in trace-affecting
+               TUs: hash-order iteration varies across libstdc++ versions
+               and load factors, so anything trace-visible must iterate a
+               deterministically ordered container instead.
+  memory_order memory-order discipline on atomics, everywhere in src/:
+               every atomic operation must name its ordering explicitly
+               (x.load(std::memory_order_acquire), never x.load() or the
+               operator forms ++x / x = v, which are seq_cst in disguise).
+               The point is reviewability: the protocol argument for each
+               atomic lives at the call site, not in a default.
+  sleep        std::this_thread::sleep_for / sleep_until / usleep /
+               nanosleep outside bench/ and tools/: sleeps in library code
+               either hide ordering bugs or leak timing into behavior.
+
+Escape hatch: a `// lint:allow(<rule>): <justification>` comment on the
+flagged line, or on the comment block immediately above it, suppresses that
+rule there. The justification is mandatory — an allow without one is itself
+a violation — so every suppression documents its safety argument in place.
+
+Usage:
+  lint_determinism.py <path>...
+
+Directories are walked recursively over *.cc/*.cpp/*.h/*.hpp and each file
+is checked against the rules that apply to its location (table above).
+Files named explicitly are checked against ALL rules regardless of
+location — that is what the fixture self-tests (tests/lint_determinism_test.py)
+use. Exit status: 0 clean, 1 violations, 2 usage error.
+
+Deliberately regex/structural, not a compiler plugin: no dependency beyond
+python3, runs in milliseconds, and the constructs it polices are lexically
+recognizable. Comments and string literals are stripped (to a same-offset
+code view, so line numbers survive) before matching.
+"""
+
+import os
+import re
+import sys
+
+SOURCE_EXTENSIONS = (".cc", ".cpp", ".h", ".hpp")
+
+RULES = ("wall_clock", "rand", "unordered", "memory_order", "sleep")
+
+# Method names that exist (with these spellings) only on std::atomic and
+# whose default memory_order argument is seq_cst.
+ATOMIC_METHODS = (
+    "load",
+    "store",
+    "exchange",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "compare_exchange_weak",
+    "compare_exchange_strong",
+    "test_and_set",
+)
+
+WALL_CLOCK_PATTERNS = (
+    (r"std::chrono::system_clock", "std::chrono::system_clock"),
+    (r"std::chrono::high_resolution_clock",
+     "std::chrono::high_resolution_clock"),
+    (r"\bgettimeofday\s*\(", "gettimeofday()"),
+    (r"\bclock_gettime\s*\(", "clock_gettime()"),
+    (r"std::time\s*\(", "std::time()"),
+)
+
+RAND_PATTERNS = (
+    (r"\bs?rand\s*\(", "rand()/srand()"),
+    (r"std::random_device", "std::random_device"),
+)
+
+SLEEP_PATTERNS = (
+    (r"std::this_thread::sleep_(?:for|until)",
+     "std::this_thread::sleep_for/until"),
+    (r"\busleep\s*\(", "usleep()"),
+    (r"\bnanosleep\s*\(", "nanosleep()"),
+)
+
+ALLOW_RE = re.compile(r"lint:allow\(([A-Za-z_]+)\)(.*)")
+ALLOW_REASON_RE = re.compile(r"^\s*:\s*\S")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line  # 1-based
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code(text):
+    """Returns `text` with comments, string and char literals blanked to
+    spaces (newlines preserved), so offsets and line numbers carry over."""
+    out = list(text)
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and
+                                 text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                if i + 1 < n:
+                    out[i + 1] = " "
+                i += 2
+        elif c == '"' or c == "'":
+            # 'c' could be a digit separator in C++14 literals (1'000); only
+            # treat a quote as a char literal when it does not follow an
+            # identifier/number character.
+            if c == "'" and i > 0 and (text[i - 1].isalnum() or
+                                       text[i - 1] == "_"):
+                i += 1
+                continue
+            quote = c
+            out[i] = " "
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out[i] = " "
+                    i += 1
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    """1-based line number of `offset` in `text`."""
+    return text.count("\n", 0, offset) + 1
+
+
+def balanced_span(text, open_at, open_char, close_char):
+    """Given text[open_at] == open_char, returns the offset one past the
+    matching close_char, or -1 if unbalanced."""
+    depth = 0
+    i = open_at
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == open_char:
+            depth += 1
+        elif c == close_char:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return -1
+
+
+def collect_allows(raw_lines, code_lines, path):
+    """Returns (allowed: {line_no -> set(rules)}, violations) from the
+    lint:allow directives in `raw_lines`.
+
+    A directive covers its own line; when it sits on a comment-only line it
+    also covers the rest of that comment block and the first code line
+    below it (so a justification may wrap)."""
+    allowed = {}
+    violations = []
+    for idx, raw in enumerate(raw_lines):
+        m = ALLOW_RE.search(raw)
+        if not m:
+            continue
+        rule, rest = m.group(1), m.group(2)
+        line_no = idx + 1
+        if rule not in RULES:
+            violations.append(Violation(
+                path, line_no, "allow",
+                f"lint:allow names unknown rule '{rule}' "
+                f"(known: {', '.join(RULES)})"))
+            continue
+        if not ALLOW_REASON_RE.match(rest):
+            violations.append(Violation(
+                path, line_no, "allow",
+                f"lint:allow({rule}) needs a justification: "
+                f"write `lint:allow({rule}): <why this is safe>`"))
+            continue
+        covered = {line_no}
+        if not code_lines[idx].strip():
+            j = idx + 1
+            while j < len(code_lines) and not code_lines[j].strip():
+                covered.add(j + 1)
+                j += 1
+            if j < len(code_lines):
+                covered.add(j + 1)
+        for ln in covered:
+            allowed.setdefault(ln, set()).add(rule)
+    return allowed, violations
+
+
+def collect_atomic_names(code):
+    """Identifiers declared as std::atomic<...> in `code`."""
+    names = set()
+    for m in re.finditer(r"std::atomic\s*<", code):
+        end = balanced_span(code, m.end() - 1, "<", ">")
+        if end < 0:
+            continue
+        decl = re.match(r"\s*[&*]?\s*([A-Za-z_]\w*)", code[end:])
+        if decl:
+            names.add(decl.group(1))
+    return names
+
+
+def collect_unordered_names(code):
+    """Identifiers declared as std::unordered_{map,set}<...> in `code`."""
+    names = set()
+    for m in re.finditer(r"std::unordered_(?:multi)?(?:map|set)\s*<", code):
+        end = balanced_span(code, m.end() - 1, "<", ">")
+        if end < 0:
+            continue
+        decl = re.match(r"\s*[&*]?\s*([A-Za-z_]\w*)", code[end:])
+        if decl:
+            names.add(decl.group(1))
+    return names
+
+
+def check_simple_patterns(path, code, rule, patterns, out):
+    for pattern, label in patterns:
+        for m in re.finditer(pattern, code):
+            out.append(Violation(
+                path, line_of(code, m.start()), rule,
+                f"{label} is nondeterministic here; "
+                + {"wall_clock": "decisions must not read wall-clock time "
+                                 "(derive timing from serving indices)",
+                   "rand": "use the seeded counter-keyed generators in "
+                           "common/rng.h",
+                   "sleep": "library code must not sleep (bench/ and "
+                            "tools/ are exempt)"}[rule]))
+
+
+def check_unordered(path, code, out):
+    names = collect_unordered_names(code)
+    # Range-for directly over an unordered temporary or declared variable.
+    for m in re.finditer(r"\bfor\s*\(", code):
+        end = balanced_span(code, m.end() - 1, "(", ")")
+        if end < 0:
+            continue
+        head = code[m.end():end - 1]
+        if ":" not in head or ";" in head:
+            continue  # not a range-for
+        range_expr = head.split(":", 1)[1].strip()
+        ident = re.fullmatch(r"[A-Za-z_]\w*", range_expr)
+        if (ident and ident.group(0) in names) or \
+                range_expr.startswith("std::unordered_"):
+            out.append(Violation(
+                path, line_of(code, m.start()), "unordered",
+                "iteration over a std::unordered_ container: hash order is "
+                "not deterministic across platforms; use std::map / "
+                "std::set / a sorted vector for anything trace-visible"))
+    # Explicit iterator walks over a known unordered variable.
+    for name in names:
+        for m in re.finditer(
+                rf"\b{re.escape(name)}\s*\.\s*c?begin\s*\(", code):
+            out.append(Violation(
+                path, line_of(code, m.start()), "unordered",
+                f"iteration over std::unordered_ container '{name}' "
+                "(hash order is not deterministic)"))
+
+
+def check_memory_order(path, code, header_code, out):
+    # Method calls: the argument list must name a memory_order.
+    for m in re.finditer(
+            r"\.\s*(" + "|".join(ATOMIC_METHODS) + r")\s*\(", code):
+        method = m.group(1)
+        end = balanced_span(code, m.end() - 1, "(", ")")
+        args = code[m.end():end - 1] if end > 0 else ""
+        if "memory_order" not in args:
+            out.append(Violation(
+                path, line_of(code, m.start()), "memory_order",
+                f".{method}() without an explicit std::memory_order "
+                "argument defaults to seq_cst; name the ordering the "
+                "protocol actually needs"))
+    # Operator forms and implicit conversions on identifiers declared
+    # atomic in this TU or its paired header.
+    names = collect_atomic_names(code) | collect_atomic_names(header_code)
+    for name in names:
+        for m in re.finditer(rf"\b{re.escape(name)}\b", code):
+            line_no = line_of(code, m.start())
+            line_start = code.rfind("\n", 0, m.start()) + 1
+            line_end = code.find("\n", m.start())
+            line_text = code[line_start:line_end if line_end >= 0 else None]
+            if "std::atomic" in line_text:
+                continue  # the declaration itself
+            after = code[m.end():]
+            after_ws = after.lstrip()
+            before = code[:m.start()].rstrip()
+            if after_ws.startswith("."):
+                continue  # method call, checked above
+            if before.endswith("&"):
+                continue  # address-of / reference capture, not an operation
+            if before.endswith("++") or before.endswith("--") or \
+                    after_ws.startswith("++") or after_ws.startswith("--"):
+                out.append(Violation(
+                    path, line_no, "memory_order",
+                    f"++/-- on atomic '{name}' is a seq_cst RMW in "
+                    "disguise; use fetch_add/fetch_sub with an explicit "
+                    "order"))
+                continue
+            op = re.match(r"([+\-|&^]?=)(?![=])", after_ws)
+            if op:
+                out.append(Violation(
+                    path, line_no, "memory_order",
+                    f"'{name} {op.group(1)} ...' is a seq_cst atomic "
+                    "store/RMW in disguise; use .store()/fetch_*() with "
+                    "an explicit order"))
+                continue
+            out.append(Violation(
+                path, line_no, "memory_order",
+                f"implicit read of atomic '{name}' is a seq_cst load in "
+                "disguise; use .load() with an explicit order"))
+
+
+def applicable_rules(path, explicit):
+    """Rules that apply to `path`. Explicitly named files get every rule —
+    the fixture self-tests rely on that."""
+    if explicit:
+        return set(RULES)
+    norm = path.replace(os.sep, "/")
+    rules = set()
+    if "src/core/" in norm or "src/scenarios/" in norm:
+        rules.update(("wall_clock", "rand", "unordered"))
+    if "src/" in norm:
+        rules.add("memory_order")
+    if "bench/" not in norm and "tools/" not in norm:
+        rules.add("sleep")
+    return rules
+
+
+def paired_header_code(path):
+    """Stripped code of the .h next to a .cc/.cpp, for atomic-field names
+    declared in the header but operated on in the implementation file."""
+    stem, ext = os.path.splitext(path)
+    if ext not in (".cc", ".cpp"):
+        return ""
+    header = stem + ".h"
+    if not os.path.isfile(header):
+        return ""
+    with open(header, encoding="utf-8", errors="replace") as f:
+        return strip_code(f.read())
+
+
+def lint_file(path, explicit):
+    rules = applicable_rules(path, explicit)
+    if not rules:
+        return []
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    code = strip_code(text)
+    raw_lines = text.split("\n")
+    code_lines = code.split("\n")
+    allowed, violations = collect_allows(raw_lines, code_lines, path)
+
+    found = []
+    if "wall_clock" in rules:
+        check_simple_patterns(path, code, "wall_clock", WALL_CLOCK_PATTERNS,
+                              found)
+    if "rand" in rules:
+        check_simple_patterns(path, code, "rand", RAND_PATTERNS, found)
+    if "sleep" in rules:
+        check_simple_patterns(path, code, "sleep", SLEEP_PATTERNS, found)
+    if "unordered" in rules:
+        check_unordered(path, code, found)
+    if "memory_order" in rules:
+        check_memory_order(path, code, paired_header_code(path), found)
+
+    for v in found:
+        if v.rule not in allowed.get(v.line, set()):
+            violations.append(v)
+    violations.sort(key=lambda v: (v.line, v.rule))
+    return violations
+
+
+def gather_files(paths):
+    """Yields (path, explicit) pairs; directories walk recursively in
+    sorted order so output is stable."""
+    for p in paths:
+        if os.path.isdir(p):
+            for root, dirs, files in os.walk(p):
+                dirs.sort()
+                for name in sorted(files):
+                    if name.endswith(SOURCE_EXTENSIONS):
+                        yield os.path.join(root, name), False
+        elif os.path.isfile(p):
+            yield p, True
+        else:
+            raise FileNotFoundError(p)
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.stderr.write(__doc__)
+        return 2
+    total = 0
+    files = 0
+    try:
+        for path, explicit in gather_files(argv[1:]):
+            files += 1
+            for v in lint_file(path, explicit):
+                print(v)
+                total += 1
+    except FileNotFoundError as e:
+        sys.stderr.write(f"lint_determinism: no such path: {e.args[0]}\n")
+        return 2
+    if total:
+        print(f"lint_determinism: {total} violation(s) in {files} file(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
